@@ -1,0 +1,130 @@
+(* bmcastctl: drive BMcast deployments on the simulated testbed.
+
+     dune exec bin/bmcastctl.exe -- deploy --image-gb 8 --disk ahci
+     dune exec bin/bmcastctl.exe -- compare --image-gb 32
+     dune exec bin/bmcastctl.exe -- params *)
+
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Machine = Bmcast_platform.Machine
+module Os = Bmcast_guest.Os
+module Vmm = Bmcast_core.Vmm
+module Params = Bmcast_core.Params
+module Stacks = Bmcast_experiments.Stacks
+
+let secs t = Time.to_float_s t
+
+(* --- deploy: one instance, streaming deployment, progress timeline --- *)
+
+let deploy image_gb disk watch =
+  let disk_kind =
+    match disk with
+    | "ide" -> Machine.Ide_disk
+    | "ahci" -> Machine.Ahci_disk
+    | other ->
+      Printf.eprintf "unknown disk kind %S (ahci|ide)\n" other;
+      exit 2
+  in
+  let env = Stacks.make_env ~image_gb () in
+  let m = Stacks.machine env ~name:"instance0" ~disk_kind () in
+  Printf.printf "Deploying a %d GB image to %s over AoE (disk: %s)\n%!"
+    image_gb m.Machine.name disk;
+  Stacks.run env (fun () ->
+      let t0 = Sim.clock () in
+      let rt, vmm = Stacks.bmcast env m () in
+      Printf.printf "[%7.2fs] VMM booted (PXE + init); deployment phase begins\n%!"
+        (secs (Time.diff (Sim.clock ()) t0));
+      if watch then
+        Sim.spawn (fun () ->
+            let rec tick () =
+              if Vmm.devirtualized_at vmm = None then begin
+                Sim.sleep (Time.s 10);
+                Printf.printf "[%7.2fs] progress %5.1f%%  guest IO %.0f/s\n%!"
+                  (secs (Time.diff (Sim.clock ()) t0))
+                  (Vmm.progress vmm *. 100.0)
+                  (Vmm.guest_io_rate vmm);
+                tick ()
+              end
+            in
+            tick ());
+      Os.boot rt ();
+      Printf.printf "[%7.2fs] guest OS up (instance is serving)\n%!"
+        (secs (Time.diff (Sim.clock ()) t0));
+      Vmm.wait_devirtualized vmm;
+      Printf.printf "[%7.2fs] de-virtualized: VMM gone, bare-metal phase\n%!"
+        (secs (Time.diff (Sim.clock ()) t0));
+      let t = Vmm.totals vmm in
+      Printf.printf
+        "totals: %d redirects (%.1f MB copy-on-read), %.1f MB background \
+         copy,\n        %d multiplexed commands, %d queued guest commands, %d \
+         VM exits, %d AoE retransmits\n%!"
+        t.Vmm.redirects
+        (float_of_int t.Vmm.redirected_bytes /. 1e6)
+        (float_of_int t.Vmm.background_bytes /. 1e6)
+        t.Vmm.multiplexed_ops t.Vmm.queued_commands t.Vmm.vm_exits
+        t.Vmm.aoe_retransmits;
+      Printf.printf "lifecycle:\n";
+      List.iter
+        (fun (at, what) ->
+          Printf.printf "  [%7.2fs] %s\n" (secs (Time.diff at t0)) what)
+        (Vmm.events vmm));
+  0
+
+(* --- compare: startup-time comparison (Figure 4 on demand) --- *)
+
+let compare_cmd image_gb =
+  Bmcast_experiments.Fig04_startup.run ~image_gb ();
+  0
+
+(* --- params: print the calibrated model constants --- *)
+
+let params () =
+  let p = Params.default ~image_sectors:Params.image_32gb_sectors in
+  Printf.printf "BMcast deployment parameters (32 GB image):\n";
+  Printf.printf "  chunk                 %d sectors (%d KB)\n"
+    p.Params.chunk_sectors (p.Params.chunk_sectors / 2);
+  Printf.printf "  VMM-write interval    %s\n"
+    (Time.to_string p.Params.write_interval);
+  Printf.printf "  suspend interval      %s\n"
+    (Time.to_string p.Params.suspend_interval);
+  Printf.printf "  guest IO threshold    %.0f IOs/s\n" p.Params.guest_io_threshold;
+  Printf.printf "  poll interval         %s\n"
+    (Time.to_string p.Params.poll_interval);
+  Printf.printf "  VMM memory            %d MB\n"
+    (p.Params.vmm_mem_bytes / 1024 / 1024);
+  Printf.printf "  VM-exit cost          %s\n" (Time.to_string p.Params.exit_cost);
+  Printf.printf "  deployment CPU steal  %.1f%%\n" (p.Params.deploy_steal *. 100.0);
+  0
+
+let () =
+  let open Cmdliner in
+  let image_gb =
+    Arg.(value & opt int 8 & info [ "image-gb" ] ~docv:"GB" ~doc:"OS image size")
+  in
+  let disk =
+    Arg.(value & opt string "ahci" & info [ "disk" ] ~docv:"KIND" ~doc:"ahci or ide")
+  in
+  let watch =
+    Arg.(value & flag & info [ "watch" ] ~doc:"print deployment progress")
+  in
+  let deploy_cmd =
+    Cmd.v
+      (Cmd.info "deploy" ~doc:"stream-deploy one bare-metal instance")
+      Term.(const deploy $ image_gb $ disk $ watch)
+  in
+  let compare_cmd =
+    Cmd.v
+      (Cmd.info "compare" ~doc:"compare startup time across deployment methods")
+      Term.(const compare_cmd $ image_gb)
+  in
+  let params_cmd =
+    Cmd.v
+      (Cmd.info "params" ~doc:"print deployment parameters")
+      Term.(const params $ const ())
+  in
+  let group =
+    Cmd.group
+      (Cmd.info "bmcastctl" ~doc:"BMcast bare-metal deployment control")
+      [ deploy_cmd; compare_cmd; params_cmd ]
+  in
+  exit (Cmd.eval' group)

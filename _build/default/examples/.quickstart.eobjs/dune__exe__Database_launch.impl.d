@@ -1,0 +1,1 @@
+examples/database_launch.ml: Bmcast_core Bmcast_engine Bmcast_experiments Bmcast_guest List Option Printf

@@ -1,0 +1,1 @@
+examples/database_launch.mli:

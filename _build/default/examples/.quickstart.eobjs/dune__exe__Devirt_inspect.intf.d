@@ -1,0 +1,1 @@
+examples/devirt_inspect.mli:

@@ -1,0 +1,1 @@
+examples/hpc_cluster.mli:

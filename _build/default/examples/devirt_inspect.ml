@@ -1,0 +1,62 @@
+(* De-virtualization under the microscope: watch the trap and VM-exit
+   counters during each phase, on both controller families the paper's
+   mediators support (AHCI and IDE). OS transparency means the same
+   workload code runs on both without modification.
+
+     dune exec examples/devirt_inspect.exe *)
+
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Mmio = Bmcast_hw.Mmio
+module Pio = Bmcast_hw.Pio
+module Cpu = Bmcast_hw.Cpu
+module Memmap = Bmcast_hw.Memmap
+module Content = Bmcast_storage.Content
+module Machine = Bmcast_platform.Machine
+module Runtime = Bmcast_platform.Runtime
+module Vmm = Bmcast_core.Vmm
+module Stacks = Bmcast_experiments.Stacks
+
+let traps m =
+  Mmio.trapped_accesses m.Machine.mmio + Pio.trapped_accesses m.Machine.pio
+
+let inspect disk_kind label =
+  Printf.printf "--- %s controller ---\n" label;
+  let env = Stacks.make_env ~image_gb:1 () in
+  let m = Stacks.machine env ~name:label ~disk_kind () in
+  Stacks.run env (fun () ->
+      let rt, vmm = Stacks.bmcast env m () in
+      let io () =
+        for i = 0 to 19 do
+          ignore (rt.Runtime.block_read ~lba:(i * 512) ~count:16
+                  : Content.t array)
+        done;
+        rt.Runtime.block_write ~lba:123 ~count:8 (Content.data_sectors ~count:8)
+      in
+      let t0 = traps m and e0 = Cpu.total_exits m.Machine.cpu in
+      io ();
+      Printf.printf
+        "  deployment phase: %6d traps, %6d VM exits for 21 guest commands\n"
+        (traps m - t0)
+        (Cpu.total_exits m.Machine.cpu - e0);
+      Printf.printf "  VMM memory reserved: %d MB\n"
+        (Memmap.vmm_reserved_bytes m.Machine.memmap / 1024 / 1024);
+      Vmm.wait_devirtualized vmm;
+      Printf.printf "  de-virtualized at t=%.1f s\n"
+        (Time.to_float_s (Sim.clock ()));
+      let t1 = traps m and e1 = Cpu.total_exits m.Machine.cpu in
+      io ();
+      Printf.printf
+        "  bare-metal phase: %6d traps, %6d VM exits for the same workload\n"
+        (traps m - t1)
+        (Cpu.total_exits m.Machine.cpu - e1));
+  Printf.printf "\n"
+
+let () =
+  Printf.printf "== Zero overhead after de-virtualization, measured ==\n\n";
+  inspect Machine.Ahci_disk "AHCI";
+  inspect Machine.Ide_disk "IDE";
+  Printf.printf
+    "The same guest driver-level workload ran unmodified on both \
+     controllers:\nthe mediators, not the OS, absorbed the difference (OS \
+     transparency).\n"

@@ -1,0 +1,70 @@
+(* Elastic scale-out: the cloud provider's view. Demand spikes and four
+   fresh bare-metal instances must join the pool NOW. Compare streaming
+   deployment against copying the image first (2's baseline).
+
+     dune exec examples/elastic_scaleout.exe *)
+
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Signal = Bmcast_engine.Signal
+module Os = Bmcast_guest.Os
+module Image_copy = Bmcast_baselines.Image_copy
+module Stacks = Bmcast_experiments.Stacks
+
+let instances = 4
+let image_gb = 4
+
+let provision_fleet label env provision_one =
+  let ready = ref [] in
+  Stacks.run env (fun () ->
+      let done_count = ref 0 in
+      let all_done = Signal.Latch.create () in
+      for i = 0 to instances - 1 do
+        let m = Stacks.machine env ~name:(Printf.sprintf "%s%d" label i) () in
+        Sim.spawn (fun () ->
+            provision_one env m;
+            let t = Time.to_float_s (Sim.clock ()) in
+            ready := (m.Bmcast_platform.Machine.name, t) :: !ready;
+            Printf.printf "  %-12s serving at t=%7.1f s\n%!"
+              m.Bmcast_platform.Machine.name t;
+            incr done_count;
+            if !done_count = instances then Signal.Latch.set all_done)
+      done;
+      Signal.Latch.wait all_done);
+  List.fold_left (fun acc (_, t) -> Float.max acc t) 0.0 !ready
+
+let () =
+  Printf.printf
+    "== Scale-out: %d instances, %d GB image, one storage server ==\n\n"
+    instances image_gb;
+
+  Printf.printf "BMcast streaming deployment:\n";
+  let bmcast_done =
+    provision_fleet "stream"
+      (Stacks.make_env ~image_gb ~vblade_ram_cache:true ())
+      (fun env m ->
+        let rt, _vmm = Stacks.bmcast env m () in
+        Os.boot rt ())
+  in
+
+  Printf.printf "\nImage copying (installer + full copy + reboot):\n";
+  let copy_done =
+    provision_fleet "copy"
+      (Stacks.make_env ~image_gb ())
+      (fun env m ->
+        let clients =
+          [ Stacks.iscsi_client env ~name:(m.Bmcast_platform.Machine.name ^ "c0");
+            Stacks.iscsi_client env ~name:(m.Bmcast_platform.Machine.name ^ "c1") ]
+        in
+        ignore
+          (Image_copy.deploy m ~servers:clients
+             ~image_sectors:env.Stacks.image_sectors
+            : Image_copy.breakdown);
+        let rt = Stacks.bare env m in
+        Os.boot rt ())
+  in
+
+  Printf.printf
+    "\nfleet serving after %.1f s with BMcast vs %.1f s with image copying \
+     (%.1fx)\n"
+    bmcast_done copy_done (copy_done /. bmcast_done)

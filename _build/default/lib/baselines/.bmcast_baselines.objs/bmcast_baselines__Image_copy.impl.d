@@ -1,0 +1,1 @@
+lib/baselines/image_copy.ml: Bmcast_engine Bmcast_hw Bmcast_platform Bmcast_proto Bmcast_storage List Printf

@@ -1,0 +1,1 @@
+lib/baselines/image_copy.mli: Bmcast_engine Bmcast_platform Bmcast_proto

@@ -1,0 +1,1 @@
+lib/baselines/kickstart.ml: Bmcast_engine Bmcast_platform Bmcast_storage

@@ -1,0 +1,1 @@
+lib/baselines/kickstart.mli: Bmcast_engine Bmcast_platform

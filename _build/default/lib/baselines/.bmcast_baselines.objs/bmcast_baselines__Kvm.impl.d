@@ -1,0 +1,1 @@
+lib/baselines/kvm.ml: Bmcast_engine Bmcast_hw Bmcast_net Bmcast_platform Bmcast_proto Bmcast_storage Printf

@@ -1,0 +1,1 @@
+lib/baselines/kvm.mli: Bmcast_engine Bmcast_platform Bmcast_proto Bmcast_storage

@@ -1,0 +1,1 @@
+lib/baselines/net_boot.ml: Bmcast_engine Bmcast_hw Bmcast_platform Bmcast_proto

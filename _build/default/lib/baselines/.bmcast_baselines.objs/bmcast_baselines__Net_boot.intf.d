@@ -1,0 +1,1 @@
+lib/baselines/net_boot.mli: Bmcast_platform Bmcast_proto

@@ -1,0 +1,25 @@
+(** Image-copying deployment baseline (§2, §5.1).
+
+    The OpenStack-Nova-style flow the paper measured at 544 s for a
+    32-GB image: network-boot an installer OS (50 s), stream the whole
+    image from an iSCSI server to the local disk (double-buffered reader
+    and writer, ~100 MB/s on GbE), then reboot through the slow server
+    firmware (145 s) before the real OS can boot. *)
+
+type breakdown = {
+  installer_boot : Bmcast_engine.Time.span;
+  transfer : Bmcast_engine.Time.span;
+  reboot : Bmcast_engine.Time.span;
+}
+
+val installer_boot_time : Bmcast_engine.Time.span
+
+val deploy :
+  Bmcast_platform.Machine.t ->
+  servers:Bmcast_proto.Remote_block.client list ->
+  image_sectors:int ->
+  breakdown
+(** Run the full deployment (process context); afterwards the local
+    disk holds the image and the machine is ready for a cold OS boot.
+    [servers] are parallel connections to the image store (dd-style
+    streaming typically keeps 2 in flight to stay wire-limited). *)

@@ -1,0 +1,26 @@
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Content = Bmcast_storage.Content
+module Disk = Bmcast_storage.Disk
+module Machine = Bmcast_platform.Machine
+
+type breakdown = { fetch : Time.span; install : Time.span }
+
+let run machine ?(package_bytes = 2_200 * 1024 * 1024)
+    ?(install_cpu = Time.minutes 11) () =
+  let t0 = Sim.clock () in
+  (* Mirror fetch at HTTP-over-GbE effective rates. *)
+  Sim.sleep (Time.of_float_s (float_of_int package_bytes /. 70e6));
+  let t1 = Sim.clock () in
+  (* Unpack: alternate CPU bursts and installed-file writes. *)
+  let disk = machine.Machine.disk in
+  let steps = 64 in
+  let write_sectors = package_bytes * 2 / 512 / steps in
+  let cpu_slice = Time.div install_cpu steps in
+  for i = 0 to steps - 1 do
+    Sim.sleep cpu_slice;
+    Disk.write disk ~lba:(i * write_sectors) ~count:write_sectors
+      (Content.data_sectors ~count:write_sectors)
+  done;
+  let t2 = Sim.clock () in
+  { fetch = Time.diff t1 t0; install = Time.diff t2 t1 }

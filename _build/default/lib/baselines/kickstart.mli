@@ -1,0 +1,21 @@
+(** Network-installation baseline (Kickstart, §2).
+
+    "OS-specific and takes tens of minutes": fetch packages over the
+    network, then unpack and install with interleaved CPU and disk
+    writes. Modelled coarsely — it only appears as a qualitative
+    comparison point. *)
+
+type breakdown = {
+  fetch : Bmcast_engine.Time.span;
+  install : Bmcast_engine.Time.span;
+}
+
+val run :
+  Bmcast_platform.Machine.t ->
+  ?package_bytes:int ->
+  ?install_cpu:Bmcast_engine.Time.span ->
+  unit ->
+  breakdown
+(** Defaults: 2.2 GB of packages at PXE/HTTP rates, 11 minutes of
+    unpack/config CPU, writes through the local disk (process
+    context). *)

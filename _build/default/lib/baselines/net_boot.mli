@@ -1,0 +1,16 @@
+(** Diskless network boot (NFS root, §2/§5.1).
+
+    Boots quickly — no image is copied — but every disk access forever
+    after is redirected over the network, the continuous overhead
+    Figure 10's "Netboot" bars show. *)
+
+type t
+
+val create :
+  Bmcast_platform.Machine.t -> server:Bmcast_proto.Remote_block.client -> t
+
+val pxe_boot_loader : t -> unit
+(** Fetch kernel + initramfs over PXE (process context). *)
+
+val runtime : t -> Bmcast_platform.Runtime.t
+(** All block I/O goes to the NFS server; writes too. *)

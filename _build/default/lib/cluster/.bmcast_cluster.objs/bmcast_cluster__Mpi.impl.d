@@ -1,0 +1,1 @@
+lib/cluster/mpi.ml: Array Bmcast_engine Bmcast_net List Printf

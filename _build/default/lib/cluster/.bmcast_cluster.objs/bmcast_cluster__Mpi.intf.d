@@ -1,0 +1,1 @@
+lib/cluster/mpi.mli: Bmcast_engine Bmcast_net

@@ -1,0 +1,208 @@
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Signal = Bmcast_engine.Signal
+module Ib = Bmcast_net.Ib
+
+type comm = { eps : Ib.endpoint array; compute : bytes:int -> unit }
+
+let create ?(compute = fun ~bytes:_ -> ()) eps =
+  if Array.length eps < 2 then invalid_arg "Mpi.create: need at least 2 ranks";
+  { eps; compute }
+
+let size c = Array.length c.eps
+
+type collective =
+  | Barrier
+  | Bcast
+  | Gather
+  | Scatter
+  | Reduce
+  | Allgather
+  | Allreduce
+  | Alltoall
+
+let all_collectives =
+  [ Barrier; Bcast; Gather; Scatter; Reduce; Allgather; Allreduce; Alltoall ]
+
+let name = function
+  | Barrier -> "Barrier"
+  | Bcast -> "Bcast"
+  | Gather -> "Gather"
+  | Scatter -> "Scatter"
+  | Reduce -> "Reduce"
+  | Allgather -> "Allgather"
+  | Allreduce -> "Allreduce"
+  | Alltoall -> "Alltoall"
+
+let send c ~from ~dst ~bytes =
+  Ib.send_msg c.eps.(from) ~dst:c.eps.(dst) ~bytes
+
+let recv c ~rank ~src = ignore (Ib.recv_msg c.eps.(rank) ~src:c.eps.(src) : int)
+
+(* Round up to the next power of two <= p handling: we use algorithms
+   valid for any p by falling back to loops over actual ranks. *)
+
+(* Dissemination barrier: ceil(log2 p) rounds. *)
+let barrier_rank c rank =
+  let p = size c in
+  let rec rounds k =
+    if k < p then begin
+      let dst = (rank + k) mod p in
+      let src = (rank - k + p) mod p in
+      (* Send and receive concurrently to avoid deadlock. *)
+      let sent = Signal.Latch.create () in
+      Sim.spawn (fun () ->
+          send c ~from:rank ~dst ~bytes:8;
+          Signal.Latch.set sent);
+      recv c ~rank ~src;
+      Signal.Latch.wait sent;
+      rounds (k * 2)
+    end
+  in
+  rounds 1
+
+(* Binomial tree rooted at 0: returns (parent, children). *)
+let binomial_links p rank =
+  let parent = ref None in
+  let children = ref [] in
+  let rec go mask =
+    if mask < p then begin
+      if rank land mask <> 0 && !parent = None then
+        parent := Some (rank land lnot mask)
+      else if !parent = None && rank lor mask < p && rank land (mask - 1) = 0
+      then children := (rank lor mask) :: !children;
+      go (mask * 2)
+    end
+  in
+  go 1;
+  (!parent, List.rev !children)
+
+let bcast_rank c rank ~bytes =
+  let p = size c in
+  let parent, children = binomial_links p rank in
+  (match parent with Some src -> recv c ~rank ~src | None -> ());
+  List.iter (fun dst -> send c ~from:rank ~dst ~bytes) children
+
+let reduce_rank c rank ~bytes =
+  let p = size c in
+  let parent, children = binomial_links p rank in
+  (* Reverse of broadcast: gather partial results up the tree, folding
+     the reduction operator after each receive. *)
+  List.iter
+    (fun src ->
+      recv c ~rank ~src;
+      c.compute ~bytes)
+    children;
+  match parent with Some dst -> send c ~from:rank ~dst ~bytes | None -> ()
+
+let gather_rank c rank ~bytes =
+  (* Linear gather to root 0 (OSU gather on small clusters). *)
+  if rank = 0 then
+    for src = 1 to size c - 1 do
+      recv c ~rank ~src
+    done
+  else send c ~from:rank ~dst:0 ~bytes
+
+let scatter_rank c rank ~bytes =
+  if rank = 0 then
+    for dst = 1 to size c - 1 do
+      send c ~from:rank ~dst ~bytes
+    done
+  else recv c ~rank ~src:0
+
+(* Ring allgather: p-1 steps, each rank sends its current block right
+   and receives from the left. *)
+let allgather_rank c rank ~bytes =
+  let p = size c in
+  let right = (rank + 1) mod p and left = (rank - 1 + p) mod p in
+  for _ = 1 to p - 1 do
+    let sent = Signal.Latch.create () in
+    Sim.spawn (fun () ->
+        send c ~from:rank ~dst:right ~bytes;
+        Signal.Latch.set sent);
+    recv c ~rank ~src:left;
+    Signal.Latch.wait sent
+  done
+
+(* Recursive-doubling allreduce (power-of-two ranks exchange; extras
+   fold in linearly). *)
+let allreduce_rank c rank ~bytes =
+  let p = size c in
+  let pof2 =
+    let rec go v = if v * 2 <= p then go (v * 2) else v in
+    go 1
+  in
+  let extra = p - pof2 in
+  if rank < 2 * extra then begin
+    (* Fold extras into their partners first. *)
+    if rank land 1 = 1 then send c ~from:rank ~dst:(rank - 1) ~bytes
+    else recv c ~rank ~src:(rank + 1)
+  end;
+  let active_rank = if rank < 2 * extra then rank / 2 else rank - extra in
+  let is_active = rank >= 2 * extra || rank land 1 = 0 in
+  if is_active then begin
+    let to_real r = if r < extra then 2 * r else r + extra in
+    let rec rounds mask =
+      if mask < pof2 then begin
+        let partner = to_real (active_rank lxor mask) in
+        let sent = Signal.Latch.create () in
+        Sim.spawn (fun () ->
+            send c ~from:rank ~dst:partner ~bytes;
+            Signal.Latch.set sent);
+        recv c ~rank ~src:partner;
+        c.compute ~bytes;
+        Signal.Latch.wait sent;
+        rounds (mask * 2)
+      end
+    in
+    rounds 1
+  end;
+  (* Push results back to the folded extras. *)
+  if rank < 2 * extra then
+    if rank land 1 = 0 then send c ~from:rank ~dst:(rank + 1) ~bytes
+    else recv c ~rank ~src:(rank - 1)
+
+(* Pairwise-exchange alltoall: p-1 rounds. *)
+let alltoall_rank c rank ~bytes =
+  let p = size c in
+  for round = 1 to p - 1 do
+    let dst = (rank + round) mod p and src = (rank - round + p) mod p in
+    let sent = Signal.Latch.create () in
+    Sim.spawn (fun () ->
+        send c ~from:rank ~dst ~bytes;
+        Signal.Latch.set sent);
+    recv c ~rank ~src;
+    Signal.Latch.wait sent
+  done
+
+let rank_body c coll ~bytes rank =
+  match coll with
+  | Barrier -> barrier_rank c rank
+  | Bcast -> bcast_rank c rank ~bytes
+  | Gather -> gather_rank c rank ~bytes
+  | Scatter -> scatter_rank c rank ~bytes
+  | Reduce -> reduce_rank c rank ~bytes
+  | Allgather -> allgather_rank c rank ~bytes
+  | Allreduce -> allreduce_rank c rank ~bytes
+  | Alltoall -> alltoall_rank c rank ~bytes
+
+let run c coll ~bytes =
+  let p = size c in
+  let t0 = Sim.clock () in
+  let finished = ref 0 in
+  let all_done = Signal.Latch.create () in
+  for rank = 0 to p - 1 do
+    Sim.spawn ~name:(Printf.sprintf "mpi-rank%d" rank) (fun () ->
+        rank_body c coll ~bytes rank;
+        incr finished;
+        if !finished = p then Signal.Latch.set all_done)
+  done;
+  Signal.Latch.wait all_done;
+  Time.diff (Sim.clock ()) t0
+
+let latency c coll ~bytes ?(iterations = 20) () =
+  let total = ref 0 in
+  for _ = 1 to iterations do
+    total := !total + run c coll ~bytes
+  done;
+  Time.to_float_us (!total / iterations)

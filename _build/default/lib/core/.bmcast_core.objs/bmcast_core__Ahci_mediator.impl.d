@@ -1,0 +1,1 @@
+lib/core/ahci_mediator.ml: Array Bitmap Bmcast_engine Bmcast_hw Bmcast_platform Bmcast_proto Bmcast_storage Int64 List Params Queue

@@ -1,0 +1,1 @@
+lib/core/ahci_mediator.mli: Bitmap Bmcast_platform Bmcast_proto Bmcast_storage Params

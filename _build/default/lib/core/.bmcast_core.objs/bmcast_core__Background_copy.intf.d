@@ -1,0 +1,1 @@
+lib/core/background_copy.mli: Bitmap Bmcast_engine Bmcast_storage Params

@@ -1,0 +1,1 @@
+lib/core/bitmap.ml: Array Bmcast_storage Bytes Char List Printf

@@ -1,0 +1,1 @@
+lib/core/bitmap.mli: Bmcast_storage Bytes

@@ -1,0 +1,1 @@
+lib/core/ide_mediator.ml: Array Bitmap Bmcast_engine Bmcast_hw Bmcast_platform Bmcast_proto Bmcast_storage List Params Queue

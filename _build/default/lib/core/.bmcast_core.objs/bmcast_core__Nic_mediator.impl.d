@@ -1,0 +1,1 @@
+lib/core/nic_mediator.ml: Bmcast_engine Bmcast_hw Bmcast_net Bmcast_platform Int64

@@ -1,0 +1,1 @@
+lib/core/nic_mediator.mli: Bmcast_engine Bmcast_net Bmcast_platform

@@ -1,0 +1,1 @@
+lib/core/vmm.mli: Bitmap Bmcast_engine Bmcast_platform Bmcast_proto Nic_mediator Params Vmm_netdrv

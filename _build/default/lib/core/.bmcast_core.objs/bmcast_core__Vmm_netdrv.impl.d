@@ -1,0 +1,1 @@
+lib/core/vmm_netdrv.ml: Bmcast_engine Bmcast_hw Bmcast_net Bmcast_platform Int64

@@ -1,0 +1,1 @@
+lib/core/vmm_netdrv.mli: Bmcast_engine Bmcast_net Bmcast_platform

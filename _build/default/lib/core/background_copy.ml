@@ -1,0 +1,185 @@
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Prng = Bmcast_engine.Prng
+module Mailbox = Bmcast_engine.Mailbox
+module Signal = Bmcast_engine.Signal
+module Content = Bmcast_storage.Content
+
+type ops = {
+  fetch : lba:int -> count:int -> Content.t array;
+  write_empty : lba:int -> count:int -> Content.t array -> int;
+  guest_io_rate : unit -> float;
+  redirect_active : unit -> bool;
+  guest_last_lba : unit -> int option;
+}
+
+type chunk = { lba : int; data : Content.t array }
+
+type t = {
+  sim : Sim.t;
+  params : Params.t;
+  bitmap : Bitmap.t;
+  ops : ops;
+  fifo : chunk Mailbox.t;
+  complete : Signal.Latch.t;
+  mutable cursor : int;
+  mutable last_seen_guest : int option;
+  prng : Prng.t;
+  mutable in_flight : (int * int) list;
+      (** fetched but not yet written; the retriever must not re-fetch
+          these after a locality cursor jump *)
+  mutable bytes_written : int;
+  mutable suspended : int;
+  mutable stopped : bool;
+  mutable completed_at : Time.t option;
+}
+
+(* The bitmap covers exactly the image region. *)
+let image_complete t = Bitmap.is_complete t.bitmap
+
+let overlaps_in_flight t ~lba ~count =
+  List.find_opt
+    (fun (fl, fc) -> fl < lba + count && lba < fl + fc)
+    t.in_flight
+
+(* Next empty run that is not already sitting in the FIFO. *)
+let rec find_fetchable t ~from ~attempts =
+  if attempts = 0 then None
+  else
+    match
+      Bitmap.find_empty_run t.bitmap ~from ~max:t.params.Params.chunk_sectors
+    with
+    | None -> None
+    | Some (lba, count) -> (
+      match overlaps_in_flight t ~lba ~count with
+      | None -> Some (lba, count)
+      | Some (fl, fc) -> find_fetchable t ~from:(fl + fc) ~attempts:(attempts - 1))
+
+let rec retriever t =
+  if t.stopped then ()
+  else if not (image_complete t) then begin
+    (* Locality: if the guest touched the disk since we last looked,
+       resume next to its access to minimize seeking. *)
+    (match t.ops.guest_last_lba () with
+    | Some lba
+      when Some lba <> t.last_seen_guest && lba < t.params.Params.image_sectors
+      ->
+      t.last_seen_guest <- Some lba;
+      t.cursor <- lba
+    | Some _ | None -> ());
+    match find_fetchable t ~from:t.cursor ~attempts:16 with
+    | None ->
+      if image_complete t then finish t
+      else begin
+        (* Everything empty is already in flight; let the writer
+           drain. *)
+        Sim.sleep t.params.Params.write_interval;
+        retriever t
+      end
+    | Some (lba, count) when lba < t.params.Params.image_sectors ->
+      let count = min count (t.params.Params.image_sectors - lba) in
+      t.in_flight <- (lba, count) :: t.in_flight;
+      (match t.ops.fetch ~lba ~count with
+      | data ->
+        t.cursor <- lba + count;
+        Mailbox.send t.fifo { lba; data };
+        retriever t
+      | exception e ->
+        (* A VMM shutdown tears the transport down under us; anything
+           else is a real failure. *)
+        if not t.stopped then raise e)
+    | Some _ ->
+      (* Wrapped past the image: restart from the beginning. *)
+      t.cursor <- 0;
+      retriever t
+  end
+  else finish t
+
+and finish t =
+  if t.completed_at = None then begin
+    t.completed_at <- Some (Sim.now t.sim);
+    Signal.Latch.set t.complete
+  end
+
+let rec writer t =
+  if t.stopped then ()
+  else if not (image_complete t) then begin
+    let chunk = Mailbox.recv t.fifo in
+    (* Moderation: back off while the guest is busy with the disk, with
+       hysteresis — once suspended, stay suspended until the rate drops
+       well below the threshold, so a bursty guest stream does not let
+       writes slip into its short gaps. *)
+    let busy () =
+      t.ops.guest_io_rate () > t.params.Params.guest_io_threshold
+      || t.ops.redirect_active ()
+    in
+    let still_busy () =
+      t.ops.guest_io_rate () > t.params.Params.guest_io_threshold /. 2.0
+      || t.ops.redirect_active ()
+    in
+    if busy () then begin
+      t.suspended <- t.suspended + 1;
+      while still_busy () do
+        Sim.sleep t.params.Params.suspend_interval
+      done
+    end;
+    (* Timer jitter (+-12%) keeps the writer from phase-locking with
+       periodic guest I/O. *)
+    let interval = t.params.Params.write_interval in
+    let jitter =
+      if interval > 0 then
+        Prng.int_in t.prng (-interval / 8) (interval / 8)
+      else 0
+    in
+    Sim.sleep (max 0 (interval + jitter));
+    (* The mediator re-checks emptiness while holding the device, so
+       anything the guest filled since the fetch is skipped
+       atomically. *)
+    let written =
+      t.ops.write_empty ~lba:chunk.lba ~count:(Array.length chunk.data)
+        chunk.data
+    in
+    t.bytes_written <- t.bytes_written + (written * 512);
+    t.in_flight <-
+      List.filter
+        (fun (fl, fc) ->
+          not (fl = chunk.lba && fc = Array.length chunk.data))
+        t.in_flight;
+    if image_complete t then finish t else writer t
+  end
+  else finish t
+
+let start sim ~params ~bitmap ~ops =
+  let t =
+    { sim;
+      params;
+      bitmap;
+      ops;
+      fifo = Mailbox.create ~capacity:8 ();
+      complete = Signal.Latch.create ();
+      cursor = 0;
+      last_seen_guest = None;
+      prng = Prng.split (Sim.rand sim);
+      in_flight = [];
+      bytes_written = 0;
+      suspended = 0;
+      stopped = false;
+      completed_at = None }
+  in
+  Sim.spawn_at sim ~name:"bgcopy-retriever" (Sim.now sim) (fun () -> retriever t);
+  Sim.spawn_at sim ~name:"bgcopy-writer" (Sim.now sim) (fun () -> writer t);
+  t
+
+let stop t = t.stopped <- true
+
+let wait_complete t = Signal.Latch.wait t.complete
+let is_complete t = Signal.Latch.is_set t.complete
+
+let progress t =
+  Float.min 1.0
+    (float_of_int (Bitmap.filled_count t.bitmap)
+    /. float_of_int t.params.Params.image_sectors)
+
+let bytes_written t = t.bytes_written
+let chunks_suspended t = t.suspended
+let completed_at t = t.completed_at

@@ -1,0 +1,47 @@
+(** Background copy engine (§3.3).
+
+    A {e retriever} thread pulls empty-block chunks from the storage
+    server and pushes them into a bounded FIFO; a {e writer} thread pops
+    chunks and writes them to the local disk through the mediator's
+    multiplexed path. The writer moderates itself: while the guest's
+    recent I/O rate exceeds the threshold it sleeps for the suspend
+    interval, otherwise it writes one chunk per write interval. Chunks
+    follow ascending LBA but restart next to the guest's last access to
+    minimize seeking; every write atomically skips sectors the guest has
+    filled in the meantime (the bitmap consistency rule). *)
+
+type ops = {
+  fetch : lba:int -> count:int -> Bmcast_storage.Content.t array;
+      (** retrieve from the storage server *)
+  write_empty : lba:int -> count:int -> Bmcast_storage.Content.t array -> int;
+      (** multiplexed write of the still-empty sectors only (the
+          mediator's atomic check-and-write); returns sectors written *)
+  guest_io_rate : unit -> float;
+  redirect_active : unit -> bool;
+      (** copy-on-read in flight: the guest is faulting cold blocks *)
+  guest_last_lba : unit -> int option;
+      (** where the guest last read the disk, for locality *)
+}
+
+type t
+
+val start :
+  Bmcast_engine.Sim.t -> params:Params.t -> bitmap:Bitmap.t -> ops:ops -> t
+(** Spawn the retriever and writer threads. *)
+
+val stop : t -> unit
+(** Ask both threads to exit after their current operation (used by a
+    VMM shutdown). *)
+
+val wait_complete : t -> unit
+(** Block until every image sector is filled (process context). *)
+
+val is_complete : t -> bool
+val progress : t -> float
+(** Filled fraction of the image, in [0,1]. *)
+
+val bytes_written : t -> int
+val chunks_suspended : t -> int
+(** Times the writer found the guest busy and backed off. *)
+
+val completed_at : t -> Bmcast_engine.Time.t option

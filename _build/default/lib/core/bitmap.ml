@@ -1,0 +1,140 @@
+module Content = Bmcast_storage.Content
+
+type t = { sectors : int; bits : Bytes.t; mutable filled : int }
+
+let bytes_for sectors = (sectors + 7) / 8
+
+let create ~sectors =
+  if sectors <= 0 then invalid_arg "Bitmap.create: sectors must be positive";
+  { sectors; bits = Bytes.make (bytes_for sectors) '\000'; filled = 0 }
+
+let sectors t = t.sectors
+
+let check t i =
+  if i < 0 || i >= t.sectors then
+    invalid_arg (Printf.sprintf "Bitmap: sector %d out of range" i)
+
+let is_filled t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set_filled t i =
+  check t i;
+  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  if byte land mask = 0 then begin
+    Bytes.set t.bits (i lsr 3) (Char.chr (byte lor mask));
+    t.filled <- t.filled + 1;
+    true
+  end
+  else false
+
+let fill_range t ~lba ~count =
+  let newly = ref 0 in
+  for i = lba to lba + count - 1 do
+    if set_filled t i then incr newly
+  done;
+  !newly
+
+let empty_subranges t ~lba ~count =
+  let acc = ref [] in
+  let run_start = ref (-1) in
+  for i = lba to lba + count - 1 do
+    if not (is_filled t i) then begin
+      if !run_start < 0 then run_start := i
+    end
+    else if !run_start >= 0 then begin
+      acc := (!run_start, i - !run_start) :: !acc;
+      run_start := -1
+    end
+  done;
+  if !run_start >= 0 then acc := (!run_start, lba + count - !run_start) :: !acc;
+  List.rev !acc
+
+let filled_count t = t.filled
+let is_complete t = t.filled = t.sectors
+
+let find_empty_run t ~from ~max =
+  if is_complete t then None
+  else begin
+    let from = if from < 0 || from >= t.sectors then 0 else from in
+    (* Find the first empty sector at or after [pos], scanning by bytes
+       for speed. *)
+    let first_empty_at pos limit =
+      let i = ref pos in
+      let found = ref (-1) in
+      while !found < 0 && !i < limit do
+        if !i land 7 = 0 && Bytes.get t.bits (!i lsr 3) = '\xff' then
+          i := !i + 8
+        else begin
+          if not (is_filled t !i) then found := !i;
+          incr i
+        end
+      done;
+      !found
+    in
+    let start =
+      match first_empty_at from t.sectors with
+      | -1 -> first_empty_at 0 from
+      | s -> s
+    in
+    assert (start >= 0);
+    let len = ref 1 in
+    while
+      !len < max
+      && start + !len < t.sectors
+      && not (is_filled t (start + !len))
+    do
+      incr len
+    done;
+    Some (start, !len)
+  end
+
+let to_bytes t = Bytes.copy t.bits
+
+let of_bytes ~sectors b =
+  if Bytes.length b <> bytes_for sectors then
+    invalid_arg "Bitmap.of_bytes: size mismatch";
+  let t = { sectors; bits = Bytes.copy b; filled = 0 } in
+  let filled = ref 0 in
+  for i = 0 to sectors - 1 do
+    if is_filled t i then incr filled
+  done;
+  t.filled <- !filled;
+  t
+
+(* --- persistence (3.3): serialize to 512-byte Blob sectors --- *)
+
+let save_sectors ~sectors = (bytes_for sectors + 511) / 512
+
+let to_blob_sectors t =
+  let b = to_bytes t in
+  let n = save_sectors ~sectors:t.sectors in
+  Array.init n (fun i ->
+      let off = i * 512 in
+      let len = min 512 (Bytes.length b - off) in
+      let chunk = Bytes.make 512 '\000' in
+      Bytes.blit b off chunk 0 len;
+      Content.Blob (Bytes.to_string chunk))
+
+let load_blob_sectors t data =
+  let expect = save_sectors ~sectors:t.sectors in
+  if Array.length data <> expect then
+    invalid_arg "Bitmap.load_blob_sectors: wrong sector count";
+  let b = Bytes.create (bytes_for t.sectors) in
+  Array.iteri
+    (fun i c ->
+      match c with
+      | Content.Blob s ->
+        let off = i * 512 in
+        let len = min 512 (Bytes.length b - off) in
+        Bytes.blit_string s 0 b off len
+      | Content.Zero | Content.Image _ | Content.Data _ ->
+        invalid_arg "Bitmap.load_blob_sectors: sector is not a saved bitmap")
+    data;
+  Bytes.blit b 0 t.bits 0 (Bytes.length b);
+  let filled = ref 0 in
+  for i = 0 to t.sectors - 1 do
+    if is_filled t i then incr filled
+  done;
+  t.filled <- !filled

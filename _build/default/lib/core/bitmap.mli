@@ -1,0 +1,47 @@
+(** Per-sector fill bitmap (§3.3).
+
+    Tracks which local-disk sectors already hold valid data (copied from
+    the server or written by the guest). The check-and-set operations
+    are the consistency mechanism: a background-copy fill must
+    atomically skip any sector the guest has written in the meantime.
+    [to_bytes]/[of_bytes] serialize the map for the on-disk save across
+    reboots the paper describes. *)
+
+type t
+
+val create : sectors:int -> t
+val sectors : t -> int
+
+val is_filled : t -> int -> bool
+
+val set_filled : t -> int -> bool
+(** Mark one sector filled; returns [true] if it was previously empty
+    (i.e. the caller "won" the fill). *)
+
+val fill_range : t -> lba:int -> count:int -> int
+(** Mark a range filled; returns how many sectors were newly filled. *)
+
+val empty_subranges : t -> lba:int -> count:int -> (int * int) list
+(** Maximal empty [(lba, count)] sub-ranges within a range, ascending. *)
+
+val filled_count : t -> int
+val is_complete : t -> bool
+
+val find_empty_run : t -> from:int -> max:int -> (int * int) option
+(** First empty run at-or-after [from] (wrapping once), clipped to
+    [max] sectors. [None] iff the map is complete. *)
+
+val to_bytes : t -> Bytes.t
+val of_bytes : sectors:int -> Bytes.t -> t
+(** Raises [Invalid_argument] if the buffer is the wrong size. *)
+
+val save_sectors : sectors:int -> int
+(** Disk sectors needed to persist a map covering [sectors]. *)
+
+val to_blob_sectors : t -> Bmcast_storage.Content.t array
+(** Serialize into 512-byte {!Bmcast_storage.Content.Blob} sectors for
+    the on-disk save across reboots (§3.3). *)
+
+val load_blob_sectors : t -> Bmcast_storage.Content.t array -> unit
+(** Restore in place from a saved region. Raises [Invalid_argument] on
+    size mismatch or non-bitmap content. *)

@@ -1,0 +1,516 @@
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Semaphore = Bmcast_engine.Semaphore
+module Pio = Bmcast_hw.Pio
+module Cpu = Bmcast_hw.Cpu
+module Content = Bmcast_storage.Content
+module Dma = Bmcast_storage.Dma
+module Ide = Bmcast_storage.Ide
+module Machine = Bmcast_platform.Machine
+module Aoe_client = Bmcast_proto.Aoe_client
+
+type stats = {
+  mutable redirects : int;
+  mutable redirected_sectors : int;
+  mutable multiplexed_ops : int;
+  mutable queued_commands : int;
+  mutable passthrough_commands : int;
+}
+
+(* A fully-interpreted guest command, snapshotted from the shadow task
+   file at bus-master start. *)
+type command = {
+  cmd : int;
+  lba : int;
+  count : int;
+  prdt_addr : int;
+  bm_cmd : int;
+}
+
+type t = {
+  machine : Machine.t;
+  ide : Ide.t;
+  raw_cmd : Pio.handler;
+  raw_bm : Pio.handler;
+  raw_ctrl : Pio.handler;
+  aoe : Aoe_client.t;
+  bitmap : Bitmap.t;
+  params : Params.t;
+  dummy_prdt : int;
+  (* shadow task file (I/O interpretation) *)
+  mutable sh_seccount : int;
+  mutable sh_lba0 : int;
+  mutable sh_lba1 : int;
+  mutable sh_lba2 : int;
+  mutable sh_device : int;
+  mutable sh_prdt : int;
+  mutable sh_ctrl : int;
+  mutable armed : int option;  (* command register written, DMA not started *)
+  (* guest-view emulation *)
+  mutable ghost_busy : bool;  (* a withheld guest command "occupies" the device *)
+  mutable emulate_idle : bool;  (* a VMM command occupies the device *)
+  queued : command Queue.t;
+  vmm_lock : Semaphore.t;
+  mutable cached_lba : int;
+  mutable last_guest_lba : int option;
+  mutable protected_region : (int * int) option;
+  io_times : Time.t Queue.t;
+  mutable inflight_redirects : int;
+  mutable devirtualized : bool;
+  (* §4.1: polling intervals estimated from recent I/O latencies. *)
+  mutable cmd_time_ewma : Time.span;
+  stats : stats;
+}
+
+let stats t = t.stats
+let is_devirtualized t = t.devirtualized
+
+let charge_exit t =
+  Cpu.record_exit t.machine.Machine.cpu Cpu.Pio ~cost:t.params.Params.exit_cost;
+  Sim.sleep t.params.Params.exit_cost
+
+(* Guest I/O rate uses a short (250 ms) trailing window so moderation
+   reacts quickly when a storage burst begins. *)
+let rate_window = Time.ms 250
+
+let note_guest_io t =
+  Queue.add (Sim.now t.machine.Machine.sim) t.io_times;
+  let horizon = Time.diff (Sim.now t.machine.Machine.sim) rate_window in
+  let rec trim () =
+    match Queue.peek_opt t.io_times with
+    | Some ts when ts < horizon ->
+      ignore (Queue.pop t.io_times : Time.t);
+      trim ()
+    | Some _ | None -> ()
+  in
+  trim ()
+
+let guest_io_rate t =
+  let now = Sim.now t.machine.Machine.sim in
+  let horizon = Time.diff now rate_window in
+  let in_window =
+    Queue.fold (fun acc ts -> if ts >= horizon then acc +. 1.0 else acc) 0.0
+      t.io_times
+  in
+  in_window /. Time.to_float_s rate_window
+
+let guest_last_lba t = t.last_guest_lba
+
+let redirect_active t = t.inflight_redirects > 0
+
+let shadow_lba t =
+  t.sh_lba0 lor (t.sh_lba1 lsl 8) lor (t.sh_lba2 lsl 16)
+  lor ((t.sh_device land 0x0F) lsl 24)
+
+let shadow_count t = if t.sh_seccount = 0 then 256 else t.sh_seccount
+
+(* Program the physical device with a command, bypassing interposers. *)
+let program_device t c =
+  t.raw_bm.Pio.outp Ide.Bm.prdt c.prdt_addr;
+  t.raw_cmd.Pio.outp Ide.Regs.seccount (c.count land 0xFF);
+  t.raw_cmd.Pio.outp Ide.Regs.lba0 (c.lba land 0xFF);
+  t.raw_cmd.Pio.outp Ide.Regs.lba1 ((c.lba lsr 8) land 0xFF);
+  t.raw_cmd.Pio.outp Ide.Regs.lba2 ((c.lba lsr 16) land 0xFF);
+  t.raw_cmd.Pio.outp Ide.Regs.device (0xE0 lor ((c.lba lsr 24) land 0x0F));
+  t.raw_cmd.Pio.outp Ide.Regs.command c.cmd;
+  t.raw_bm.Pio.outp Ide.Bm.command c.bm_cmd
+
+let device_busy t = t.raw_cmd.Pio.inp Ide.Regs.command land Ide.status_bsy <> 0
+
+(* The bitmap covers only the deployed image; guest I/O beyond it needs
+   no mediation. *)
+let empty_in_image t ~lba ~count =
+  let limit = t.params.Params.image_sectors in
+  if lba >= limit then []
+  else Bitmap.empty_subranges t.bitmap ~lba ~count:(min count (limit - lba))
+
+let fill_in_image t ~lba ~count =
+  let limit = t.params.Params.image_sectors in
+  if lba < limit then
+    ignore (Bitmap.fill_range t.bitmap ~lba ~count:(min count (limit - lba)) : int)
+
+let overlaps_protected t ~lba ~count =
+  match t.protected_region with
+  | Some (pl, pc) -> pl < lba + count && lba < pl + pc
+  | None -> false
+
+(* --- multiplexed VMM commands --- *)
+
+let rec drain_queue t =
+  match Queue.take_opt t.queued with
+  | None -> ()
+  | Some c ->
+    issue_guest t c;
+    drain_queue t
+
+(* Hold the device for a sequence of VMM commands (see
+   Ahci_mediator.with_device for the protocol and consistency
+   rationale). nIEN replaces the AHCI PxIE mask. *)
+and with_device t f =
+  Semaphore.with_permit t.vmm_lock (fun () ->
+        (* Wait until the device is idle, no guest command is armed
+           mid-sequence, and the previous completion was consumed. *)
+        while
+          device_busy t || t.armed <> None
+          || t.raw_bm.Pio.inp Ide.Bm.status land 0x04 <> 0
+        do
+          Sim.sleep t.params.Params.poll_interval
+        done;
+      t.emulate_idle <- true;
+      t.raw_ctrl.Pio.outp 0 Ide.ctrl_nien;
+      f ();
+      t.raw_ctrl.Pio.outp 0 t.sh_ctrl;
+      t.emulate_idle <- false);
+  drain_queue t
+
+(* Issue one VMM command and poll the bus-master IRQ bit; the device
+   must be held. *)
+and issue_vmm t c =
+  let issued_at = Sim.now t.machine.Machine.sim in
+  program_device t c;
+  (* Adaptive polling: sleep most of the expected service time first,
+     then fine-grained polls. *)
+  if t.cmd_time_ewma > t.params.Params.poll_interval then
+    Sim.sleep (Time.mul (Time.div t.cmd_time_ewma 10) 8);
+  while device_busy t || t.raw_bm.Pio.inp Ide.Bm.status land 0x04 = 0 do
+    Sim.sleep t.params.Params.poll_interval
+  done;
+  let took = Time.diff (Sim.now t.machine.Machine.sim) issued_at in
+  t.cmd_time_ewma <-
+    (if t.cmd_time_ewma = 0 then took
+     else Time.div (Time.add (Time.mul t.cmd_time_ewma 7) took) 8);
+  t.raw_bm.Pio.outp Ide.Bm.status 0x04;
+  t.stats.multiplexed_ops <- t.stats.multiplexed_ops + 1
+
+and run_vmm_command t c = with_device t (fun () -> issue_vmm t c)
+
+(* One VMM command per 256 sectors (the task file's 8-bit count). *)
+and vmm_chunk t cmd ~lba ~count buf =
+  let dir = if cmd = Ide.cmd_read_dma then 0x08 else 0x00 in
+  let prdt_addr =
+    Ide.register_prdt t.ide [ { Ide.buf_addr = buf.Dma.addr; sectors = count } ]
+  in
+  run_vmm_command t
+    { cmd; lba; count = count land 0xFF; prdt_addr; bm_cmd = 0x01 lor dir }
+
+and vmm_read t ~lba ~count =
+  let dma = t.machine.Machine.dma in
+  let out = Array.make count Content.Zero in
+  let rec go off =
+    if off < count then begin
+      let n = min 256 (count - off) in
+      let buf = Dma.alloc dma ~sectors:n in
+      vmm_chunk t Ide.cmd_read_dma ~lba:(lba + off) ~count:n buf;
+      Array.blit buf.Dma.data 0 out off n;
+      Dma.free dma buf;
+      go (off + n)
+    end
+  in
+  go 0;
+  t.cached_lba <- lba + count - min 256 count;
+  out
+
+and vmm_write t ~lba ~count data =
+  let dma = t.machine.Machine.dma in
+  let rec go off =
+    if off < count then begin
+      let n = min 256 (count - off) in
+      let buf = Dma.alloc dma ~sectors:n in
+      Dma.write buf ~off:0 (Array.sub data off n);
+      vmm_chunk t Ide.cmd_write_dma ~lba:(lba + off) ~count:n buf;
+      Dma.free dma buf;
+      go (off + n)
+    end
+  in
+  go 0
+
+(* Atomic still-empty write: emptiness re-checked while holding the
+   device (see Ahci_mediator.vmm_write_empty). *)
+and vmm_write_empty t ~lba ~count data =
+  let dma = t.machine.Machine.dma in
+  let written = ref 0 in
+  with_device t (fun () ->
+      List.iter
+        (fun (sub_lba, sub_count) ->
+          let rec go off =
+            if off < sub_count then begin
+              let n = min 256 (sub_count - off) in
+              let buf = Dma.alloc dma ~sectors:n in
+              Dma.write buf ~off:0
+                (Array.sub data (sub_lba - lba + off) n);
+              let dir = 0x00 in
+              let prdt_addr =
+                Ide.register_prdt t.ide
+                  [ { Ide.buf_addr = buf.Dma.addr; sectors = n } ]
+              in
+              issue_vmm t
+                { cmd = Ide.cmd_write_dma;
+                  lba = sub_lba + off;
+                  count = n land 0xFF;
+                  prdt_addr;
+                  bm_cmd = 0x01 lor dir };
+              Dma.free dma buf;
+              go (off + n)
+            end
+          in
+          go 0;
+          ignore (Bitmap.fill_range t.bitmap ~lba:sub_lba ~count:sub_count : int);
+          written := !written + sub_count)
+        (empty_in_image t ~lba ~count));
+  !written
+
+(* --- copy-on-read --- *)
+
+and redirect t c =
+  t.stats.redirects <- t.stats.redirects + 1;
+  t.inflight_redirects <- t.inflight_redirects + 1;
+  let { lba; count; _ } = c in
+  let data = Array.make count Content.Zero in
+  let empty = empty_in_image t ~lba ~count in
+  List.iter
+    (fun (sub_lba, sub_count) ->
+      let fetched = Aoe_client.read t.aoe ~lba:sub_lba ~count:sub_count in
+      Array.blit fetched 0 data (sub_lba - lba) sub_count;
+      t.stats.redirected_sectors <- t.stats.redirected_sectors + sub_count;
+      (* Asynchronous write-back with the atomic empty-sector re-check
+         (see Ahci_mediator.redirect). *)
+      t.inflight_redirects <- t.inflight_redirects + 1;
+      Sim.spawn ~name:"ide-writeback" (fun () ->
+          ignore (vmm_write_empty t ~lba:sub_lba ~count:sub_count fetched : int);
+          t.inflight_redirects <- t.inflight_redirects - 1))
+    empty;
+  let filled =
+    let acc = ref [] and pos = ref lba in
+    List.iter
+      (fun (e_lba, e_count) ->
+        if e_lba > !pos then acc := (!pos, e_lba - !pos) :: !acc;
+        pos := e_lba + e_count)
+      empty;
+    if !pos < lba + count then acc := (!pos, lba + count - !pos) :: !acc;
+    List.rev !acc
+  in
+  List.iter
+    (fun (f_lba, f_count) ->
+      let local = vmm_read t ~lba:f_lba ~count:f_count in
+      Array.blit local 0 data (f_lba - lba) f_count)
+    filled;
+  (* Virtual DMA into the guest's PRD buffers. *)
+  let off = ref 0 in
+  List.iter
+    (fun prd ->
+      if !off < count then begin
+        let n = min prd.Ide.sectors (count - !off) in
+        let buf = Dma.find t.machine.Machine.dma ~addr:prd.Ide.buf_addr in
+        Dma.write buf ~off:0 (Array.sub data !off n);
+        off := !off + n
+      end)
+    (Ide.prdt t.ide ~addr:c.prdt_addr);
+  (* Dummy-sector restart: the device itself raises the completion
+     interrupt. Serialize with VMM commands so the dummy is not
+     programmed over a background-copy command (and its interrupt is not
+     suppressed by the VMM's nIEN window). *)
+  Semaphore.with_permit t.vmm_lock (fun () ->
+      while
+        device_busy t || t.armed <> None
+        || t.raw_bm.Pio.inp Ide.Bm.status land 0x04 <> 0
+      do
+        Sim.sleep t.params.Params.poll_interval
+      done;
+      t.ghost_busy <- false;
+      t.inflight_redirects <- t.inflight_redirects - 1;
+      program_device t
+        { cmd = Ide.cmd_read_dma;
+          lba = t.cached_lba;
+          count = 1;
+          prdt_addr = t.dummy_prdt;
+          bm_cmd = 0x01 lor 0x08 })
+
+(* --- command dispatch --- *)
+
+and issue_guest t c =
+  (* Follow guest reads only; see Ahci_mediator.dispatch. *)
+  if c.cmd = Ide.cmd_read_dma then t.last_guest_lba <- Some (c.lba + c.count);
+  if t.emulate_idle then begin
+    Queue.add c t.queued;
+    t.stats.queued_commands <- t.stats.queued_commands + 1
+  end
+  else if
+    (c.cmd = Ide.cmd_write_dma || c.cmd = Ide.cmd_read_dma)
+    && overlaps_protected t ~lba:c.lba ~count:c.count
+  then begin
+    (* Shield the saved-bitmap region: dummy-sector read instead. *)
+    t.stats.passthrough_commands <- t.stats.passthrough_commands + 1;
+    program_device t
+      { cmd = Ide.cmd_read_dma;
+        lba = t.cached_lba;
+        count = 1;
+        prdt_addr = t.dummy_prdt;
+        bm_cmd = 0x01 lor 0x08 }
+  end
+  else if c.cmd = Ide.cmd_write_dma then begin
+    fill_in_image t ~lba:c.lba ~count:c.count;
+    t.stats.passthrough_commands <- t.stats.passthrough_commands + 1;
+    program_device t c
+  end
+  else if c.cmd = Ide.cmd_read_dma then begin
+    if empty_in_image t ~lba:c.lba ~count:c.count = [] then begin
+      t.stats.passthrough_commands <- t.stats.passthrough_commands + 1;
+      t.cached_lba <- c.lba;
+      program_device t c
+    end
+    else begin
+      t.ghost_busy <- true;
+      Sim.spawn ~name:"ide-redirect" (fun () -> redirect t c)
+    end
+  end
+  else begin
+    (* Non-DMA commands (flush, ...) pass straight through. *)
+    t.stats.passthrough_commands <- t.stats.passthrough_commands + 1;
+    program_device t c
+  end
+
+(* --- interposers --- *)
+
+let on_cmd_out t ~next off v =
+  charge_exit t;
+  if off = Ide.Regs.seccount then t.sh_seccount <- v land 0xFF
+  else if off = Ide.Regs.lba0 then t.sh_lba0 <- v land 0xFF
+  else if off = Ide.Regs.lba1 then t.sh_lba1 <- v land 0xFF
+  else if off = Ide.Regs.lba2 then t.sh_lba2 <- v land 0xFF
+  else if off = Ide.Regs.device then t.sh_device <- v land 0xFF
+  else if off = Ide.Regs.command then begin
+    if v = Ide.cmd_flush then begin
+      (* No bus-master phase: dispatch at command write. *)
+      note_guest_io t;
+      issue_guest t
+        { cmd = v; lba = 0; count = 1; prdt_addr = t.dummy_prdt; bm_cmd = 0 }
+    end
+    else t.armed <- Some v
+  end
+  else next off v
+
+let on_cmd_in t ~next off =
+  charge_exit t;
+  if off = Ide.Regs.command then begin
+    if t.ghost_busy then Ide.status_bsy
+    else if t.emulate_idle then Ide.status_drdy
+    else next off
+  end
+  else next off
+
+let on_bm_out t ~next off v =
+  charge_exit t;
+  if off = Ide.Bm.prdt then t.sh_prdt <- v
+  else if off = Ide.Bm.command then begin
+    if v land 0x01 <> 0 then begin
+      match t.armed with
+      | Some cmd ->
+        t.armed <- None;
+        note_guest_io t;
+        issue_guest t
+          { cmd;
+            lba = shadow_lba t;
+            count = shadow_count t;
+            prdt_addr = t.sh_prdt;
+            bm_cmd = v }
+      | None ->
+        (* Start with nothing armed: forward and let the device complain. *)
+        next off v
+    end
+    else next off v
+  end
+  else next off v
+
+let on_bm_in t ~next off =
+  charge_exit t;
+  if off = Ide.Bm.status && (t.ghost_busy || t.emulate_idle) then
+    if t.ghost_busy then 0x01 (* active *) else 0x00
+  else next off
+
+let on_ctrl_out t ~next off v =
+  charge_exit t;
+  t.sh_ctrl <- v;
+  if not t.emulate_idle then next off v
+
+let on_ctrl_in t ~next off =
+  charge_exit t;
+  if t.ghost_busy then Ide.status_bsy
+  else if t.emulate_idle then Ide.status_drdy
+  else next off
+
+let attach machine ~aoe ~bitmap ~params =
+  let ide =
+    match machine.Machine.controller with
+    | Machine.Ide i -> i
+    | Machine.Ahci _ -> invalid_arg "Ide_mediator.attach: machine has AHCI disk"
+  in
+  let dummy_buf = Dma.alloc machine.Machine.dma ~sectors:1 in
+  let t =
+    { machine;
+      ide;
+      raw_cmd = Ide.raw_cmd ide;
+      raw_bm = Ide.raw_bm ide;
+      raw_ctrl = Ide.raw_ctrl ide;
+      aoe;
+      bitmap;
+      params;
+      dummy_prdt =
+        Ide.register_prdt ide [ { Ide.buf_addr = dummy_buf.Dma.addr; sectors = 1 } ];
+      sh_seccount = 0;
+      sh_lba0 = 0;
+      sh_lba1 = 0;
+      sh_lba2 = 0;
+      sh_device = 0;
+      sh_prdt = 0;
+      sh_ctrl = 0;
+      armed = None;
+      ghost_busy = false;
+      emulate_idle = false;
+      queued = Queue.create ();
+      vmm_lock = Semaphore.create 1;
+      cached_lba = 0;
+      last_guest_lba = None;
+      protected_region = None;
+      io_times = Queue.create ();
+      inflight_redirects = 0;
+      devirtualized = false;
+      cmd_time_ewma = 0;
+      stats =
+        { redirects = 0;
+          redirected_sectors = 0;
+          multiplexed_ops = 0;
+          queued_commands = 0;
+          passthrough_commands = 0 } }
+  in
+  let pio = machine.Machine.pio in
+  Pio.interpose pio ~base:Machine.ide_cmd_base
+    { Pio.on_in = (fun ~next off -> on_cmd_in t ~next off);
+      on_out = (fun ~next off v -> on_cmd_out t ~next off v) };
+  Pio.interpose pio ~base:Machine.ide_bm_base
+    { Pio.on_in = (fun ~next off -> on_bm_in t ~next off);
+      on_out = (fun ~next off v -> on_bm_out t ~next off v) };
+  Pio.interpose pio ~base:Machine.ide_ctrl_base
+    { Pio.on_in = (fun ~next off -> on_ctrl_in t ~next off);
+      on_out = (fun ~next off v -> on_ctrl_out t ~next off v) };
+  t
+
+(* IDE ports need no guest-side initialization before the VMM can use
+   them (unlike AHCI's command list). *)
+let wait_device_ready (_ : t) = ()
+
+let set_protected_region t ~lba ~count = t.protected_region <- Some (lba, count)
+
+let devirtualize t =
+  let quiet () =
+    t.inflight_redirects = 0 && Queue.is_empty t.queued && not t.emulate_idle
+    && (not t.ghost_busy) && t.armed = None
+  in
+  while not (quiet ()) do
+    Sim.sleep t.params.Params.poll_interval
+  done;
+  Semaphore.with_permit t.vmm_lock (fun () ->
+      let pio = t.machine.Machine.pio in
+      Pio.remove_interposer pio ~base:Machine.ide_cmd_base;
+      Pio.remove_interposer pio ~base:Machine.ide_bm_base;
+      Pio.remove_interposer pio ~base:Machine.ide_ctrl_base;
+      t.devirtualized <- true)

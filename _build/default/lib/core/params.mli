@@ -1,0 +1,28 @@
+(** BMcast deployment configuration.
+
+    The three moderation knobs are the paper's (§3.3): the VMM suspends
+    background-copy writes while the guest's recent I/O rate exceeds
+    [guest_io_threshold]; otherwise it writes one chunk every
+    [write_interval]. §5.6 sweeps [write_interval] from 1 s down to
+    full speed. *)
+
+type t = {
+  image_sectors : int;  (** OS image size (identical address space) *)
+  chunk_sectors : int;  (** background-copy block (paper: 1024 KB) *)
+  guest_io_threshold : float;  (** guest IOs per second *)
+  write_interval : Bmcast_engine.Time.span;  (** VMM-write interval *)
+  suspend_interval : Bmcast_engine.Time.span;  (** VMM-write suspend interval *)
+  poll_interval : Bmcast_engine.Time.span;
+      (** preemption-timer polling granularity for I/O multiplexing *)
+  vmm_mem_bytes : int;  (** memory reserved for the VMM (128 MB) *)
+  exit_cost : Bmcast_engine.Time.span;  (** one VM exit + handler *)
+  deploy_steal : float;
+      (** CPU stolen by deployment threads (§5.2 measured 6%) *)
+  vmm_boot_time : Bmcast_engine.Time.span;
+      (** VMM initialization after PXE load (total boot ~5 s) *)
+}
+
+val default : image_sectors:int -> t
+
+val image_32gb_sectors : int
+(** The paper's 32-GB OS image, in sectors. *)

@@ -1,0 +1,368 @@
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Prng = Bmcast_engine.Prng
+module Signal = Bmcast_engine.Signal
+module Cpu = Bmcast_hw.Cpu
+module Tlb = Bmcast_hw.Tlb
+module Firmware = Bmcast_hw.Firmware
+module Memmap = Bmcast_hw.Memmap
+module Pci = Bmcast_hw.Pci
+module Content = Bmcast_storage.Content
+module Packet = Bmcast_net.Packet
+module Machine = Bmcast_platform.Machine
+module Runtime = Bmcast_platform.Runtime
+module Cpu_model = Bmcast_platform.Cpu_model
+module Aoe = Bmcast_proto.Aoe
+module Aoe_client = Bmcast_proto.Aoe_client
+
+(* The VMM binary fetched over PXE ("we minimize the VMM size as much as
+   possible", §3.1; BitVisor-based prototype is ~27 KLoC). *)
+let vmm_image_bytes = 2 * 1024 * 1024
+
+type mediator = A of Ahci_mediator.t | I of Ide_mediator.t
+
+type transport =
+  | Dedicated of Vmm_netdrv.t  (* own NIC, polling driver *)
+  | Shared of Nic_mediator.t  (* one NIC shared with the guest (6) *)
+
+type t = {
+  machine : Machine.t;
+  params : Params.t;
+  mediator : mediator;
+  aoe : Aoe_client.t;
+  transport : transport;
+  cpu_model : Cpu_model.t;
+  bitmap : Bitmap.t;
+  mutable background : Background_copy.t option;
+  mutable phase : Runtime.phase;
+  mutable devirtualized_at : Time.t option;
+  deployed : Signal.Latch.t;
+  devirt_done : Signal.Latch.t;
+  release_memory : bool;
+  hide_mgmt_nic : bool;
+  boot_prefetch : (int * int) list;
+  resume : bool;
+  vmxoff : [ `Resident | `Guest_module ];
+  mutable shut_down : bool;
+  mutable events : (Time.t * string) list;  (* phase log, newest first *)
+}
+
+let phase t = t.phase
+let cpu_model t = t.cpu_model
+
+let log_event t what =
+  t.events <- (Sim.now t.machine.Machine.sim, what) :: t.events
+
+let events t = List.rev t.events
+
+let netdrv t =
+  match t.transport with
+  | Dedicated d -> d
+  | Shared _ -> invalid_arg "Vmm.netdrv: shared-NIC mode has no own driver"
+
+let nic_mediator t =
+  match t.transport with Shared m -> Some m | Dedicated _ -> None
+let bitmap t = t.bitmap
+let aoe_client t = t.aoe
+let wait_deployed t = Signal.Latch.wait t.deployed
+let wait_devirtualized t = Signal.Latch.wait t.devirt_done
+let devirtualized_at t = t.devirtualized_at
+
+let progress t =
+  float_of_int (Bitmap.filled_count t.bitmap)
+  /. float_of_int t.params.Params.image_sectors
+
+let med_vmm_write_empty t = match t.mediator with
+  | A m -> Ahci_mediator.vmm_write_empty m
+  | I m -> Ide_mediator.vmm_write_empty m
+
+let med_vmm_read t = match t.mediator with
+  | A m -> Ahci_mediator.vmm_read m
+  | I m -> Ide_mediator.vmm_read m
+
+let med_vmm_write t = match t.mediator with
+  | A m -> Ahci_mediator.vmm_write m
+  | I m -> Ide_mediator.vmm_write m
+
+let guest_io_rate t = match t.mediator with
+  | A m -> Ahci_mediator.guest_io_rate m
+  | I m -> Ide_mediator.guest_io_rate m
+
+let med_redirect_active t = match t.mediator with
+  | A m -> Ahci_mediator.redirect_active m
+  | I m -> Ide_mediator.redirect_active m
+
+let med_guest_last_lba t = match t.mediator with
+  | A m -> Ahci_mediator.guest_last_lba m
+  | I m -> Ide_mediator.guest_last_lba m
+
+let med_wait_ready t = match t.mediator with
+  | A m -> Ahci_mediator.wait_device_ready m
+  | I m -> Ide_mediator.wait_device_ready m
+
+let med_devirtualize t = match t.mediator with
+  | A m -> Ahci_mediator.devirtualize m
+  | I m -> Ide_mediator.devirtualize m
+
+(* §3.4: nested paging is turned off per-CPU; no TLB-shootdown IPIs are
+   needed because the identity mapping never changed. *)
+let nested_paging_off_per_cpu = Time.us 8
+
+let devirtualize t =
+  let cores = Cpu.num_cores t.machine.Machine.cpu in
+  for core = 0 to cores - 1 do
+    ignore core;
+    Sim.sleep nested_paging_off_per_cpu;
+    Cpu.record_exit t.machine.Machine.cpu Cpu.Control_reg
+      ~cost:t.params.Params.exit_cost
+  done;
+  med_devirtualize t;
+  (match t.transport with
+  | Shared m -> Nic_mediator.devirtualize m
+  | Dedicated _ -> ());
+  Cpu_model.clear t.cpu_model;
+  if t.release_memory then Memmap.release_vmm t.machine.Machine.memmap;
+  (if t.hide_mgmt_nic then
+     (* §4.3: keep the management NIC invisible; the VMM stays resident
+        as a config-space filter (negligible cost), so we do not model a
+        full VMXOFF in this mode. *)
+     Pci.hide t.machine.Machine.pci { Pci.bus = 0; dev = 4; fn = 0 });
+  t.phase <- Runtime.Devirtualized;
+  t.devirtualized_at <- Some (Sim.now t.machine.Machine.sim);
+  log_event t "de-virtualized";
+  (* 4.3: without full VMXOFF support the VMM stays resident in VMX
+     root mode and the CPUID instruction still unconditionally exits -
+     "the intervals of the CPUID exits ranged from a couple of seconds
+     to minutes, and their overhead was negligible" (5.5.2). With the
+     guest-kernel-module VMXOFF, even those stop. *)
+  (match t.vmxoff with
+  | `Guest_module -> log_event t "VMXOFF executed (guest module)"
+  | `Resident ->
+    let prng = Prng.split (Sim.rand t.machine.Machine.sim) in
+    Sim.spawn ~name:"cpuid-residual" (fun () ->
+        let rec loop () =
+          if not t.shut_down then begin
+            Sim.sleep (Time.of_float_s (Prng.exponential prng 90.0));
+            Cpu.record_exit t.machine.Machine.cpu Cpu.Cpuid
+              ~cost:t.params.Params.exit_cost;
+            loop ()
+          end
+        in
+        loop ()));
+  Signal.Latch.set t.devirt_done
+
+(* The bitmap is persisted just past the image, in space no partition
+   uses (3.3). *)
+let save_region t =
+  ( t.params.Params.image_sectors,
+    Bitmap.save_sectors ~sectors:t.params.Params.image_sectors )
+
+let deployment t =
+  (* Discover the target and sanity-check the image fits (AoE
+     Query-Config). *)
+  let capacity = Aoe_client.query_capacity t.aoe in
+  if capacity < t.params.Params.image_sectors then
+    failwith
+      (Printf.sprintf
+         "BMcast: target holds %d sectors but the image needs %d" capacity
+         t.params.Params.image_sectors);
+  log_event t "AoE target discovered";
+  (* The VMM cannot multiplex commands until the guest driver has
+     initialized the controller. *)
+  med_wait_ready t;
+  (* Resuming an interrupted deployment: restore the fill bitmap saved
+     at shutdown. The read holds the device, so any early guest command
+     queues behind it and still sees a correct bitmap. *)
+  (if t.resume then begin
+     let lba, count = save_region t in
+     let data = med_vmm_read t ~lba ~count in
+     match Bitmap.load_blob_sectors t.bitmap data with
+     | () -> ()
+     | exception Invalid_argument _ ->
+       (* No (or corrupt) save: deploy from scratch. *)
+       ()
+   end);
+  (* §3.3's optional optimization: eagerly copy the boot working set,
+     bypassing moderation (the guest is about to read it anyway). *)
+  if t.boot_prefetch <> [] then
+    Sim.spawn ~name:"boot-prefetch" (fun () ->
+        List.iter
+          (fun (lba, count) ->
+            let lba = min lba (t.params.Params.image_sectors - 1) in
+            let count = min count (t.params.Params.image_sectors - lba) in
+            if Bitmap.empty_subranges t.bitmap ~lba ~count <> [] then begin
+              let data = Aoe_client.read t.aoe ~lba ~count in
+              ignore (med_vmm_write_empty t ~lba ~count data : int)
+            end)
+          t.boot_prefetch);
+  let ops =
+    { Background_copy.fetch =
+        (fun ~lba ~count -> Aoe_client.read t.aoe ~lba ~count);
+      write_empty =
+        (fun ~lba ~count data -> med_vmm_write_empty t ~lba ~count data);
+      guest_io_rate = (fun () -> guest_io_rate t);
+      redirect_active = (fun () -> med_redirect_active t);
+      guest_last_lba = (fun () -> med_guest_last_lba t) }
+  in
+  log_event t "deployment phase: background copy started";
+  let bg =
+    Background_copy.start t.machine.Machine.sim ~params:t.params
+      ~bitmap:t.bitmap ~ops
+  in
+  t.background <- Some bg;
+  Background_copy.wait_complete bg;
+  log_event t "image fully deployed";
+  Signal.Latch.set t.deployed;
+  devirtualize t
+
+let boot machine ~params ~server_port ?(release_memory = false)
+    ?(hide_mgmt_nic = false) ?(nic = `Mgmt) ?(boot_prefetch = [])
+    ?(resume = false) ?(vmxoff = `Resident) () =
+  (* PXE-load the VMM over the management NIC, then initialize. *)
+  Firmware.pxe_load machine.Machine.firmware ~bytes_len:vmm_image_bytes;
+  Sim.sleep params.Params.vmm_boot_time;
+  Memmap.reserve_vmm machine.Machine.memmap ~size:params.Params.vmm_mem_bytes
+  |> ignore;
+  let bitmap = Bitmap.create ~sectors:params.Params.image_sectors in
+  (* Wire the AoE initiator through a NIC transport: a polling driver on
+     a NIC the VMM owns, or the shadow-ring mediator when sharing the
+     production NIC with the guest (6). *)
+  let client_ref = ref None in
+  let deliver pkt =
+    match pkt.Packet.payload with
+    | Aoe.Frame f ->
+      Option.iter (fun c -> Aoe_client.on_frame c f) !client_ref;
+      true
+    | _ -> false
+  in
+  let transport =
+    match nic with
+    | (`Mgmt | `Prod) as which ->
+      Dedicated
+        (Vmm_netdrv.attach machine ~which
+           ~poll_interval:params.Params.poll_interval
+           ~on_frame:(fun pkt -> ignore (deliver pkt : bool))
+           ())
+    | `Shared ->
+      let m =
+        Nic_mediator.attach machine
+          ~poll_interval:params.Params.poll_interval
+      in
+      Nic_mediator.set_vmm_rx m deliver;
+      Shared m
+  in
+  let transport_send ~dst ~size_bytes payload =
+    match transport with
+    | Dedicated d -> Vmm_netdrv.send d ~dst ~size_bytes payload
+    | Shared m -> Nic_mediator.vmm_send m ~dst ~size_bytes payload
+  in
+  let aoe =
+    Aoe_client.create machine.Machine.sim
+      ~send:(fun hdr data ->
+        transport_send ~dst:server_port
+          ~size_bytes:(Aoe.wire_size ~sectors:(Array.length data))
+          (Aoe.Frame { Aoe.hdr; data }))
+      ()
+  in
+  client_ref := Some aoe;
+  let mediator =
+    match machine.Machine.controller with
+    | Machine.Ahci _ -> A (Ahci_mediator.attach machine ~aoe ~bitmap ~params)
+    | Machine.Ide _ -> I (Ide_mediator.attach machine ~aoe ~bitmap ~params)
+  in
+  (* Shield the bitmap-save region from the guest (3.3). *)
+  let save_lba = params.Params.image_sectors in
+  let save_count = Bitmap.save_sectors ~sectors:params.Params.image_sectors in
+  (match mediator with
+  | A m -> Ahci_mediator.set_protected_region m ~lba:save_lba ~count:save_count
+  | I m -> Ide_mediator.set_protected_region m ~lba:save_lba ~count:save_count);
+  let cpu_model =
+    Cpu_model.create ~tlb_mode:Tlb.Nested_paging
+      ~steal:params.Params.deploy_steal ~exit_overhead:0.0
+  in
+  let t =
+    { machine;
+      params;
+      mediator;
+      aoe;
+      transport;
+      cpu_model;
+      bitmap;
+      background = None;
+      phase = Runtime.Deploying;
+      devirtualized_at = None;
+      deployed = Signal.Latch.create ();
+      devirt_done = Signal.Latch.create ();
+      release_memory;
+      hide_mgmt_nic;
+      boot_prefetch;
+      resume;
+      vmxoff;
+      shut_down = false;
+      events = [] }
+  in
+  log_event t (if resume then "VMM booted (resuming)" else "VMM booted");
+  Sim.spawn ~name:"bmcast-deployment" (fun () -> deployment t);
+  t
+
+(* 3.3: "In case of shutdown and reboot, the VMM saves the bitmap on
+   the local disk" - stop the copy threads, persist the bitmap into the
+   protected region, and tear the VMM down cleanly so a later
+   [boot ~resume:true] on the same machine picks up where we left. *)
+let shutdown t =
+  if t.shut_down then invalid_arg "Vmm.shutdown: already shut down";
+  (match t.background with
+  | Some bg -> Background_copy.stop bg
+  | None -> ());
+  let lba, count = save_region t in
+  med_vmm_write t ~lba ~count (Bitmap.to_blob_sectors t.bitmap);
+  med_devirtualize t;
+  (match t.transport with
+  | Dedicated d -> Vmm_netdrv.stop d
+  | Shared m -> Nic_mediator.devirtualize m);
+  (* Power-cycle semantics: the memory reservation does not survive. *)
+  Memmap.release_vmm t.machine.Machine.memmap;
+  log_event t "VMM shut down (bitmap saved)";
+  t.shut_down <- true
+
+type totals = {
+  redirects : int;
+  redirected_bytes : int;
+  multiplexed_ops : int;
+  queued_commands : int;
+  background_bytes : int;
+  moderation_suspensions : int;
+  vm_exits : int;
+  aoe_retransmits : int;
+}
+
+let totals t =
+  let redirects, redirected_sectors, multiplexed, queued =
+    match t.mediator with
+    | A m ->
+      let s = Ahci_mediator.stats m in
+      ( s.Ahci_mediator.redirects,
+        s.Ahci_mediator.redirected_sectors,
+        s.Ahci_mediator.multiplexed_ops,
+        s.Ahci_mediator.queued_commands )
+    | I m ->
+      let s = Ide_mediator.stats m in
+      ( s.Ide_mediator.redirects,
+        s.Ide_mediator.redirected_sectors,
+        s.Ide_mediator.multiplexed_ops,
+        s.Ide_mediator.queued_commands )
+  in
+  { redirects;
+    redirected_bytes = redirected_sectors * 512;
+    multiplexed_ops = multiplexed;
+    queued_commands = queued;
+    background_bytes =
+      (match t.background with
+      | Some bg -> Background_copy.bytes_written bg
+      | None -> 0);
+    moderation_suspensions =
+      (match t.background with
+      | Some bg -> Background_copy.chunks_suspended bg
+      | None -> 0);
+    vm_exits = Cpu.total_exits t.machine.Machine.cpu;
+    aoe_retransmits = Aoe_client.retransmits t.aoe }

@@ -1,0 +1,25 @@
+(** The VMM's polling NIC driver (§4.3).
+
+    BMcast ships tiny drivers (PRO/1000: 718 LoC; X540: 614; RTL816x:
+    757; NetXtreme: 620) that only need to "send and receive packets
+    with polling" on the dedicated management NIC. This is that driver
+    against the e1000-style ring model: interrupts stay off, a poll
+    thread drains the RX ring on the preemption-timer cadence, and TX
+    descriptors are pushed straight through the tail register. *)
+
+type t
+
+val attach :
+  Bmcast_platform.Machine.t ->
+  ?which:[ `Mgmt | `Prod ] ->
+  poll_interval:Bmcast_engine.Time.span ->
+  on_frame:(Bmcast_net.Packet.t -> unit) ->
+  unit ->
+  t
+(** Start polling a NIC (default: the dedicated management NIC;
+    [`Prod] models the shared-NIC configuration of §6). *)
+
+val send : t -> dst:int -> size_bytes:int -> Bmcast_net.Packet.payload -> unit
+val port_id : t -> int
+val frames_received : t -> int
+val stop : t -> unit

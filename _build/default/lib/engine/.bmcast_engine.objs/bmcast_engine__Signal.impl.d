@@ -1,0 +1,1 @@
+lib/engine/signal.ml: List Sim Time

@@ -1,0 +1,80 @@
+type 'a t = {
+  capacity : int option;
+  items : 'a Queue.t;
+  recv_waiters : ('a -> bool) Queue.t;
+  send_waiters : (unit -> bool) Queue.t;
+}
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Mailbox.create: capacity must be positive"
+  | _ -> ());
+  { capacity;
+    items = Queue.create ();
+    recv_waiters = Queue.create ();
+    send_waiters = Queue.create () }
+
+let is_full t =
+  match t.capacity with
+  | None -> false
+  | Some c -> Queue.length t.items >= c
+
+(* Pop waiters until one accepts (a waker returns false if its process was
+   already resumed by a racing source, e.g. a timeout). *)
+let rec wake_one_recv t v =
+  match Queue.take_opt t.recv_waiters with
+  | None -> false
+  | Some waker -> if waker v then true else wake_one_recv t v
+
+let rec wake_one_send t =
+  match Queue.take_opt t.send_waiters with
+  | None -> false
+  | Some waker -> if waker () then true else wake_one_send t
+
+let try_send t v =
+  if wake_one_recv t v then true
+  else if is_full t then false
+  else begin
+    Queue.add v t.items;
+    true
+  end
+
+let rec send t v =
+  if not (try_send t v) then begin
+    Sim.suspend (fun waker ->
+        Queue.add (fun () -> waker ()) t.send_waiters);
+    send t v
+  end
+
+let take_item t =
+  let v = Queue.take t.items in
+  (* Space freed: resume one blocked sender, if any. *)
+  ignore (wake_one_send t : bool);
+  v
+
+let try_recv t =
+  if Queue.is_empty t.items then None else Some (take_item t)
+
+let rec recv t =
+  match try_recv t with
+  | Some v -> v
+  | None ->
+    let got =
+      Sim.suspend (fun waker ->
+          Queue.add (fun v -> waker (Some v)) t.recv_waiters)
+    in
+    (match got with Some v -> v | None -> recv t)
+
+let recv_timeout t timeout =
+  match try_recv t with
+  | Some v -> Some v
+  | None ->
+    let sim = Sim.self () in
+    Sim.suspend (fun waker ->
+        Queue.add (fun v -> waker (Some v)) t.recv_waiters;
+        Sim.schedule sim
+          (Time.add (Sim.now sim) timeout)
+          (fun () -> ignore (waker None : bool)))
+
+let length t = Queue.length t.items
+let is_empty t = Queue.is_empty t.items

@@ -1,0 +1,26 @@
+(** Bounded FIFO channel between simulation processes.
+
+    [send] blocks while the mailbox is full; [recv] blocks while it is
+    empty. Waiters are resumed in FIFO order. A mailbox with unlimited
+    capacity never blocks senders. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] defaults to unlimited. *)
+
+val send : 'a t -> 'a -> unit
+(** Blocking send (process context). *)
+
+val try_send : 'a t -> 'a -> bool
+(** Non-blocking send: [false] if the mailbox is full. *)
+
+val recv : 'a t -> 'a
+(** Blocking receive (process context). *)
+
+val recv_timeout : 'a t -> Time.span -> 'a option
+(** Receive with a timeout; [None] if nothing arrived in time. *)
+
+val try_recv : 'a t -> 'a option
+val length : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,95 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = mix64 seed }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Use the top bits to avoid modulo bias in common small-bound cases;
+     for simulation purposes modulo of a mixed 62-bit value is fine. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 random bits -> [0,1) *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (float_of_int v /. 9007199254740992.0)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let bernoulli t p = float t 1.0 < p
+
+let exponential t mean =
+  let u = 1.0 -. float t 1.0 in
+  -.mean *. log u
+
+let gaussian t ~mu ~sigma =
+  let u1 = 1.0 -. float t 1.0 in
+  let u2 = float t 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+(* YCSB-style Zipfian generator (Gray et al., "Quickly generating
+   billion-record synthetic databases").  Constants are recomputed per
+   call only when [n] or [theta] change, cached in a small memo. *)
+type zipf_consts = { zn : int; ztheta : float; zetan : float; zeta2 : float }
+
+let zipf_cache : zipf_consts option ref = ref None
+
+let zeta n theta =
+  let sum = ref 0.0 in
+  for i = 1 to n do
+    sum := !sum +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !sum
+
+let zipf t ~n ~theta =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  let consts =
+    match !zipf_cache with
+    | Some c when c.zn = n && c.ztheta = theta -> c
+    | _ ->
+      let c = { zn = n; ztheta = theta; zetan = zeta n theta; zeta2 = zeta 2 theta } in
+      zipf_cache := Some c;
+      c
+  in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+    /. (1.0 -. (consts.zeta2 /. consts.zetan))
+  in
+  let u = float t 1.0 in
+  let uz = u *. consts.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. Float.pow 0.5 theta then 1
+  else
+    let r =
+      float_of_int n *. Float.pow ((eta *. u) -. eta +. 1.0) alpha
+    in
+    Stdlib.min (n - 1) (int_of_float r)
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,41 @@
+type t = {
+  mutable permits : int;
+  waiters : (unit -> bool) Queue.t;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Semaphore.create: negative permits";
+  { permits = n; waiters = Queue.create () }
+
+let try_acquire t =
+  if t.permits > 0 then begin
+    t.permits <- t.permits - 1;
+    true
+  end
+  else false
+
+let rec acquire t =
+  if not (try_acquire t) then begin
+    Sim.suspend (fun waker -> Queue.add (fun () -> waker ()) t.waiters);
+    acquire t
+  end
+
+let rec release t =
+  match Queue.take_opt t.waiters with
+  | Some waker ->
+    (* Hand the permit to the waiter by incrementing then waking; if the
+       waiter is dead (raced with a timeout), try the next one. *)
+    if waker () then t.permits <- t.permits + 1 else release t
+  | None -> t.permits <- t.permits + 1
+
+let available t = t.permits
+
+let with_permit t f =
+  acquire t;
+  match f () with
+  | v ->
+    release t;
+    v
+  | exception e ->
+    release t;
+    raise e

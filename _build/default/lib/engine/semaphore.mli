@@ -1,0 +1,16 @@
+(** Counting semaphore for simulation processes (FIFO wake-up order). *)
+
+type t
+
+val create : int -> t
+(** [create n] starts with [n] permits ([n >= 0]). *)
+
+val acquire : t -> unit
+(** Take a permit, blocking while none are available (process context). *)
+
+val try_acquire : t -> bool
+val release : t -> unit
+val available : t -> int
+
+val with_permit : t -> (unit -> 'a) -> 'a
+(** Acquire, run, release (also on exception). *)

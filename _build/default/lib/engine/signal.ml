@@ -1,0 +1,52 @@
+module Latch = struct
+  type t = { mutable set : bool; mutable waiters : (unit -> bool) list }
+
+  let create () = { set = false; waiters = [] }
+
+  let set t =
+    if not t.set then begin
+      t.set <- true;
+      let ws = List.rev t.waiters in
+      t.waiters <- [];
+      List.iter (fun w -> ignore (w () : bool)) ws
+    end
+
+  let is_set t = t.set
+
+  let wait t =
+    if not t.set then
+      Sim.suspend (fun waker ->
+          t.waiters <- (fun () -> waker ()) :: t.waiters)
+
+  let on_set t f =
+    if t.set then f ()
+    else
+      t.waiters <-
+        (fun () ->
+          f ();
+          true)
+        :: t.waiters
+end
+
+module Pulse = struct
+  type t = { mutable waiters : (bool -> bool) list }
+
+  let create () = { waiters = [] }
+
+  let pulse t =
+    let ws = List.rev t.waiters in
+    t.waiters <- [];
+    List.iter (fun w -> ignore (w true : bool)) ws
+
+  let wait t =
+    ignore
+      (Sim.suspend (fun waker -> t.waiters <- waker :: t.waiters) : bool)
+
+  let wait_timeout t timeout =
+    let sim = Sim.self () in
+    Sim.suspend (fun waker ->
+        t.waiters <- waker :: t.waiters;
+        Sim.schedule sim
+          (Time.add (Sim.now sim) timeout)
+          (fun () -> ignore (waker false : bool)))
+end

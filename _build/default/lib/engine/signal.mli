@@ -1,0 +1,33 @@
+(** Broadcast signals and one-shot latches for simulation processes. *)
+
+(** A level-triggered latch: once [set], all current and future waiters
+    pass immediately. *)
+module Latch : sig
+  type t
+
+  val create : unit -> t
+  val set : t -> unit
+  val is_set : t -> bool
+
+  val wait : t -> unit
+  (** Block until the latch is set (process context). *)
+
+  val on_set : t -> (unit -> unit) -> unit
+  (** Run a callback when the latch is set (immediately if it already
+      is). Callable from any context. *)
+end
+
+(** An edge-triggered broadcast: [wait] blocks until the {e next} [pulse],
+    regardless of past pulses. *)
+module Pulse : sig
+  type t
+
+  val create : unit -> t
+  val pulse : t -> unit
+
+  val wait : t -> unit
+  (** Block until the next pulse (process context). *)
+
+  val wait_timeout : t -> Time.span -> bool
+  (** [true] if pulsed before the timeout. *)
+end

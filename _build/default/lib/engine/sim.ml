@@ -1,0 +1,124 @@
+type t = {
+  mutable clock : Time.t;
+  events : (unit -> unit) Heap.t;
+  prng : Prng.t;
+  mutable executed : int;
+  mutable failure : (string * exn) option;
+  mutable stop_requested : bool;
+}
+
+exception Process_failure of string * exn
+
+type _ Effect.t +=
+  | Sleep : Time.span -> unit Effect.t
+  | Clock : Time.t Effect.t
+  | Suspend : (('a -> bool) -> unit) -> 'a Effect.t
+  | Spawn : string option * (unit -> unit) -> unit Effect.t
+  | Self : t Effect.t
+
+let create ?(seed = 42) () =
+  { clock = Time.zero;
+    events = Heap.create ();
+    prng = Prng.create seed;
+    executed = 0;
+    failure = None;
+    stop_requested = false }
+
+let now sim = sim.clock
+let rand sim = sim.prng
+let events_executed sim = sim.executed
+
+let schedule sim at fn =
+  if at < sim.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule: time %s is in the past (now %s)"
+         (Time.to_string at) (Time.to_string sim.clock));
+  Heap.push sim.events at fn
+
+(* Run [f] as a process: execute under a deep handler that maps blocking
+   effects onto event-queue operations.  Continuations are one-shot; the
+   [Suspend] waker guards against double resume so that racing wake-up
+   sources are safe. *)
+let rec exec_process sim name f =
+  let open Effect.Deep in
+  match_with f ()
+    { retc = (fun () -> ());
+      exnc =
+        (fun e ->
+          if sim.failure = None then
+            sim.failure <- Some (Option.value name ~default:"<anonymous>", e));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep d ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                schedule sim (Time.add sim.clock (max d 0)) (fun () ->
+                    continue k ()))
+          | Clock -> Some (fun k -> continue k sim.clock)
+          | Suspend register ->
+            Some
+              (fun k ->
+                let fired = ref false in
+                let waker v =
+                  if !fired then false
+                  else begin
+                    fired := true;
+                    schedule sim sim.clock (fun () -> continue k v);
+                    true
+                  end
+                in
+                register waker)
+          | Spawn (child_name, body) ->
+            Some
+              (fun k ->
+                schedule sim sim.clock (fun () ->
+                    exec_process sim child_name body);
+                continue k ())
+          | Self -> Some (fun k -> continue k sim)
+          | _ -> None) }
+
+let spawn_at sim ?name at f =
+  schedule sim at (fun () -> exec_process sim name f)
+
+let request_stop sim = sim.stop_requested <- true
+
+let run ?until sim =
+  sim.stop_requested <- false;
+  let continue_run () =
+    match sim.failure with
+    | Some (pname, e) ->
+      sim.failure <- None;
+      raise (Process_failure (pname, e))
+    | None -> true
+  in
+  let rec loop () =
+    if continue_run () && not sim.stop_requested then
+      match Heap.peek_time sim.events with
+      | None -> ()
+      | Some t when (match until with Some u -> t > u | None -> false) ->
+        (* Do not execute past the horizon; park the clock at it. *)
+        sim.clock <- Option.get until
+      | Some _ ->
+        (match Heap.pop sim.events with
+        | None -> ()
+        | Some (t, fn) ->
+          sim.clock <- t;
+          sim.executed <- sim.executed + 1;
+          fn ();
+          loop ())
+  in
+  loop ()
+
+(* Process-context operations. *)
+
+let sleep d = Effect.perform (Sleep d)
+let clock () = Effect.perform Clock
+let yield () = Effect.perform (Sleep 0)
+let suspend register = Effect.perform (Suspend register)
+let spawn ?name f = Effect.perform (Spawn (name, f))
+let self () = Effect.perform Self
+
+let wait_until at =
+  let t = clock () in
+  if at > t then sleep (Time.diff at t)

@@ -1,0 +1,71 @@
+(** Discrete-event simulation scheduler with effect-based processes.
+
+    A simulation owns a virtual clock and an event queue. Code running
+    "inside" the simulation is an ordinary OCaml function executed under an
+    effect handler; it can block on virtual time ([sleep]), on external
+    wake-ups ([suspend]), and spawn concurrent processes. Determinism is
+    guaranteed: events at equal timestamps fire in scheduling order and all
+    randomness comes from the simulation's seeded PRNG.
+
+    {1 Driving a simulation (outside process context)} *)
+
+type t
+
+exception Process_failure of string * exn
+(** Raised by [run] when a spawned process raises: carries the process name
+    and the original exception. *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh simulation with clock at {!Time.zero}. Default seed is 42. *)
+
+val now : t -> Time.t
+val rand : t -> Prng.t
+
+val schedule : t -> Time.t -> (unit -> unit) -> unit
+(** [schedule sim at fn] runs callback [fn] at absolute time [at] (which
+    must not be in the past). *)
+
+val spawn_at : t -> ?name:string -> Time.t -> (unit -> unit) -> unit
+(** Start an effectful process at the given absolute time. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Execute events until the queue is empty or the clock passes [until].
+    Re-raises process failures as {!Process_failure}. *)
+
+val events_executed : t -> int
+
+val request_stop : t -> unit
+(** Make the current (or next) [run] return after the event in progress;
+    pending events stay queued. Callable from anywhere, including inside
+    a process. *)
+
+(** {1 Inside a process}
+
+    The following must be called from within a process spawned on the
+    running simulation; calling them elsewhere raises
+    [Effect.Unhandled]. *)
+
+val sleep : Time.span -> unit
+(** Block the current process for a duration of virtual time. *)
+
+val clock : unit -> Time.t
+(** Current virtual time. *)
+
+val yield : unit -> unit
+(** Re-schedule at the current time behind already-queued events. *)
+
+val suspend : (('a -> bool) -> unit) -> 'a
+(** [suspend register] parks the current process. [register] receives a
+    {e waker}: calling [waker v] resumes the process with value [v] and
+    returns [true]; subsequent calls return [false] and do nothing. This
+    makes racing wake-ups (e.g. completion vs. timeout) safe: first caller
+    wins. *)
+
+val spawn : ?name:string -> (unit -> unit) -> unit
+(** Start a sibling process at the current time. *)
+
+val self : unit -> t
+(** Ambient simulation handle (for [schedule], [rand], ...). *)
+
+val wait_until : Time.t -> unit
+(** Sleep until an absolute time (no-op if already past). *)

@@ -1,0 +1,72 @@
+(** Measurement collectors for experiments.
+
+    All collectors are cheap to update from the simulation hot path and
+    compute summaries lazily. *)
+
+(** Sample accumulator with exact percentiles (stores all samples). *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile h p] with [p] in [\[0,100\]]; linear interpolation.
+      Raises [Invalid_argument] if the histogram is empty. *)
+
+  val median : t -> float
+  val clear : t -> unit
+end
+
+(** Append-only (time, value) series. *)
+module Series : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> Time.t -> float -> unit
+  val length : t -> int
+  val to_list : t -> (Time.t * float) list
+
+  val bucket_mean : t -> width:Time.span -> (Time.t * float) list
+  (** Average value per time bucket of the given width; buckets with no
+      samples are skipped. Bucket timestamps are bucket start times. *)
+end
+
+(** Event-rate meter: record occurrences (optionally weighted) and read
+    rates per window. *)
+module Rate : sig
+  type t
+
+  val create : unit -> t
+
+  val tick : t -> Time.t -> unit
+  (** Record one event at the given time. *)
+
+  val add : t -> Time.t -> float -> unit
+  (** Record a weighted event (e.g. bytes transferred). *)
+
+  val total : t -> float
+
+  val rate_between : t -> Time.t -> Time.t -> float
+  (** Sum of weights in [\[t0, t1)] divided by the window in seconds. *)
+
+  val per_window : t -> width:Time.span -> (Time.t * float) list
+  (** Rate (weight per second) for each consecutive window from the first
+      recorded event. *)
+end
+
+(** Running mean without storing samples (Welford). *)
+module Mean : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+end

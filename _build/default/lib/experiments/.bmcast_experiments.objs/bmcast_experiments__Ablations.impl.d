@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Bmcast_baselines Bmcast_core Bmcast_engine Bmcast_guest Bmcast_hw Bmcast_net Bmcast_platform Bmcast_proto Bmcast_storage Int64 List Option Printf Report Stacks

@@ -1,0 +1,1 @@
+lib/experiments/fig04_startup.ml: Bmcast_baselines Bmcast_engine Bmcast_guest Bmcast_hw Bmcast_platform List Option Report Stacks

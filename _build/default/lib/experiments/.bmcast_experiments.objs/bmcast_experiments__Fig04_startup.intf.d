@@ -1,0 +1,1 @@
+lib/experiments/fig04_startup.mli:

@@ -1,0 +1,1 @@
+lib/experiments/fig05_database.ml: Bmcast_core Bmcast_engine Bmcast_guest List Option Printf Report Stacks

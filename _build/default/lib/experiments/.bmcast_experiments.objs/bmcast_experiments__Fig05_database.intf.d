@@ -1,0 +1,1 @@
+lib/experiments/fig05_database.mli:

@@ -1,0 +1,1 @@
+lib/experiments/fig06_mpi.ml: Array Bmcast_baselines Bmcast_cluster Bmcast_engine Bmcast_net List Printf Report

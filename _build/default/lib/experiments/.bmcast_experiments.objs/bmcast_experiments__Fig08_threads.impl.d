@@ -1,0 +1,1 @@
+lib/experiments/fig08_threads.ml: Bmcast_engine Bmcast_guest List Printf Report Stacks

@@ -1,0 +1,1 @@
+lib/experiments/fig09_memory.mli:

@@ -1,0 +1,1 @@
+lib/experiments/fig10_storage_tput.ml: Bmcast_core Bmcast_engine Bmcast_guest Bmcast_platform Bmcast_storage List Option Report Stacks

@@ -1,0 +1,1 @@
+lib/experiments/fig10_storage_tput.mli:

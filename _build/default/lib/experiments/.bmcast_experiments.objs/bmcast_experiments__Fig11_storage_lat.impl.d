@@ -1,0 +1,1 @@
+lib/experiments/fig11_storage_lat.ml: Bmcast_core Bmcast_engine Bmcast_guest Bmcast_platform Bmcast_storage List Option Report Stacks

@@ -1,0 +1,1 @@
+lib/experiments/fig11_storage_lat.mli:

@@ -1,0 +1,1 @@
+lib/experiments/fig12_13_infiniband.ml: Bmcast_baselines Bmcast_engine Bmcast_net Float List Report

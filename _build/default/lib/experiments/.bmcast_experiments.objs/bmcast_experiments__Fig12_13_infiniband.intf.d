@@ -1,0 +1,1 @@
+lib/experiments/fig12_13_infiniband.mli:

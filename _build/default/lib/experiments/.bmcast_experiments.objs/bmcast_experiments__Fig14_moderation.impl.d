@@ -1,0 +1,1 @@
+lib/experiments/fig14_moderation.ml: Bmcast_core Bmcast_engine Bmcast_guest Bmcast_platform Bmcast_storage List Report Stacks

@@ -1,0 +1,1 @@
+lib/experiments/scaleup.ml: Bmcast_baselines Bmcast_engine Bmcast_guest Bmcast_platform Float List Printf Report Stacks

@@ -1,0 +1,122 @@
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Firmware = Bmcast_hw.Firmware
+module Machine = Bmcast_platform.Machine
+module Os = Bmcast_guest.Os
+module Kvm = Bmcast_baselines.Kvm
+module Image_copy = Bmcast_baselines.Image_copy
+module Net_boot = Bmcast_baselines.Net_boot
+
+type result = {
+  label : string;
+  firmware : float;
+  pre_os : float;
+  os_boot : float;
+  total_post_firmware : float;
+}
+
+let secs = Time.to_float_s
+
+(* Each configuration runs in its own fresh simulated testbed. *)
+let with_env image_gb label f =
+  let env = Stacks.make_env ?image_gb:(Some image_gb) () in
+  let m = Stacks.machine env ~name:label () in
+  let out = ref None in
+  Stacks.run env (fun () ->
+      let t0 = Sim.clock () in
+      Firmware.post m.Machine.firmware;
+      let t_fw = Sim.clock () in
+      let t_os_start, t_end = f env m in
+      out :=
+        Some
+          { label;
+            firmware = secs (Time.diff t_fw t0);
+            pre_os = secs (Time.diff t_os_start t_fw);
+            os_boot = secs (Time.diff t_end t_os_start);
+            total_post_firmware = secs (Time.diff t_end t_fw) });
+  Option.get !out
+
+let measure ?(image_gb = 32) () =
+  let bare =
+    with_env image_gb "Baremetal" (fun env m ->
+        let rt = Stacks.bare env m in
+        let t_os = Sim.clock () in
+        Os.boot rt ();
+        (t_os, Sim.clock ()))
+  in
+  let bmcast =
+    with_env image_gb "BMcast" (fun env m ->
+        let rt, _vmm = Stacks.bmcast env m () in
+        let t_os = Sim.clock () in
+        Os.boot rt ();
+        (t_os, Sim.clock ()))
+  in
+  let image_copy =
+    with_env image_gb "Image Copy" (fun env m ->
+        let clients =
+          [ Stacks.iscsi_client env ~name:"installer-0";
+            Stacks.iscsi_client env ~name:"installer-1" ]
+        in
+        ignore
+          (Image_copy.deploy m ~servers:clients
+             ~image_sectors:env.Stacks.image_sectors
+            : Image_copy.breakdown);
+        let rt = Stacks.bare env m in
+        let t_os = Sim.clock () in
+        Os.boot rt ();
+        (t_os, Sim.clock ()))
+  in
+  let nfs_root =
+    with_env image_gb "NFS Root" (fun env m ->
+        let rt, nb = Stacks.netboot env m in
+        Net_boot.pxe_boot_loader nb;
+        let t_os = Sim.clock () in
+        Os.boot rt ();
+        (t_os, Sim.clock ()))
+  in
+  let kvm which label =
+    with_env image_gb label (fun env m ->
+        let rt, kvm = Stacks.kvm_remote env m which in
+        Kvm.boot_host kvm;
+        Sim.sleep Kvm.guest_boot_extra;
+        let t_os = Sim.clock () in
+        Os.boot rt ();
+        (t_os, Sim.clock ()))
+  in
+  [ bare;
+    bmcast;
+    image_copy;
+    nfs_root;
+    kvm `Nfs "KVM/NFS";
+    kvm `Iscsi "KVM/iSCSI" ]
+
+let paper_post_firmware = function
+  | "Baremetal" -> Some 29.0
+  | "BMcast" -> Some 63.0
+  | "Image Copy" -> Some 544.0
+  | "NFS Root" -> Some 49.0
+  | "KVM/NFS" -> Some 72.0
+  | "KVM/iSCSI" -> Some 85.0
+  | _ -> None
+
+let run ?image_gb () =
+  Report.section "Figure 4: OS startup time";
+  let results = measure ?image_gb () in
+  Report.series_header [ "firmware"; "pre-OS"; "OS boot"; "post-fw total" ];
+  List.iter
+    (fun r ->
+      Report.series_row r.label
+        [ r.firmware; r.pre_os; r.os_boot; r.total_post_firmware ])
+    results;
+  let find l = List.find (fun r -> r.label = l) results in
+  List.iter
+    (fun r ->
+      Report.row ~label:(r.label ^ " (post-firmware)")
+        ?paper:(paper_post_firmware r.label) ~units:"s" r.total_post_firmware)
+    results;
+  let bmcast = find "BMcast" and copy = find "Image Copy" in
+  Report.row ~label:"speedup vs image copy (post-fw)" ~paper:8.6 ~units:"x"
+    (copy.total_post_firmware /. bmcast.total_post_firmware);
+  Report.row ~label:"speedup vs image copy (incl fw)" ~paper:3.5 ~units:"x"
+    ((copy.firmware +. copy.total_post_firmware)
+    /. (bmcast.firmware +. bmcast.total_post_firmware))

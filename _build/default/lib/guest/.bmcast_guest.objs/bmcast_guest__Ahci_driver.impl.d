@@ -1,0 +1,1 @@
+lib/guest/ahci_driver.ml: Array Bmcast_engine Bmcast_hw Bmcast_platform Bmcast_storage Int64

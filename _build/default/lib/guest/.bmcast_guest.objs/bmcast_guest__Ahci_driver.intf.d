@@ -1,0 +1,1 @@
+lib/guest/ahci_driver.mli: Bmcast_platform Bmcast_storage

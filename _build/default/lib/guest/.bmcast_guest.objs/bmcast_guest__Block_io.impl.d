@@ -1,0 +1,1 @@
+lib/guest/block_io.ml: Ahci_driver Bmcast_hw Bmcast_platform Ide_driver List

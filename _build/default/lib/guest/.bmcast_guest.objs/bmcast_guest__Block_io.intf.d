@@ -1,0 +1,1 @@
+lib/guest/block_io.mli: Bmcast_platform Bmcast_storage

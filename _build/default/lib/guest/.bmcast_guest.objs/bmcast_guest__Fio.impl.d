@@ -1,0 +1,1 @@
+lib/guest/fio.ml: Bmcast_engine Bmcast_platform Bmcast_storage

@@ -1,0 +1,1 @@
+lib/guest/fio.mli: Bmcast_engine Bmcast_platform

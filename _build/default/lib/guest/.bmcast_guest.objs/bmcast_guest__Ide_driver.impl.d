@@ -1,0 +1,1 @@
+lib/guest/ide_driver.ml: Array Bmcast_engine Bmcast_hw Bmcast_platform Bmcast_storage

@@ -1,0 +1,1 @@
+lib/guest/ide_driver.mli: Bmcast_platform Bmcast_storage

@@ -1,0 +1,1 @@
+lib/guest/ioping.ml: Bmcast_engine Bmcast_platform Bmcast_storage

@@ -1,0 +1,1 @@
+lib/guest/ioping.mli: Bmcast_engine Bmcast_platform

@@ -1,0 +1,1 @@
+lib/guest/kernbench.mli: Bmcast_engine Bmcast_platform

@@ -1,0 +1,1 @@
+lib/guest/os.ml: Bmcast_engine Bmcast_platform Bmcast_storage List

@@ -1,0 +1,1 @@
+lib/guest/os.mli: Bmcast_engine Bmcast_platform

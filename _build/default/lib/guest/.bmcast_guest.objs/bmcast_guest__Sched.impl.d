@@ -1,0 +1,1 @@
+lib/guest/sched.ml: Array Bmcast_engine Bmcast_hw Bmcast_platform

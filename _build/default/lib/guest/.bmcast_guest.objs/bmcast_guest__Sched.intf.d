@@ -1,0 +1,1 @@
+lib/guest/sched.mli: Bmcast_engine Bmcast_platform

@@ -1,0 +1,1 @@
+lib/guest/sysbench.ml: Array Bmcast_engine Bmcast_hw Bmcast_platform Float Printf Sched

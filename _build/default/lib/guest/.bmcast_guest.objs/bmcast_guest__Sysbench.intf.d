@@ -1,0 +1,1 @@
+lib/guest/sysbench.mli: Bmcast_engine Bmcast_platform

@@ -1,0 +1,1 @@
+lib/guest/ycsb.ml: Bmcast_engine Bmcast_net Bmcast_platform Bmcast_storage Float List

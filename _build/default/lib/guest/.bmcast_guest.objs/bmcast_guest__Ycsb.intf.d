@@ -1,0 +1,1 @@
+lib/guest/ycsb.mli: Bmcast_engine Bmcast_platform

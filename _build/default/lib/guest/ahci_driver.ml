@@ -1,0 +1,81 @@
+module Sim = Bmcast_engine.Sim
+module Semaphore = Bmcast_engine.Semaphore
+module Signal = Bmcast_engine.Signal
+module Mmio = Bmcast_hw.Mmio
+module Irq = Bmcast_hw.Irq
+module Content = Bmcast_storage.Content
+module Dma = Bmcast_storage.Dma
+module Ahci = Bmcast_storage.Ahci
+module Machine = Bmcast_platform.Machine
+
+type t = {
+  machine : Machine.t;
+  ahci : Ahci.t;
+  clb : int;
+  lock : Semaphore.t;  (* one command in flight (queue depth 1) *)
+  mutable completion : Signal.Latch.t option;
+  mutable ios : int;
+}
+
+let reg t off = Mmio.read t.machine.Machine.mmio (Machine.ahci_base + off)
+let wreg t off v = Mmio.write t.machine.Machine.mmio (Machine.ahci_base + off) v
+
+let isr t () =
+  (* Acknowledge interrupt status; wake the waiting requester if its
+     command left the issue register. *)
+  let is = reg t Ahci.Regs.px_is in
+  if Int64.logand is 1L <> 0L then begin
+    wreg t Ahci.Regs.px_is 1L;
+    if Int64.logand (reg t Ahci.Regs.px_ci) 1L = 0L then
+      match t.completion with
+      | Some latch ->
+        t.completion <- None;
+        Signal.Latch.set latch
+      | None -> ()
+  end
+
+let attach machine =
+  let ahci =
+    match machine.Machine.controller with
+    | Machine.Ahci a -> a
+    | Machine.Ide _ -> invalid_arg "Ahci_driver.attach: machine has IDE disk"
+  in
+  let clb = Ahci.alloc_cmd_list ahci in
+  let t =
+    { machine; ahci; clb; lock = Semaphore.create 1; completion = None; ios = 0 }
+  in
+  Irq.register machine.Machine.irq ~vec:Machine.disk_irq_vec (isr t);
+  wreg t Ahci.Regs.px_clb (Int64.of_int clb);
+  wreg t Ahci.Regs.px_ie 1L;
+  wreg t Ahci.Regs.px_cmd 1L;
+  t
+
+let submit t fis buf =
+  Semaphore.with_permit t.lock (fun () ->
+      let table =
+        Ahci.alloc_cmd_table t.ahci fis
+          [ { Ahci.buf_addr = buf.Dma.addr; sectors = Array.length buf.Dma.data } ]
+      in
+      Ahci.set_slot t.ahci ~clb:t.clb ~slot:0 ~table_addr:table;
+      let latch = Signal.Latch.create () in
+      t.completion <- Some latch;
+      wreg t Ahci.Regs.px_ci 1L;
+      Signal.Latch.wait latch;
+      t.ios <- t.ios + 1)
+
+let read t ~lba ~count =
+  let buf = Dma.alloc t.machine.Machine.dma ~sectors:count in
+  submit t { Ahci.Fis.op = Ahci.Fis.Read; lba; count } buf;
+  let data = Array.copy buf.Dma.data in
+  Dma.free t.machine.Machine.dma buf;
+  data
+
+let write t ~lba ~count data =
+  if Array.length data <> count then
+    invalid_arg "Ahci_driver.write: data length mismatch";
+  let buf = Dma.alloc t.machine.Machine.dma ~sectors:count in
+  Dma.write buf ~off:0 data;
+  submit t { Ahci.Fis.op = Ahci.Fis.Write; lba; count } buf;
+  Dma.free t.machine.Machine.dma buf
+
+let ios_completed t = t.ios

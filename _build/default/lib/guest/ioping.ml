@@ -1,0 +1,26 @@
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Prng = Bmcast_engine.Prng
+module Stats = Bmcast_engine.Stats
+module Content = Bmcast_storage.Content
+module Runtime = Bmcast_platform.Runtime
+module Machine = Bmcast_platform.Machine
+
+type result = { latencies : Stats.Histogram.t; avg_ms : float }
+
+let run runtime ?(requests = 100) ?(block_bytes = 4096)
+    ?(span_bytes = 1024 * 1024) ?(think_time = Time.ms 100) () =
+  let machine = runtime.Runtime.machine in
+  let prng = Prng.split (Sim.rand machine.Machine.sim) in
+  let sectors = max 1 (block_bytes / 512) in
+  let span_sectors = span_bytes / 512 in
+  let latencies = Stats.Histogram.create () in
+  for _ = 1 to requests do
+    let lba = Prng.int prng (span_sectors - sectors) in
+    let t0 = Sim.clock () in
+    ignore (runtime.Runtime.block_read ~lba ~count:sectors : Content.t array);
+    Stats.Histogram.add latencies
+      (Time.to_float_ms (Time.diff (Sim.clock ()) t0));
+    Sim.sleep think_time
+  done;
+  { latencies; avg_ms = Stats.Histogram.mean latencies }

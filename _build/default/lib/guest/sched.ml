@@ -1,0 +1,54 @@
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Semaphore = Bmcast_engine.Semaphore
+module Cpu = Bmcast_hw.Cpu
+module Runtime = Bmcast_platform.Runtime
+module Cpu_model = Bmcast_platform.Cpu_model
+module Machine = Bmcast_platform.Machine
+
+let quantum = Time.us 500
+let context_switch_cost = Time.us 2
+
+type t = {
+  runtime : Runtime.t;
+  cores : int;
+  slots : Semaphore.t array;  (* one run slot per core *)
+  mutable contended : int;
+}
+
+let create runtime =
+  let cores = Cpu.num_cores runtime.Runtime.machine.Machine.cpu in
+  { runtime;
+    cores;
+    slots = Array.init cores (fun _ -> Semaphore.create 1);
+    contended = 0 }
+
+let contended_acquires t = t.contended
+
+let run t ~tid ~work ~mem_intensity =
+  if work < 0 then invalid_arg "Sched.run: negative work";
+  let core = tid mod t.cores in
+  let slot = t.slots.(core) in
+  let rec loop remaining =
+    if remaining > 0 then begin
+      (* A slice acquired after waiting implies a context switch. *)
+      let waited = not (Semaphore.try_acquire slot) in
+      if waited then begin
+        t.contended <- t.contended + 1;
+        Semaphore.acquire slot
+      end;
+      let slice = min quantum remaining in
+      let slice_with_switch =
+        if waited then Time.add slice context_switch_cost else slice
+      in
+      Runtime.cpu_run t.runtime ~core ~work:slice_with_switch ~mem_intensity;
+      Semaphore.release slot;
+      let remaining = remaining - slice in
+      if remaining > 0 then
+        (* Quantum expired with work left: yield the core so a
+           contending thread can run before we re-acquire. *)
+        Sim.yield ();
+      loop remaining
+    end
+  in
+  loop work

@@ -1,0 +1,165 @@
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Prng = Bmcast_engine.Prng
+module Content = Bmcast_storage.Content
+module Ib = Bmcast_net.Ib
+module Runtime = Bmcast_platform.Runtime
+module Machine = Bmcast_platform.Machine
+module Cpu_model = Bmcast_platform.Cpu_model
+
+type db_profile = {
+  db_name : string;
+  concurrency : int;
+  base_service : Time.span;
+  service_mem_intensity : float;
+  base_rtt : Time.span;
+  commitlog_bytes_per_s : int;
+  flush_bytes : int;
+  flush_interval : Time.span;
+  disk_share : float;
+      (** fraction of request latency gated on commit-log durability;
+          couples the measured disk-write slowdown into the series *)
+}
+
+(* Calibration (§5.2): memcached bare metal = 36.4 kT/s at 281 us;
+   Cassandra bare metal = ~56-60 kT/s at 2443 us. *)
+let memcached =
+  { db_name = "memcached";
+    concurrency = 10;
+    base_service = Time.us 140;
+    service_mem_intensity = 0.7;
+    base_rtt = Time.us 140;
+    commitlog_bytes_per_s = 0;
+    flush_bytes = 0;
+    flush_interval = 0;
+    disk_share = 0.0 }
+
+let cassandra =
+  { db_name = "cassandra";
+    concurrency = 146;
+    base_service = Time.us 150;
+    service_mem_intensity = 0.6;
+    base_rtt = Time.us 2300;
+    commitlog_bytes_per_s = 12 * 1024 * 1024;
+    flush_bytes = 48 * 1024 * 1024;
+    flush_interval = Time.s 30;
+    disk_share = 0.08 }
+
+type sample = { at : Time.t; kops_per_s : float; latency_us : float }
+
+(* Disk region the database writes into: beyond the 32-GB OS image (the
+   dataset lives in a separate data partition), so commit-log traffic
+   contends with the deployment for the spindle without shrinking the
+   amount of image left to copy. *)
+let db_write_base = 40 * 1024 * 1024 * 2  (* sector of the 40 GB mark *)
+
+(* EWMA of (measured / unloaded) commit-log write time: >1 when the
+   disk is contended (background copy, virtio, NFS backend...). *)
+type disk_gauge = { mutable slowdown : float }
+
+let commitlog_writer runtime profile gauge stop =
+  let chunk = 1024 * 1024 in
+  let chunk_sectors = chunk / 512 in
+  let interval =
+    Time.of_float_s (float_of_int chunk /. float_of_int profile.commitlog_bytes_per_s)
+  in
+  (* Unloaded expectation: streaming 1 MB to a ~125 MB/s spindle. *)
+  let expected_s = float_of_int chunk /. 125e6 in
+  let lba = ref db_write_base in
+  let rec loop () =
+    if not !stop then begin
+      Sim.sleep interval;
+      let t0 = Sim.clock () in
+      runtime.Runtime.block_write ~lba:!lba ~count:chunk_sectors
+        (Content.data_sectors ~count:chunk_sectors);
+      let took = Time.to_float_s (Time.diff (Sim.clock ()) t0) in
+      gauge.slowdown <-
+        (0.8 *. gauge.slowdown) +. (0.2 *. Float.max 1.0 (took /. expected_s));
+      lba := !lba + chunk_sectors;
+      loop ()
+    end
+  in
+  loop ()
+
+let flush_writer runtime profile stop =
+  let sectors = profile.flush_bytes / 512 in
+  let lba = ref (db_write_base + (8 * 1024 * 1024 * 2)) in
+  let rec loop () =
+    if not !stop then begin
+      Sim.sleep profile.flush_interval;
+      (* Flush in 1 MB commands like a real SSTable writer. *)
+      let rec go off =
+        if off < sectors && not !stop then begin
+          let n = min 2048 (sectors - off) in
+          runtime.Runtime.block_write ~lba:(!lba + off) ~count:n
+            (Content.data_sectors ~count:n);
+          go (off + n)
+        end
+      in
+      go 0;
+      lba := !lba + sectors;
+      loop ()
+    end
+  in
+  loop ()
+
+let net_rtt runtime profile =
+  (* The YCSB client reaches the DB over InfiniBand; virtualization adds
+     its per-op overhead on each direction. *)
+  let adder =
+    match runtime.Runtime.machine.Machine.ib with
+    | Some ep -> Time.mul (Ib.op_overhead ep) 2
+    | None -> 0
+  in
+  Time.add profile.base_rtt adder
+
+let run runtime profile ~duration ?(sample_every = Time.s 10) () =
+  let machine = runtime.Runtime.machine in
+  let prng = Prng.split (Sim.rand machine.Machine.sim) in
+  let stop = ref false in
+  let gauge = { slowdown = 1.0 } in
+  if profile.commitlog_bytes_per_s > 0 then
+    Sim.spawn ~name:"commitlog" (fun () ->
+        commitlog_writer runtime profile gauge stop);
+  if profile.flush_bytes > 0 then
+    Sim.spawn ~name:"flush" (fun () -> flush_writer runtime profile stop);
+  let samples = ref [] in
+  let t0 = Sim.clock () in
+  let rec sampler () =
+    if Time.diff (Sim.clock ()) t0 < duration then begin
+      Sim.sleep sample_every;
+      let svc =
+        Cpu_model.stretch runtime.Runtime.cpu ~work:profile.base_service
+          ~mem_intensity:profile.service_mem_intensity
+      in
+      let rtt = net_rtt runtime profile in
+      let disk_factor =
+        1.0 +. (profile.disk_share *. (gauge.slowdown -. 1.0))
+      in
+      let latency = Time.to_float_us (Time.add svc rtt) *. disk_factor in
+      (* Sampling noise ~2%. *)
+      let noise () = Prng.gaussian prng ~mu:1.0 ~sigma:0.02 in
+      let latency = latency *. noise () in
+      let kops = float_of_int profile.concurrency /. latency *. 1000.0 in
+      samples :=
+        { at = Time.diff (Sim.clock ()) t0;
+          kops_per_s = kops *. noise ();
+          latency_us = latency }
+        :: !samples;
+      sampler ()
+    end
+  in
+  sampler ();
+  stop := true;
+  List.rev !samples
+
+let average samples ~between:(t0, t1) =
+  let window =
+    List.filter (fun s -> s.at >= t0 && s.at <= t1) samples
+  in
+  match window with
+  | [] -> (0.0, 0.0)
+  | _ ->
+    let n = float_of_int (List.length window) in
+    ( List.fold_left (fun acc s -> acc +. s.kops_per_s) 0.0 window /. n,
+      List.fold_left (fun acc s -> acc +. s.latency_us) 0.0 window /. n )

@@ -1,0 +1,52 @@
+(** YCSB-style database benchmark driver (§5.2).
+
+    Closed-loop clients drive a database instance; throughput and
+    latency per time bucket come from the runtime's {e current} CPU
+    taxes (Little's law over the stretched service time plus the network
+    round trip, with sampling noise), so the series shifts the moment
+    BMcast de-virtualizes. The database's own disk traffic (Cassandra's
+    commit log and SSTable flushes; memcached has none) is issued for
+    real through the block driver — it is what stretches Cassandra's
+    deployment phase relative to memcached's (17 vs 16 minutes).
+
+    Presets: {!memcached} (95/5 read-heavy, in-memory) and {!cassandra}
+    (30/70 update-heavy). *)
+
+type db_profile = {
+  db_name : string;
+  concurrency : int;
+  base_service : Bmcast_engine.Time.span;  (** per-request CPU on the DB *)
+  service_mem_intensity : float;
+  base_rtt : Bmcast_engine.Time.span;
+      (** fixed client-visible pipeline latency (network + DB internals) *)
+  commitlog_bytes_per_s : int;  (** streaming log writes; 0 = none *)
+  flush_bytes : int;  (** periodic SSTable flush size; 0 = none *)
+  flush_interval : Bmcast_engine.Time.span;
+  disk_share : float;
+      (** fraction of request latency gated on commit-log durability;
+          couples the measured disk-write slowdown into the series *)
+}
+
+val memcached : db_profile
+val cassandra : db_profile
+
+type sample = {
+  at : Bmcast_engine.Time.t;
+  kops_per_s : float;
+  latency_us : float;
+}
+
+val run :
+  Bmcast_platform.Runtime.t ->
+  db_profile ->
+  duration:Bmcast_engine.Time.span ->
+  ?sample_every:Bmcast_engine.Time.span ->
+  unit ->
+  sample list
+(** Drive the workload for [duration] (process context), sampling every
+    [sample_every] (default 10 s). *)
+
+val average :
+  sample list -> between:(Bmcast_engine.Time.t * Bmcast_engine.Time.t) ->
+  float * float
+(** Mean (kops/s, latency_us) over a time window. *)

@@ -1,0 +1,1 @@
+lib/hw/cpu.ml: Array Bmcast_engine Format Hashtbl Option Printf

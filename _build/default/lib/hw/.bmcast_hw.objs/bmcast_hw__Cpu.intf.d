@@ -1,0 +1,1 @@
+lib/hw/cpu.mli: Bmcast_engine Format

@@ -1,0 +1,1 @@
+lib/hw/firmware.ml: Bmcast_engine

@@ -1,0 +1,1 @@
+lib/hw/firmware.mli: Bmcast_engine

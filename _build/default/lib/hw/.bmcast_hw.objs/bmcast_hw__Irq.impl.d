@@ -1,0 +1,1 @@
+lib/hw/irq.ml: Bmcast_engine Hashtbl Option Printf

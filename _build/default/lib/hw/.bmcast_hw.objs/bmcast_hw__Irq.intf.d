@@ -1,0 +1,1 @@
+lib/hw/irq.mli: Bmcast_engine

@@ -1,0 +1,1 @@
+lib/hw/memmap.ml: List Printf

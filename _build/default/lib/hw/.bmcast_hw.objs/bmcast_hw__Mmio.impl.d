@@ -1,0 +1,1 @@
+lib/hw/mmio.ml: List Printf

@@ -1,0 +1,1 @@
+lib/hw/pci.ml: Format List

@@ -1,0 +1,132 @@
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Signal = Bmcast_engine.Signal
+
+type exit_reason =
+  | Pio
+  | Mmio
+  | Cpuid
+  | Preempt_timer
+  | Control_reg
+  | Init_sipi
+  | Other
+
+type core = {
+  index : int;
+  sim : Sim.t;
+  mutable unavailable_until : Time.t;
+  available_pulse : Signal.Pulse.t;
+  mutable stall_time : Time.span;
+  mutable wakeup_armed : bool;
+  mutable interference_seen : bool;
+}
+
+type t = {
+  sim : Sim.t;
+  cores_arr : core array;
+  exit_counts : (exit_reason, int) Hashtbl.t;
+  mutable exit_time : Time.span;
+}
+
+let create sim ~cores =
+  if cores <= 0 then invalid_arg "Cpu.create: cores must be positive";
+  let mk index =
+    { index;
+      sim;
+      unavailable_until = Time.zero;
+      available_pulse = Signal.Pulse.create ();
+      stall_time = 0;
+      wakeup_armed = false;
+      interference_seen = false }
+  in
+  { sim;
+    cores_arr = Array.init cores mk;
+    exit_counts = Hashtbl.create 8;
+    exit_time = 0 }
+
+let num_cores t = Array.length t.cores_arr
+
+let core t i =
+  if i < 0 || i >= Array.length t.cores_arr then
+    invalid_arg (Printf.sprintf "Cpu.core: no core %d" i);
+  t.cores_arr.(i)
+
+let core_index c = c.index
+
+let is_available (c : core) = Sim.now c.sim >= c.unavailable_until
+
+(* Arrange a pulse when the core becomes available again; idempotent for
+   a given deadline extension (re-arms if the window was extended). *)
+let arm_wakeup (c : core) =
+  if not c.wakeup_armed then begin
+    c.wakeup_armed <- true;
+    let rec fire_at deadline =
+      Sim.schedule c.sim deadline (fun () ->
+          if Sim.now c.sim >= c.unavailable_until then begin
+            c.wakeup_armed <- false;
+            Signal.Pulse.pulse c.available_pulse
+          end
+          else fire_at c.unavailable_until)
+    in
+    fire_at c.unavailable_until
+  end
+
+let enable_interference t =
+  Array.iter (fun c -> c.interference_seen <- true) t.cores_arr
+
+let set_unavailable_until (c : core) until =
+  if not c.interference_seen then
+    invalid_arg "Cpu.set_unavailable_until: call enable_interference first";
+  if until > c.unavailable_until then begin
+    c.unavailable_until <- until;
+    arm_wakeup c
+  end
+
+let run (c : core) span =
+  if span < 0 then invalid_arg "Cpu.run: negative span";
+  let rec loop remaining =
+    if remaining > 0 then
+      if not c.interference_seen then Sim.sleep remaining
+      else if is_available c then begin
+        (* Run until done or until a preemption window begins.  Windows
+           are only known once set, so run in bounded slices when a
+           future window could cut in; a 1 ms slice bounds the error. *)
+        let slice = min remaining (Time.ms 1) in
+        Sim.sleep slice;
+        (* If a window opened mid-slice we charge it as stall below on
+           the next iteration. *)
+        loop (remaining - slice)
+      end
+      else begin
+        let stall_start = Sim.clock () in
+        Signal.Pulse.wait c.available_pulse;
+        c.stall_time <- c.stall_time + Time.diff (Sim.clock ()) stall_start;
+        loop remaining
+      end
+  in
+  loop span
+
+let stall_time (c : core) = c.stall_time
+
+let record_exit t reason ~cost =
+  let n = Option.value (Hashtbl.find_opt t.exit_counts reason) ~default:0 in
+  Hashtbl.replace t.exit_counts reason (n + 1);
+  t.exit_time <- t.exit_time + cost
+
+let exits t reason = Option.value (Hashtbl.find_opt t.exit_counts reason) ~default:0
+
+let total_exits t = Hashtbl.fold (fun _ n acc -> acc + n) t.exit_counts 0
+let exit_time t = t.exit_time
+
+let reset_exit_counters t =
+  Hashtbl.reset t.exit_counts;
+  t.exit_time <- 0
+
+let pp_exit_reason fmt = function
+  | Pio -> Format.pp_print_string fmt "pio"
+  | Mmio -> Format.pp_print_string fmt "mmio"
+  | Cpuid -> Format.pp_print_string fmt "cpuid"
+  | Preempt_timer -> Format.pp_print_string fmt "preempt-timer"
+  | Control_reg -> Format.pp_print_string fmt "control-reg"
+  | Init_sipi -> Format.pp_print_string fmt "init-sipi"
+  | Other -> Format.pp_print_string fmt "other"

@@ -1,0 +1,26 @@
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+
+type params = {
+  post_time : Time.span;
+  warm_reboot_time : Time.span;
+  pxe_dhcp_time : Time.span;
+  pxe_rate_bytes_per_s : float;
+}
+
+let default =
+  { post_time = Time.s 133;
+    warm_reboot_time = Time.s 145;
+    pxe_dhcp_time = Time.ms 1500;
+    (* TFTP over GbE is well below line rate; ~40 MB/s effective. *)
+    pxe_rate_bytes_per_s = 40e6 }
+
+let post p = Sim.sleep p.post_time
+let warm_reboot p = Sim.sleep p.warm_reboot_time
+
+let pxe_load_span p ~bytes_len =
+  if bytes_len < 0 then invalid_arg "Firmware.pxe_load: negative size";
+  Time.add p.pxe_dhcp_time
+    (Time.of_float_s (float_of_int bytes_len /. p.pxe_rate_bytes_per_s))
+
+let pxe_load p ~bytes_len = Sim.sleep (pxe_load_span p ~bytes_len)

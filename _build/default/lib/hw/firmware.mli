@@ -1,0 +1,28 @@
+(** Server firmware timing model.
+
+    Server motherboards have notoriously slow POST; the paper's FUJITSU
+    PRIMERGY RX200 S6 took 133 seconds. Network booting (PXE) adds DHCP +
+    TFTP transfer of the boot payload. *)
+
+type params = {
+  post_time : Bmcast_engine.Time.span;  (** full power-on self test *)
+  warm_reboot_time : Bmcast_engine.Time.span;
+      (** reboot POST (the paper measured 145 s for the image-copy
+          restart, including controller re-init) *)
+  pxe_dhcp_time : Bmcast_engine.Time.span;  (** DHCP/TFTP handshake *)
+  pxe_rate_bytes_per_s : float;  (** effective TFTP payload rate *)
+}
+
+val default : params
+(** Calibrated to the paper's testbed (133 s POST; §5.1). *)
+
+val post : params -> unit
+(** Run power-on self test (blocks the calling process). *)
+
+val warm_reboot : params -> unit
+
+val pxe_load : params -> bytes_len:int -> unit
+(** Fetch a boot payload of the given size over PXE (blocks). *)
+
+val pxe_load_span : params -> bytes_len:int -> Bmcast_engine.Time.span
+(** Duration [pxe_load] would block for. *)

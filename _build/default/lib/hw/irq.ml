@@ -1,0 +1,31 @@
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+
+let delivery_latency = Time.us 2
+
+type t = {
+  sim : Sim.t;
+  handlers : (int, unit -> unit) Hashtbl.t;
+  counts : (int, int) Hashtbl.t;
+  mutable spurious : int;
+}
+
+let create sim =
+  { sim; handlers = Hashtbl.create 16; counts = Hashtbl.create 16; spurious = 0 }
+
+let register t ~vec isr = Hashtbl.replace t.handlers vec isr
+let unregister t ~vec = Hashtbl.remove t.handlers vec
+
+let raise_irq t ~vec =
+  let n = Option.value (Hashtbl.find_opt t.counts vec) ~default:0 in
+  Hashtbl.replace t.counts vec (n + 1);
+  match Hashtbl.find_opt t.handlers vec with
+  | Some isr ->
+    Sim.spawn_at t.sim
+      ~name:(Printf.sprintf "isr-vec%d" vec)
+      (Time.add (Sim.now t.sim) delivery_latency)
+      isr
+  | None -> t.spurious <- t.spurious + 1
+
+let delivered t ~vec = Option.value (Hashtbl.find_opt t.counts vec) ~default:0
+let spurious t = t.spurious

@@ -1,0 +1,30 @@
+(** Interrupt controller model (flat APIC-like vector space).
+
+    Devices raise vectors; registered handlers run after a small delivery
+    latency. BMcast's device mediators deliberately avoid injecting
+    virtual interrupts — they arrange for the physical device to generate
+    real ones (redirection) or poll instead of using interrupts at all
+    (multiplexing) — so this controller is never virtualized. *)
+
+type t
+
+val create : Bmcast_engine.Sim.t -> t
+
+val register : t -> vec:int -> (unit -> unit) -> unit
+(** Install the ISR for a vector (replacing any previous one). The ISR
+    runs as a simulation process. *)
+
+val unregister : t -> vec:int -> unit
+
+val raise_irq : t -> vec:int -> unit
+(** Deliver an interrupt: the ISR is scheduled after the delivery
+    latency. Unhandled vectors are counted as spurious. *)
+
+val delivered : t -> vec:int -> int
+(** Number of deliveries so far on a vector. *)
+
+val spurious : t -> int
+(** Deliveries that found no ISR registered. *)
+
+val delivery_latency : Bmcast_engine.Time.span
+(** Fixed modelled LAPIC delivery latency. *)

@@ -1,0 +1,63 @@
+type kind = Usable | Reserved | Vmm_reserved
+
+type entry = { base : int; size : int; kind : kind }
+
+type t = { mutable list : entry list (* sorted by base, non-overlapping *) }
+
+let create ~total_bytes =
+  if total_bytes <= 0 then invalid_arg "Memmap.create: size must be positive";
+  (* Model the conventional hole below 1 MB as Reserved for realism. *)
+  let low = min total_bytes 0x100000 in
+  let entries =
+    if total_bytes <= low then [ { base = 0; size = total_bytes; kind = Reserved } ]
+    else
+      [ { base = 0; size = low; kind = Reserved };
+        { base = low; size = total_bytes - low; kind = Usable } ]
+  in
+  { list = entries }
+
+let coalesce entries =
+  let rec go = function
+    | a :: b :: rest when a.kind = b.kind && a.base + a.size = b.base ->
+      go ({ a with size = a.size + b.size } :: rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go (List.sort (fun a b -> compare a.base b.base) entries)
+
+let entries t = coalesce t.list
+
+let reserve_vmm t ~size =
+  if size <= 0 then invalid_arg "Memmap.reserve_vmm: size must be positive";
+  (* Take from the top of the highest usable region. *)
+  let usable =
+    List.filter (fun e -> e.kind = Usable && e.size >= size) t.list
+  in
+  match List.rev (List.sort (fun a b -> compare a.base b.base) usable) with
+  | [] -> invalid_arg "Memmap.reserve_vmm: no usable region large enough"
+  | top :: _ ->
+    let vmm = { base = top.base + top.size - size; size; kind = Vmm_reserved } in
+    let rest = { top with size = top.size - size } in
+    t.list <-
+      vmm :: (if rest.size > 0 then [ rest ] else [])
+      @ List.filter (fun e -> e.base <> top.base) t.list;
+    vmm
+
+let release_vmm t =
+  t.list <-
+    List.map
+      (fun e -> if e.kind = Vmm_reserved then { e with kind = Usable } else e)
+      t.list
+
+let sum_kind t k =
+  List.fold_left (fun acc e -> if e.kind = k then acc + e.size else acc) 0 t.list
+
+let usable_bytes t = sum_kind t Usable
+let vmm_reserved_bytes t = sum_kind t Vmm_reserved
+
+let kind_at t addr =
+  match
+    List.find_opt (fun e -> addr >= e.base && addr < e.base + e.size) t.list
+  with
+  | Some e -> e.kind
+  | None -> invalid_arg (Printf.sprintf "Memmap.kind_at: address 0x%x out of range" addr)

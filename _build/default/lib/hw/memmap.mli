@@ -1,0 +1,33 @@
+(** Physical memory map (e820-style) with VMM reservation.
+
+    BMcast identity-maps guest physical to machine physical memory and
+    hides its own region (128 MB in the prototype) by editing the map the
+    BIOS reports, so the guest never allocates it (§3.4). *)
+
+type kind = Usable | Reserved | Vmm_reserved
+
+type entry = { base : int; size : int; kind : kind }
+
+type t
+
+val create : total_bytes:int -> t
+(** A map with one usable region covering all of memory. *)
+
+val reserve_vmm : t -> size:int -> entry
+(** Carve a VMM region off the top of the highest usable region and mark
+    it [Vmm_reserved]. Raises [Invalid_argument] if no usable region is
+    large enough. *)
+
+val release_vmm : t -> unit
+(** Return all [Vmm_reserved] regions to [Usable] (the memory-hot-plug
+    mitigation discussed in §4.3; the prototype does not do this). *)
+
+val entries : t -> entry list
+(** Sorted by base address; adjacent same-kind regions are coalesced. *)
+
+val usable_bytes : t -> int
+val vmm_reserved_bytes : t -> int
+
+val kind_at : t -> int -> kind
+(** Kind of the region containing the given address.
+    Raises [Invalid_argument] if out of range. *)

@@ -1,0 +1,75 @@
+type handler = { read : int -> int64; write : int -> int64 -> unit }
+
+type interposer = {
+  on_read : next:(int -> int64) -> int -> int64;
+  on_write : next:(int -> int64 -> unit) -> int -> int64 -> unit;
+}
+
+type region = {
+  base : int;
+  size : int;
+  device : handler;
+  mutable interposer : interposer option;
+}
+
+type t = { mutable regions : region list; mutable trapped : int }
+
+let create () = { regions = []; trapped = 0 }
+
+let overlaps a_base a_size b_base b_size =
+  a_base < b_base + b_size && b_base < a_base + a_size
+
+let map t ~base ~size handler =
+  if size <= 0 then invalid_arg "Mmio.map: size must be positive";
+  List.iter
+    (fun r ->
+      if overlaps base size r.base r.size then
+        invalid_arg
+          (Printf.sprintf "Mmio.map: region 0x%x overlaps existing 0x%x" base
+             r.base))
+    t.regions;
+  t.regions <- { base; size; device = handler; interposer = None } :: t.regions
+
+let unmap t ~base = t.regions <- List.filter (fun r -> r.base <> base) t.regions
+
+let find_region t addr =
+  match
+    List.find_opt (fun r -> addr >= r.base && addr < r.base + r.size) t.regions
+  with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Mmio: unmapped address 0x%x" addr)
+
+let find_by_base t base =
+  match List.find_opt (fun r -> r.base = base) t.regions with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Mmio: no region mapped at 0x%x" base)
+
+let interpose t ~base ix =
+  let r = find_by_base t base in
+  if r.interposer <> None then
+    invalid_arg "Mmio.interpose: region already interposed";
+  r.interposer <- Some ix
+
+let remove_interposer t ~base =
+  let r = find_by_base t base in
+  r.interposer <- None
+
+let read t addr =
+  let r = find_region t addr in
+  let off = addr - r.base in
+  match r.interposer with
+  | None -> r.device.read off
+  | Some ix ->
+    t.trapped <- t.trapped + 1;
+    ix.on_read ~next:r.device.read off
+
+let write t addr v =
+  let r = find_region t addr in
+  let off = addr - r.base in
+  match r.interposer with
+  | None -> r.device.write off v
+  | Some ix ->
+    t.trapped <- t.trapped + 1;
+    ix.on_write ~next:r.device.write off v
+
+let trapped_accesses t = t.trapped

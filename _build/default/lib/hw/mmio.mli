@@ -1,0 +1,46 @@
+(** Memory-mapped I/O address space with VMM interposition.
+
+    Devices map register regions; drivers access them with [read]/[write].
+    A VMM can {e interpose} on a region: every access to it is then routed
+    through the interposer, which may observe, forward, or answer the
+    access itself. This models nested-paging-based MMIO trapping — the
+    mechanism BMcast's device mediators use for I/O interpretation — and
+    removing the interposition models de-virtualization. *)
+
+type t
+
+type handler = {
+  read : int -> int64;  (** [read offset] within the region *)
+  write : int -> int64 -> unit;  (** [write offset value] *)
+}
+
+(** An interposer sees region-relative offsets and the device handler. *)
+type interposer = {
+  on_read : next:(int -> int64) -> int -> int64;
+  on_write : next:(int -> int64 -> unit) -> int -> int64 -> unit;
+}
+
+val create : unit -> t
+
+val map : t -> base:int -> size:int -> handler -> unit
+(** Map a device region. Raises [Invalid_argument] on overlap. *)
+
+val unmap : t -> base:int -> unit
+
+val interpose : t -> base:int -> interposer -> unit
+(** Install an interposer on the region mapped at [base]. At most one
+    interposer per region; raises [Invalid_argument] if the region is not
+    mapped or already interposed. *)
+
+val remove_interposer : t -> base:int -> unit
+(** De-virtualize the region: subsequent accesses go directly to the
+    device handler. No-op if none installed. *)
+
+val read : t -> int -> int64
+(** [read addr]: absolute address. Raises [Invalid_argument] if unmapped. *)
+
+val write : t -> int -> int64 -> unit
+
+val trapped_accesses : t -> int
+(** Number of accesses that went through any interposer (i.e. would have
+    caused VM exits on real hardware). *)

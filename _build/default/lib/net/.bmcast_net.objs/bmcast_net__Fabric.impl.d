@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Array Bmcast_engine Packet Printf

@@ -1,0 +1,1 @@
+lib/net/fabric.mli: Bmcast_engine Packet

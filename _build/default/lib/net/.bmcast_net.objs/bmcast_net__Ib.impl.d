@@ -1,0 +1,1 @@
+lib/net/ib.ml: Array Bmcast_engine Hashtbl

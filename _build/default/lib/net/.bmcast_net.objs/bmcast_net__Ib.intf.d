@@ -1,0 +1,1 @@
+lib/net/ib.mli: Bmcast_engine

@@ -1,0 +1,1 @@
+lib/net/nic.ml: Array Bmcast_engine Bmcast_hw Fabric Hashtbl Int64 Option Packet Printf

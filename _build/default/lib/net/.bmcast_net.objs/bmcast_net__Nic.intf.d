@@ -1,0 +1,1 @@
+lib/net/nic.mli: Bmcast_engine Bmcast_hw Fabric Packet

@@ -1,0 +1,123 @@
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Prng = Bmcast_engine.Prng
+module Mailbox = Bmcast_engine.Mailbox
+
+type t = {
+  sim : Sim.t;
+  rate : float;
+  latency : Time.span;
+  mtu : int;
+  mutable loss_rate : float;
+  prng : Prng.t;
+  mutable ports : port array;
+  mutable frames_sent : int;
+  mutable frames_dropped : int;
+  mutable bytes_delivered : int;
+}
+
+and port = {
+  id : int;
+  name : string;
+  fab : t;
+  rx : Packet.t -> unit;
+  uplink : Packet.t Mailbox.t;  (* endpoint -> switch *)
+  egress : Packet.t Mailbox.t;  (* switch -> endpoint *)
+  tx_drain : Bmcast_engine.Signal.Pulse.t;
+  mutable bytes_out : int;
+}
+
+let transmit_span t size = Time.of_float_s (float_of_int size /. t.rate)
+
+let create sim ?(port_rate_bytes_per_s = 125e6) ?(latency = Time.us 20)
+    ?(mtu = 9000) ?(loss_rate = 0.0) () =
+  { sim;
+    rate = port_rate_bytes_per_s;
+    latency;
+    mtu;
+    loss_rate;
+    prng = Prng.split (Sim.rand sim);
+    ports = [||];
+    frames_sent = 0;
+    frames_dropped = 0;
+    bytes_delivered = 0 }
+
+let mtu t = t.mtu
+let set_loss_rate t r = t.loss_rate <- r
+
+let find_port t id =
+  if id < 0 || id >= Array.length t.ports then
+    invalid_arg (Printf.sprintf "Fabric: unknown port %d" id);
+  t.ports.(id)
+
+(* Uplink process: serialize the frame onto the wire, then hand it to the
+   switch, which forwards to the destination port's egress queue. *)
+let rec uplink_loop t port =
+  let frame = Mailbox.recv port.uplink in
+  Sim.sleep (transmit_span t frame.Packet.size_bytes);
+  port.bytes_out <- port.bytes_out + frame.Packet.size_bytes;
+  Bmcast_engine.Signal.Pulse.pulse port.tx_drain;
+  (* Propagation + switch forwarding. *)
+  Sim.sleep t.latency;
+  (if t.loss_rate > 0.0 && Prng.bernoulli t.prng t.loss_rate then
+     t.frames_dropped <- t.frames_dropped + 1
+   else
+     let dst = find_port t frame.Packet.dst in
+     Mailbox.send dst.egress frame);
+  uplink_loop t port
+
+(* Egress process: serialize on the destination port, then deliver. *)
+let rec egress_loop t port =
+  let frame = Mailbox.recv port.egress in
+  Sim.sleep (transmit_span t frame.Packet.size_bytes);
+  t.bytes_delivered <- t.bytes_delivered + frame.Packet.size_bytes;
+  Sim.spawn ~name:(port.name ^ "-rx") (fun () -> port.rx frame);
+  egress_loop t port
+
+let attach t ~name rx =
+  let id = Array.length t.ports in
+  let port =
+    { id;
+      name;
+      fab = t;
+      rx;
+      uplink = Mailbox.create ();
+      egress = Mailbox.create ();
+      tx_drain = Bmcast_engine.Signal.Pulse.create ();
+      bytes_out = 0 }
+  in
+  t.ports <- Array.append t.ports [| port |];
+  Sim.spawn_at t.sim ~name:(name ^ "-uplink") (Sim.now t.sim) (fun () ->
+      uplink_loop t port);
+  Sim.spawn_at t.sim ~name:(name ^ "-egress") (Sim.now t.sim) (fun () ->
+      egress_loop t port);
+  port
+
+let port_id p = p.id
+
+let send p ~dst ~size_bytes payload =
+  let t = p.fab in
+  if size_bytes <= 0 then invalid_arg "Fabric.send: size must be positive";
+  if size_bytes > Packet.max_frame ~mtu:t.mtu then
+    invalid_arg
+      (Printf.sprintf "Fabric.send: frame of %d bytes exceeds MTU %d"
+         size_bytes t.mtu);
+  t.frames_sent <- t.frames_sent + 1;
+  let frame = { Packet.src = p.id; dst; size_bytes; payload } in
+  ignore (Mailbox.try_send p.uplink frame : bool)
+
+(* Like [send], but models a bounded socket buffer: blocks the calling
+   process while more than [socket_frames] are already queued. *)
+let socket_frames = 8
+
+let send_wait p ~dst ~size_bytes payload =
+  while Mailbox.length p.uplink >= socket_frames do
+    Bmcast_engine.Signal.Pulse.wait p.tx_drain
+  done;
+  send p ~dst ~size_bytes payload
+
+let frames_sent t = t.frames_sent
+let frames_dropped t = t.frames_dropped
+let bytes_delivered t = t.bytes_delivered
+let port_bytes_out p = p.bytes_out
+let port_queue_depth p = Mailbox.length p.uplink

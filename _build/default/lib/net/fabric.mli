@@ -1,0 +1,52 @@
+(** Switched Ethernet fabric.
+
+    Endpoints attach to ports of a store-and-forward switch (the paper's
+    FUJITSU SR-S348TC1 gigabit switch with 9000-byte MTU). A frame is
+    serialized onto the sender's uplink at the port rate, forwarded, then
+    serialized again on the destination port — so multiple senders
+    targeting one destination (many instances hitting one storage server)
+    naturally saturate that port. Optional uniform packet loss exercises
+    the AoE retransmission extension. *)
+
+type t
+
+type port
+
+val create :
+  Bmcast_engine.Sim.t ->
+  ?port_rate_bytes_per_s:float ->
+  ?latency:Bmcast_engine.Time.span ->
+  ?mtu:int ->
+  ?loss_rate:float ->
+  unit ->
+  t
+(** Defaults: 1 GbE (125e6 B/s), 20 us one-way latency, MTU 9000, no
+    loss. *)
+
+val attach : t -> name:string -> (Packet.t -> unit) -> port
+(** Attach an endpoint; the callback receives delivered frames (called
+    in a fresh simulation process). *)
+
+val port_id : port -> int
+val mtu : t -> int
+val set_loss_rate : t -> float -> unit
+
+val send : port -> dst:int -> size_bytes:int -> Packet.payload -> unit
+(** Enqueue a frame for transmission (returns immediately; callable from
+    any context). Raises [Invalid_argument] if the frame exceeds
+    {!Packet.max_frame} for the fabric MTU or the destination is
+    unknown at delivery time. *)
+
+val send_wait : port -> dst:int -> size_bytes:int -> Packet.payload -> unit
+(** Like [send] but models a bounded socket buffer: blocks the calling
+    process while the transmit queue is full (process context). A
+    single-threaded sender therefore serializes against the wire — the
+    original vblade's bottleneck (§4.2). *)
+
+(** {2 Statistics} *)
+
+val frames_sent : t -> int
+val frames_dropped : t -> int
+val bytes_delivered : t -> int
+val port_bytes_out : port -> int
+val port_queue_depth : port -> int

@@ -1,0 +1,182 @@
+module Sim = Bmcast_engine.Sim
+module Mmio = Bmcast_hw.Mmio
+module Irq = Bmcast_hw.Irq
+
+let ring_size = 256
+
+module Regs = struct
+  let tdh = 0x00
+  let tdt = 0x08
+  let rdh = 0x10
+  let rdt = 0x18
+  let ie = 0x20
+  let tdba = 0x28
+  let rdba = 0x30
+end
+
+type tx_desc = { dst : int; size_bytes : int; payload : Packet.payload }
+
+type t = {
+  sim : Sim.t;
+  base : int;
+  irq : Irq.t;
+  irq_vec : int;
+  mutable fabric_port : Fabric.port option;
+  (* descriptor rings, keyed by address (guest memory) *)
+  mutable next_addr : int;
+  tx_rings : (int, tx_desc option array) Hashtbl.t;
+  rx_rings : (int, Packet.t option array) Hashtbl.t;
+  default_tx : int;
+  default_rx : int;
+  (* registers *)
+  mutable tdba : int;
+  mutable rdba : int;
+  mutable tdh : int;
+  mutable tdt : int;
+  mutable rdh : int;
+  mutable rdt : int;
+  mutable ie : int;
+  mutable rx_dropped : int;
+}
+
+let port t = Option.get t.fabric_port
+let base t = t.base
+let irq_vec t = t.irq_vec
+let rx_dropped t = t.rx_dropped
+let default_tx_ring t = t.default_tx
+let default_rx_ring t = t.default_rx
+
+let fresh_addr t =
+  let a = t.next_addr in
+  t.next_addr <- a + 0x1000;
+  a
+
+let alloc_tx_ring t =
+  let a = fresh_addr t in
+  Hashtbl.replace t.tx_rings a (Array.make ring_size None);
+  a
+
+let alloc_rx_ring t =
+  let a = fresh_addr t in
+  Hashtbl.replace t.rx_rings a (Array.make ring_size None);
+  a
+
+let tx_ring t addr =
+  match Hashtbl.find_opt t.tx_rings addr with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Nic: no TX ring at 0x%x" addr)
+
+let rx_ring t addr =
+  match Hashtbl.find_opt t.rx_rings addr with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Nic: no RX ring at 0x%x" addr)
+
+let check_idx idx =
+  if idx < 0 || idx >= ring_size then invalid_arg "Nic: ring index out of range"
+
+let set_tx_desc t ~ring ~idx ~dst ~size_bytes payload =
+  check_idx idx;
+  (tx_ring t ring).(idx) <- Some { dst; size_bytes; payload }
+
+let tx_desc t ~ring ~idx =
+  check_idx idx;
+  Option.map
+    (fun d -> (d.dst, d.size_bytes, d.payload))
+    (tx_ring t ring).(idx)
+
+let rx_desc t ~ring ~idx =
+  check_idx idx;
+  (rx_ring t ring).(idx)
+
+let put_rx_desc t ~ring ~idx frame =
+  check_idx idx;
+  (rx_ring t ring).(idx) <- Some frame
+
+let clear_rx_desc t ~ring ~idx =
+  check_idx idx;
+  (rx_ring t ring).(idx) <- None
+
+(* Device-side transmit: drain [TDH, TDT) of the ring at TDBA. *)
+let kick_tx t =
+  let ring = tx_ring t t.tdba in
+  while t.tdh <> t.tdt do
+    (match ring.(t.tdh) with
+    | Some d ->
+      Fabric.send (port t) ~dst:d.dst ~size_bytes:d.size_bytes d.payload;
+      ring.(t.tdh) <- None
+    | None -> invalid_arg "Nic: TX descriptor not populated");
+    t.tdh <- (t.tdh + 1) mod ring_size
+  done
+
+let on_rx t frame =
+  if t.rdh = t.rdt then t.rx_dropped <- t.rx_dropped + 1
+  else begin
+    (rx_ring t t.rdba).(t.rdh) <- Some frame;
+    t.rdh <- (t.rdh + 1) mod ring_size;
+    if t.ie <> 0 then Irq.raise_irq t.irq ~vec:t.irq_vec
+  end
+
+let reg_read t off =
+  if off = Regs.tdh then Int64.of_int t.tdh
+  else if off = Regs.tdt then Int64.of_int t.tdt
+  else if off = Regs.rdh then Int64.of_int t.rdh
+  else if off = Regs.rdt then Int64.of_int t.rdt
+  else if off = Regs.ie then Int64.of_int t.ie
+  else if off = Regs.tdba then Int64.of_int t.tdba
+  else if off = Regs.rdba then Int64.of_int t.rdba
+  else invalid_arg (Printf.sprintf "Nic: read of unknown register 0x%x" off)
+
+let reg_write t off v =
+  let v = Int64.to_int v in
+  if off = Regs.tdt then begin
+    if v < 0 || v >= ring_size then invalid_arg "Nic: TDT out of range";
+    t.tdt <- v;
+    kick_tx t
+  end
+  else if off = Regs.rdt then begin
+    if v < 0 || v >= ring_size then invalid_arg "Nic: RDT out of range";
+    t.rdt <- v
+  end
+  else if off = Regs.ie then t.ie <- v
+  else if off = Regs.tdba then begin
+    ignore (tx_ring t v : tx_desc option array);
+    t.tdba <- v;
+    t.tdh <- 0;
+    t.tdt <- 0
+  end
+  else if off = Regs.rdba then begin
+    ignore (rx_ring t v : Packet.t option array);
+    t.rdba <- v;
+    t.rdh <- 0;
+    t.rdt <- 0
+  end
+  else invalid_arg (Printf.sprintf "Nic: write of unknown register 0x%x" off)
+
+let raw t = { Mmio.read = reg_read t; write = reg_write t }
+
+let create sim ~mmio ~base ~fabric ~name ~irq ~irq_vec =
+  let t =
+    { sim;
+      base;
+      irq;
+      irq_vec;
+      fabric_port = None;
+      next_addr = 0xA000_0000 + (base land 0xFFFF);
+      tx_rings = Hashtbl.create 4;
+      rx_rings = Hashtbl.create 4;
+      default_tx = 0;
+      default_rx = 0;
+      tdba = 0;
+      rdba = 0;
+      tdh = 0;
+      tdt = 0;
+      rdh = 0;
+      rdt = 0;
+      ie = 0;
+      rx_dropped = 0 }
+  in
+  let tx = alloc_tx_ring t and rx = alloc_rx_ring t in
+  let t = { t with default_tx = tx; default_rx = rx; tdba = tx; rdba = rx } in
+  t.fabric_port <- Some (Fabric.attach fabric ~name (on_rx t));
+  Mmio.map mmio ~base ~size:0x40 (raw t);
+  t

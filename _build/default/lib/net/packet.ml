@@ -1,0 +1,10 @@
+type payload = ..
+
+type payload += Raw of string
+
+type t = { src : int; dst : int; size_bytes : int; payload : payload }
+
+(* 14 header + 4 FCS + 8 preamble + 12 inter-frame gap *)
+let header_bytes = 38
+
+let max_frame ~mtu = mtu + header_bytes

@@ -1,0 +1,23 @@
+(** Ethernet frames.
+
+    Payloads are an extensible variant so higher layers (AoE, iSCSI, NFS
+    models) can define their own without this library depending on them.
+    [size_bytes] is the full on-wire frame size including all headers;
+    link-time serialization is computed from it. *)
+
+type payload = ..
+
+type payload += Raw of string
+
+type t = {
+  src : int;  (** source port id *)
+  dst : int;  (** destination port id *)
+  size_bytes : int;
+  payload : payload;
+}
+
+val header_bytes : int
+(** Ethernet header + FCS + preamble/IFG accounted per frame (38). *)
+
+val max_frame : mtu:int -> int
+(** Largest legal frame for an MTU: [mtu + header_bytes]. *)

@@ -1,0 +1,1 @@
+lib/platform/cpu_model.mli: Bmcast_engine Bmcast_hw

@@ -1,0 +1,1 @@
+lib/platform/machine.mli: Bmcast_engine Bmcast_hw Bmcast_net Bmcast_storage

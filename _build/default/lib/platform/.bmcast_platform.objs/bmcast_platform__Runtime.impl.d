@@ -1,0 +1,1 @@
+lib/platform/runtime.ml: Bmcast_storage Cpu_model Format Machine

@@ -1,0 +1,1 @@
+lib/platform/runtime.mli: Bmcast_engine Bmcast_storage Cpu_model Format Machine

@@ -1,0 +1,51 @@
+(** Execution-time tax model for guest CPU work.
+
+    A workload's CPU burst is stretched by the platform's current
+    virtualization taxes before being charged to a physical core:
+
+    - [tlb_mode] — nested-paging / cache-pollution slowdown as a function
+      of the burst's memory intensity (see {!Bmcast_hw.Tlb});
+    - [steal] — fraction of machine CPU consumed by hypervisor threads
+      (BMcast's deployment threads cost ~6% in §5.2: 5% I/O-mediation
+      polling + 1% VMM core);
+    - [exit_overhead] — mean extra per-burst cost of VM exits not tied to
+      device I/O (KVM's scheduler/APIC exits; ~0 for BMcast).
+
+    Taxes are mutable: BMcast's de-virtualization drops them all to zero
+    at runtime, which is what makes "zero overhead afterwards" a
+    measurable outcome. *)
+
+type t = {
+  mutable tlb_mode : Bmcast_hw.Tlb.mode;
+  mutable steal : float;
+  mutable exit_overhead : float;  (** fractional, e.g. 0.01 for +1% *)
+  mutable yield_cost : Bmcast_engine.Time.span;
+      (** VM-exit cost of a guest [sched_yield] (PAUSE/HLT exiting).
+          BMcast "traps only minimum events" (§5.5.1) so this is zero
+          for it; conventional VMMs pay it on every yield, which is what
+          blows up lock-heavy workloads. *)
+}
+
+val bare : unit -> t
+(** No taxes (and never any: bare metal). *)
+
+val create :
+  tlb_mode:Bmcast_hw.Tlb.mode -> steal:float -> exit_overhead:float -> t
+
+val set_yield_cost : t -> Bmcast_engine.Time.span -> unit
+
+val clear : t -> unit
+(** Drop every tax to zero — de-virtualization. *)
+
+val stretch : t -> work:Bmcast_engine.Time.span -> mem_intensity:float ->
+  Bmcast_engine.Time.span
+(** Stretched duration of a burst under the current taxes. *)
+
+val run :
+  Bmcast_hw.Cpu.t -> t -> core:int -> work:Bmcast_engine.Time.span ->
+  mem_intensity:float -> unit
+(** Stretch and execute a burst on a physical core (process context). *)
+
+val yield : Bmcast_hw.Cpu.t -> t -> core:int -> unit
+(** A guest scheduling yield: free on bare metal and under BMcast,
+    one VM exit under a conventional VMM (process context). *)

@@ -1,0 +1,1 @@
+lib/proto/aoe.ml: Array Bmcast_net Bmcast_storage Bytes Int32 Printf

@@ -1,0 +1,1 @@
+lib/proto/aoe.mli: Bmcast_net Bmcast_storage Bytes

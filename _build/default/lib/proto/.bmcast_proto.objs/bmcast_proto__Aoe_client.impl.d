@@ -1,0 +1,1 @@
+lib/proto/aoe_client.ml: Aoe Array Bmcast_engine Bmcast_storage Hashtbl Option Printf

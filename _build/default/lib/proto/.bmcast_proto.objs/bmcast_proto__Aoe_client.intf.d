@@ -1,0 +1,1 @@
+lib/proto/aoe_client.mli: Aoe Bmcast_engine Bmcast_storage

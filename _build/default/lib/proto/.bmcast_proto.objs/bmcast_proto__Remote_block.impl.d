@@ -1,0 +1,1 @@
+lib/proto/remote_block.ml: Array Bmcast_engine Bmcast_net Bmcast_storage Hashtbl List Option Printf

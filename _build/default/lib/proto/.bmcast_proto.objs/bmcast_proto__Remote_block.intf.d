@@ -1,0 +1,1 @@
+lib/proto/remote_block.mli: Bmcast_engine Bmcast_net Bmcast_storage

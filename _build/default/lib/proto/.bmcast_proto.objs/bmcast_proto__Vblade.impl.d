@@ -1,0 +1,1 @@
+lib/proto/vblade.ml: Aoe Array Bmcast_engine Bmcast_net Bmcast_storage Option Printf

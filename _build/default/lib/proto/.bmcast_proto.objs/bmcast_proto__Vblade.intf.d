@@ -1,0 +1,1 @@
+lib/proto/vblade.mli: Bmcast_engine Bmcast_net Bmcast_storage

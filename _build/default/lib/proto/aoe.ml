@@ -1,0 +1,102 @@
+module Content = Bmcast_storage.Content
+module Packet = Bmcast_net.Packet
+module Fabric = Bmcast_net.Fabric
+
+type command = Ata_read | Ata_write | Query_config
+
+type header = {
+  major : int;
+  minor : int;
+  command : command;
+  tag : int;
+  frag : int;
+  is_response : bool;
+  error : bool;
+  lba : int;
+  count : int;
+}
+
+(* Layout (offsets):
+   0  ver/flags        1  error
+   2  major (be16)     4  minor
+   5  command          6  tag (be32: high byte = fragment index, ext.)
+   10 aflags           11 errfeat
+   12 count            13 cmdstat
+   14 lba (6 bytes le) 20..35 reserved/pad
+   Data follows at 36. *)
+let header_bytes = 36
+
+let ver_flag_response = 0x08
+
+let check_field name v max =
+  if v < 0 || v > max then
+    invalid_arg (Printf.sprintf "Aoe: %s %d out of range" name v)
+
+let encode_header h =
+  check_field "major" h.major 0xFFFF;
+  check_field "minor" h.minor 0xFF;
+  check_field "tag" h.tag 0xFF_FFFF;
+  check_field "frag" h.frag 0xFF;
+  check_field "count" h.count 0xFFFF;
+  check_field "lba" h.lba 0xFFFF_FFFF_FFFF;
+  let b = Bytes.make header_bytes '\000' in
+  Bytes.set_uint8 b 0 (0x10 lor if h.is_response then ver_flag_response else 0);
+  Bytes.set_uint8 b 1 (if h.error then 1 else 0);
+  Bytes.set_uint16_be b 2 h.major;
+  Bytes.set_uint8 b 4 h.minor;
+  Bytes.set_uint8 b 5
+    (match h.command with Ata_read -> 0 | Ata_write -> 1 | Query_config -> 2);
+  Bytes.set_int32_be b 6
+    (Int32.of_int ((h.frag lsl 24) lor h.tag));
+  Bytes.set_uint16_be b 12 h.count;
+  for i = 0 to 5 do
+    Bytes.set_uint8 b (14 + i) ((h.lba lsr (8 * i)) land 0xFF)
+  done;
+  b
+
+let decode_header b =
+  if Bytes.length b < header_bytes then
+    invalid_arg "Aoe.decode_header: buffer too short";
+  let ver_flags = Bytes.get_uint8 b 0 in
+  if ver_flags lsr 4 <> 1 then
+    invalid_arg "Aoe.decode_header: unsupported AoE version";
+  let tag32 = Int32.to_int (Bytes.get_int32_be b 6) land 0xFFFF_FFFF in
+  let lba = ref 0 in
+  for i = 5 downto 0 do
+    lba := (!lba lsl 8) lor Bytes.get_uint8 b (14 + i)
+  done;
+  { major = Bytes.get_uint16_be b 2;
+    minor = Bytes.get_uint8 b 4;
+    command =
+      (match Bytes.get_uint8 b 5 with
+      | 0 -> Ata_read
+      | 1 -> Ata_write
+      | 2 -> Query_config
+      | c -> invalid_arg (Printf.sprintf "Aoe.decode_header: command %d" c));
+    tag = tag32 land 0xFF_FFFF;
+    frag = (tag32 lsr 24) land 0xFF;
+    is_response = ver_flags land ver_flag_response <> 0;
+    error = Bytes.get_uint8 b 1 <> 0;
+    lba = !lba;
+    count = Bytes.get_uint16_be b 12 }
+
+let wire_size ~sectors = header_bytes + (512 * sectors)
+
+let max_sectors ~mtu =
+  let s = (mtu - header_bytes) / 512 in
+  if s < 1 then invalid_arg "Aoe.max_sectors: MTU too small for one sector";
+  s
+
+type frame = { hdr : header; data : Content.t array }
+
+type Packet.payload += Frame of frame
+
+let send port ~dst hdr data =
+  Fabric.send port ~dst
+    ~size_bytes:(wire_size ~sectors:(Array.length data))
+    (Frame { hdr; data })
+
+let send_wait port ~dst hdr data =
+  Fabric.send_wait port ~dst
+    ~size_bytes:(wire_size ~sectors:(Array.length data))
+    (Frame { hdr; data })

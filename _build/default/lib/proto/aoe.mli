@@ -1,0 +1,58 @@
+(** ATA-over-Ethernet protocol, extended per §4.2.
+
+    The base protocol (Brantley Coile/Sam Hopkins spec) carries an ATA
+    register set in an Ethernet frame. BMcast's extensions, all
+    implemented here:
+    - {e jumbo frames}: more sectors per frame (17 at MTU 9000);
+    - {e fragmentation}: a response larger than one frame is split into
+      fragments whose offset rides in the tag field's upper bits;
+    - {e retransmission}: requests carry client-chosen tags and are
+      retried on timeout (see {!Client}).
+
+    Headers have a real byte-level codec ({!encode_header} /
+    {!decode_header}) used by the unit tests; simulation packets carry
+    the decoded form plus sector contents. *)
+
+type command = Ata_read | Ata_write | Query_config
+
+type header = {
+  major : int;  (** AoE shelf address (16 bit) *)
+  minor : int;  (** AoE slot address (8 bit) *)
+  command : command;
+  tag : int;  (** request identifier (24 bits of the tag field) *)
+  frag : int;  (** fragment index (8 bits of the tag field); extension *)
+  is_response : bool;
+  error : bool;
+  lba : int;  (** 48-bit LBA *)
+  count : int;  (** sector count for this frame/command *)
+}
+
+val header_bytes : int
+(** Encoded header length (AoE + ATA section, 36 bytes). *)
+
+val encode_header : header -> Bytes.t
+val decode_header : Bytes.t -> header
+(** Raises [Invalid_argument] on a short or malformed buffer. *)
+
+val wire_size : sectors:int -> int
+(** On-wire Ethernet payload size of a frame carrying [sectors] of data:
+    [header_bytes + 512 * sectors]. *)
+
+val max_sectors : mtu:int -> int
+(** Sectors that fit in one frame at the given MTU (17 at 9000; 2 at
+    1500). *)
+
+type frame = { hdr : header; data : Bmcast_storage.Content.t array }
+(** A frame as carried through the simulated fabric: decoded header plus
+    the content identities of the sectors on board. *)
+
+type Bmcast_net.Packet.payload += Frame of frame
+
+val send :
+  Bmcast_net.Fabric.port -> dst:int -> header -> Bmcast_storage.Content.t array -> unit
+(** Encode sizing and transmit a frame on a fabric port. *)
+
+val send_wait :
+  Bmcast_net.Fabric.port -> dst:int -> header -> Bmcast_storage.Content.t array -> unit
+(** Like {!send} but with socket-buffer backpressure (process
+    context). *)

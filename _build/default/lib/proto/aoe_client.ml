@@ -1,0 +1,206 @@
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Signal = Bmcast_engine.Signal
+module Content = Bmcast_storage.Content
+
+exception Timeout of string
+
+exception Target_error of string
+
+type pending = {
+  request : Aoe.header;
+  write_data : Content.t array option;  (* resent on retry *)
+  assembly : Content.t array;  (* read reassembly buffer *)
+  got : bool array;  (* per-sector arrival, robust to duplicates *)
+  mutable received : int;
+  mutable response_lba : int;  (* Query_config answer *)
+  mutable failed : bool;  (* target answered with the error flag *)
+  done_ : Signal.Latch.t;
+}
+
+type t = {
+  sim : Sim.t;
+  send : Aoe.header -> Content.t array -> unit;
+  mtu : int;
+  timeout : Time.span;
+  max_read_sectors : int;
+  max_retries : int;
+  major : int;
+  minor : int;
+  mutable next_tag : int;
+  pending : (int, pending) Hashtbl.t;
+  mutable retransmits : int;
+  mutable requests_sent : int;
+}
+
+let create sim ~send ?(mtu = 9000) ?(timeout = Time.ms 20)
+    ?(max_read_sectors = 1024) ?(max_retries = 10) ?(major = 0) ?(minor = 0)
+    () =
+  if max_read_sectors <= 0 then
+    invalid_arg "Aoe_client: max_read_sectors must be positive";
+  { sim;
+    send;
+    mtu;
+    timeout;
+    max_read_sectors;
+    max_retries;
+    major;
+    minor;
+    next_tag = 1;
+    pending = Hashtbl.create 32;
+    retransmits = 0;
+    requests_sent = 0 }
+
+let retransmits t = t.retransmits
+let requests_sent t = t.requests_sent
+
+let fresh_tag t =
+  let tag = t.next_tag in
+  t.next_tag <- if tag >= 0xFF_FFFF then 1 else tag + 1;
+  tag
+
+let on_frame t frame =
+  let hdr = frame.Aoe.hdr in
+  if hdr.Aoe.is_response then
+    match Hashtbl.find_opt t.pending hdr.Aoe.tag with
+    | None -> ()  (* stale duplicate after completion: ignore *)
+    | Some p when hdr.Aoe.error ->
+      p.failed <- true;
+      Hashtbl.remove t.pending hdr.Aoe.tag;
+      Signal.Latch.set p.done_
+    | Some p ->
+      let base = p.request.Aoe.lba in
+      (match p.request.Aoe.command with
+      | Aoe.Ata_read ->
+        let off = hdr.Aoe.lba - base in
+        let n = Array.length frame.Aoe.data in
+        if off < 0 || off + n > Array.length p.assembly then ()
+        else
+          for i = 0 to n - 1 do
+            if not p.got.(off + i) then begin
+              p.got.(off + i) <- true;
+              p.assembly.(off + i) <- frame.Aoe.data.(i);
+              p.received <- p.received + 1
+            end
+          done
+      | Aoe.Ata_write ->
+        (* A write ack covers the whole command. *)
+        if p.received = 0 then p.received <- p.request.Aoe.count
+      | Aoe.Query_config ->
+        p.response_lba <- hdr.Aoe.lba;
+        if p.received = 0 then p.received <- p.request.Aoe.count);
+      if p.received >= p.request.Aoe.count then begin
+        Hashtbl.remove t.pending hdr.Aoe.tag;
+        Signal.Latch.set p.done_
+      end
+
+(* Issue one command and block until fully answered, retrying on
+   timeout. *)
+let run_command t request write_data =
+  let p =
+    { request;
+      write_data;
+      assembly = Array.make request.Aoe.count Content.Zero;
+      got = Array.make request.Aoe.count false;
+      received = 0;
+      response_lba = 0;
+      failed = false;
+      done_ = Signal.Latch.create () }
+  in
+  Hashtbl.replace t.pending request.Aoe.tag p;
+  let payload = Option.value write_data ~default:[||] in
+  let rec attempt n =
+    if n > t.max_retries then begin
+      Hashtbl.remove t.pending request.Aoe.tag;
+      raise
+        (Timeout
+           (Printf.sprintf "AoE command tag=%d lba=%d count=%d"
+              request.Aoe.tag request.Aoe.lba request.Aoe.count))
+    end;
+    if n > 0 then t.retransmits <- t.retransmits + 1;
+    t.requests_sent <- t.requests_sent + 1;
+    t.send request payload;
+    (* Wait for completion or timeout; the timeout backs off
+       exponentially across retries so a loaded target is not buried
+       under retransmissions. *)
+    let backoff = Time.mul t.timeout (1 lsl min n 6) in
+    let deadline = Time.add (Sim.now t.sim) backoff in
+    let woke =
+      Sim.suspend (fun waker ->
+          (* Completion wake-up racing the timeout; first caller wins. *)
+          Signal.Latch.on_set p.done_ (fun () -> ignore (waker true : bool));
+          Sim.schedule t.sim deadline (fun () -> ignore (waker false : bool)))
+    in
+    if not woke && not (Signal.Latch.is_set p.done_) then attempt (n + 1)
+  in
+  attempt 0;
+  if p.failed then
+    raise
+      (Target_error
+         (Printf.sprintf "AoE target rejected lba=%d count=%d"
+            request.Aoe.lba request.Aoe.count));
+  p
+
+let query_capacity t =
+  let request =
+    { Aoe.major = t.major;
+      minor = t.minor;
+      command = Aoe.Query_config;
+      tag = fresh_tag t;
+      frag = 0;
+      is_response = false;
+      error = false;
+      lba = 0;
+      count = 1 }
+  in
+  (run_command t request None).response_lba
+
+let read t ~lba ~count =
+  if count <= 0 then invalid_arg "Aoe_client.read: count must be positive";
+  let out = Array.make count Content.Zero in
+  let rec go off =
+    if off < count then begin
+      let n = min t.max_read_sectors (count - off) in
+      let request =
+        { Aoe.major = t.major;
+          minor = t.minor;
+          command = Aoe.Ata_read;
+          tag = fresh_tag t;
+          frag = 0;
+          is_response = false;
+          error = false;
+          lba = lba + off;
+          count = n }
+      in
+      let data = (run_command t request None).assembly in
+      Array.blit data 0 out off n;
+      go (off + n)
+    end
+  in
+  go 0;
+  out
+
+let write t ~lba ~count data =
+  if count <= 0 then invalid_arg "Aoe_client.write: count must be positive";
+  if Array.length data <> count then
+    invalid_arg "Aoe_client.write: data length mismatch";
+  let per_frame = Aoe.max_sectors ~mtu:t.mtu in
+  let rec go off =
+    if off < count then begin
+      let n = min per_frame (count - off) in
+      let request =
+        { Aoe.major = t.major;
+          minor = t.minor;
+          command = Aoe.Ata_write;
+          tag = fresh_tag t;
+          frag = 0;
+          is_response = false;
+          error = false;
+          lba = lba + off;
+          count = n }
+      in
+      ignore (run_command t request (Some (Array.sub data off n)) : pending);
+      go (off + n)
+    end
+  in
+  go 0

@@ -1,0 +1,50 @@
+(** AoE initiator with retransmission and fragment reassembly.
+
+    Transport-agnostic: the owner supplies a [send] function (the BMcast
+    VMM sends through its polling NIC driver; tests send straight into a
+    fabric port) and feeds received frames to {!on_frame}. Reads are
+    issued as commands of up to [max_read_sectors]; the target streams
+    the response back as MTU-sized fragments which are reassembled by
+    the tag/fragment-offset extension. Lost frames are recovered by
+    re-sending the whole command after [timeout], with exponential
+    backoff across retries (commands are idempotent). *)
+
+type t
+
+val create :
+  Bmcast_engine.Sim.t ->
+  send:(Aoe.header -> Bmcast_storage.Content.t array -> unit) ->
+  ?mtu:int ->
+  ?timeout:Bmcast_engine.Time.span ->
+  ?max_read_sectors:int ->
+  ?max_retries:int ->
+  ?major:int ->
+  ?minor:int ->
+  unit ->
+  t
+(** Defaults: MTU 9000, timeout 20 ms, 1024-sector read commands,
+    10 retries, target 0.0. *)
+
+val on_frame : t -> Aoe.frame -> unit
+(** Feed a received frame (responses to other tags are ignored, so
+    multiple clients can share a pipe). *)
+
+exception Timeout of string
+(** Raised when a command exhausts its retries. *)
+
+exception Target_error of string
+(** Raised when the target answers with the AoE error flag (e.g. an
+    out-of-range request). *)
+
+val read : t -> lba:int -> count:int -> Bmcast_storage.Content.t array
+(** Blocking read (process context). *)
+
+val write : t -> lba:int -> count:int -> Bmcast_storage.Content.t array -> unit
+(** Blocking write (process context). *)
+
+val query_capacity : t -> int
+(** AoE Query-Config: the target's capacity in sectors (blocking,
+    process context). *)
+
+val retransmits : t -> int
+val requests_sent : t -> int

@@ -1,0 +1,131 @@
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Mailbox = Bmcast_engine.Mailbox
+module Semaphore = Bmcast_engine.Semaphore
+module Content = Bmcast_storage.Content
+module Disk = Bmcast_storage.Disk
+module Fabric = Bmcast_net.Fabric
+module Packet = Bmcast_net.Packet
+
+type job = { src : int; frame : Aoe.frame }
+
+type t = {
+  sim : Sim.t;
+  disk : Disk.t;
+  mutable fabric_port : Fabric.port option;
+  mtu : int;
+  per_request_cpu : Time.span;
+  per_sector_cpu : Time.span;
+  ram_cache : bool;
+  work : job Mailbox.t;
+  disk_lock : Semaphore.t;
+  mutable requests_served : int;
+  mutable bytes_served : int;
+}
+
+let port t = Option.get t.fabric_port
+let port_id t = Fabric.port_id (port t)
+let requests_served t = t.requests_served
+let bytes_served t = t.bytes_served
+
+(* vblade's sendto blocks when the socket buffer fills — the root of the
+   single-thread bottleneck the paper fixed with a worker pool. *)
+let respond t ~dst hdr data = Aoe.send_wait (port t) ~dst hdr data
+
+let bad_range t hdr =
+  (hdr.Aoe.command = Aoe.Ata_read || hdr.Aoe.command = Aoe.Ata_write)
+  && (hdr.Aoe.lba < 0 || hdr.Aoe.count <= 0
+     || hdr.Aoe.lba + hdr.Aoe.count > Disk.capacity_sectors t.disk)
+
+let serve t job =
+  let hdr = job.frame.Aoe.hdr in
+  Sim.sleep
+    (t.per_request_cpu + Time.mul t.per_sector_cpu hdr.Aoe.count);
+  if bad_range t hdr then
+    (* A malformed request gets an error response, not a dead target. *)
+    respond t ~dst:job.src
+      { hdr with Aoe.is_response = true; error = true; count = 0 }
+      [||]
+  else
+  match hdr.Aoe.command with
+  | Aoe.Ata_read ->
+    (* Read the whole command off the disk (keeping the lock so chunks
+       stay sequential), then stream fragments with socket
+       backpressure. With one worker the next command's disk read waits
+       for this command's wire time; a pool overlaps them. *)
+    let data =
+      if t.ram_cache then Disk.peek t.disk ~lba:hdr.Aoe.lba ~count:hdr.Aoe.count
+      else
+        Semaphore.with_permit t.disk_lock (fun () ->
+            Disk.read t.disk ~lba:hdr.Aoe.lba ~count:hdr.Aoe.count)
+    in
+    let per_frame = Aoe.max_sectors ~mtu:t.mtu in
+    let rec stream off frag =
+      if off < hdr.Aoe.count then begin
+        let n = min per_frame (hdr.Aoe.count - off) in
+        respond t ~dst:job.src
+          { hdr with
+            Aoe.is_response = true;
+            frag = frag land 0xFF;
+            lba = hdr.Aoe.lba + off;
+            count = n }
+          (Array.sub data off n);
+        stream (off + n) (frag + 1)
+      end
+    in
+    stream 0 0;
+    t.requests_served <- t.requests_served + 1;
+    t.bytes_served <- t.bytes_served + (hdr.Aoe.count * 512)
+  | Aoe.Query_config ->
+    (* Target discovery: capacity rides in the LBA field. *)
+    t.requests_served <- t.requests_served + 1;
+    respond t ~dst:job.src
+      { hdr with
+        Aoe.is_response = true;
+        lba = Disk.capacity_sectors t.disk;
+        count = 0 }
+      [||]
+  | Aoe.Ata_write ->
+    Semaphore.with_permit t.disk_lock (fun () ->
+        Disk.write t.disk ~lba:hdr.Aoe.lba ~count:hdr.Aoe.count
+          job.frame.Aoe.data);
+    t.requests_served <- t.requests_served + 1;
+    t.bytes_served <- t.bytes_served + (hdr.Aoe.count * 512);
+    respond t ~dst:job.src { hdr with Aoe.is_response = true } [||]
+
+let rec worker_loop t =
+  let job = Mailbox.recv t.work in
+  serve t job;
+  worker_loop t
+
+let on_rx t (pkt : Packet.t) =
+  match pkt.Packet.payload with
+  | Aoe.Frame frame when not frame.Aoe.hdr.Aoe.is_response ->
+    ignore (Mailbox.try_send t.work { src = pkt.Packet.src; frame } : bool)
+  | Aoe.Frame _ | _ -> ()
+
+let create sim ~fabric ~name ~disk ?(workers = 8)
+    ?(per_request_cpu = Time.us 1500) ?(per_sector_cpu = 400)
+    ?(ram_cache = false) () =
+  if workers <= 0 then invalid_arg "Vblade: workers must be positive";
+  let t =
+    { sim;
+      disk;
+      fabric_port = None;
+      mtu = Fabric.mtu fabric;
+      per_request_cpu;
+      per_sector_cpu;
+      ram_cache;
+      work = Mailbox.create ();
+      disk_lock = Semaphore.create 1;
+      requests_served = 0;
+      bytes_served = 0 }
+  in
+  t.fabric_port <- Some (Fabric.attach fabric ~name (on_rx t));
+  for i = 1 to workers do
+    Sim.spawn_at sim
+      ~name:(Printf.sprintf "%s-worker%d" name i)
+      (Sim.now sim)
+      (fun () -> worker_loop t)
+  done;
+  t

@@ -1,0 +1,33 @@
+(** AoE target (vblade) with a worker thread pool.
+
+    The original vblade is single-threaded and "becomes a performance
+    bottleneck when the VMM sends a significant volume of read requests";
+    the paper added a thread pool (§4.2). [workers = 1] reproduces the
+    original; the ablation benchmark sweeps pool sizes.
+
+    Each request costs per-request and per-sector CPU time on a worker,
+    plus a disk access (the disk serializes across workers like a real
+    spindle); response data is streamed back as MTU-sized fragments. *)
+
+type t
+
+val create :
+  Bmcast_engine.Sim.t ->
+  fabric:Bmcast_net.Fabric.t ->
+  name:string ->
+  disk:Bmcast_storage.Disk.t ->
+  ?workers:int ->
+  ?per_request_cpu:Bmcast_engine.Time.span ->
+  ?per_sector_cpu:Bmcast_engine.Time.span ->
+  ?ram_cache:bool ->
+  unit ->
+  t
+(** Defaults: 8 workers, 1.5 ms per request (a userspace daemon doing
+    filesystem I/O per command), 400 ns per sector, no RAM cache (reads
+    hit the server disk). *)
+
+val port : t -> Bmcast_net.Fabric.port
+val port_id : t -> int
+
+val requests_served : t -> int
+val bytes_served : t -> int

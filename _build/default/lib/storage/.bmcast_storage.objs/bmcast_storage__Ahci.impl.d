@@ -1,0 +1,1 @@
+lib/storage/ahci.ml: Array Bmcast_engine Bmcast_hw Content Disk Dma Hashtbl Int64 List Printf

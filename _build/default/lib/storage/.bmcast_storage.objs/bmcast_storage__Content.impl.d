@@ -1,0 +1,1 @@
+lib/storage/content.ml: Array Format String

@@ -1,0 +1,1 @@
+lib/storage/dma.ml: Array Content Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/storage/ide.ml: Array Bmcast_engine Bmcast_hw Content Disk Dma Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/storage/ide.mli: Bmcast_engine Bmcast_hw Disk Dma

@@ -1,0 +1,216 @@
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Mailbox = Bmcast_engine.Mailbox
+module Mmio = Bmcast_hw.Mmio
+module Irq = Bmcast_hw.Irq
+
+module Fis = struct
+  type op = Read | Write
+
+  type t = { op : op; lba : int; count : int }
+end
+
+type prd = { buf_addr : int; sectors : int }
+
+type cmd_table = { mutable fis : Fis.t; mutable prdt : prd list }
+
+module Regs = struct
+  let px_clb = 0x100
+  let px_is = 0x110
+  let px_ie = 0x114
+  let px_cmd = 0x118
+  let px_tfd = 0x120
+  let px_ci = 0x138
+end
+
+let tfd_bsy = 0x80L
+
+(* Per-command controller processing overhead (command fetch, FIS
+   handling); the disk model charges the rest. *)
+let command_overhead = Time.us 20
+
+type t = {
+  sim : Sim.t;
+  base : int;
+  dma : Dma.t;
+  disk : Disk.t;
+  irq : Irq.t;
+  irq_vec : int;
+  (* registers *)
+  mutable clb : int64;
+  mutable is_reg : int64;
+  mutable ie : int64;
+  mutable cmd : int64;
+  mutable ci : int64;
+  (* guest-memory structures *)
+  mutable next_addr : int;
+  cmd_lists : (int, int option array) Hashtbl.t;  (* addr -> slot table addrs *)
+  cmd_tables : (int, cmd_table) Hashtbl.t;
+  (* service *)
+  work : int Mailbox.t;  (* slots awaiting service, FIFO *)
+  mutable serving : bool;
+  mutable commands_processed : int;
+  mutable irqs_raised : int;
+}
+
+let base t = t.base
+let irq_vec t = t.irq_vec
+let dma t = t.dma
+let disk t = t.disk
+let commands_processed t = t.commands_processed
+let irqs_raised t = t.irqs_raised
+
+(* --- guest-memory structures --- *)
+
+let fresh_addr t =
+  let a = t.next_addr in
+  t.next_addr <- a + 0x1000;
+  a
+
+let alloc_cmd_list t =
+  let addr = fresh_addr t in
+  Hashtbl.replace t.cmd_lists addr (Array.make 32 None);
+  addr
+
+let find_cmd_list t addr =
+  match Hashtbl.find_opt t.cmd_lists addr with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Ahci: no command list at 0x%x" addr)
+
+let alloc_cmd_table t fis prdt =
+  let addr = fresh_addr t in
+  Hashtbl.replace t.cmd_tables addr { fis; prdt };
+  addr
+
+let cmd_table t ~addr =
+  match Hashtbl.find_opt t.cmd_tables addr with
+  | Some ct -> ct
+  | None -> invalid_arg (Printf.sprintf "Ahci: no command table at 0x%x" addr)
+
+let check_slot slot =
+  if slot < 0 || slot > 31 then invalid_arg "Ahci: slot out of range"
+
+let set_slot t ~clb ~slot ~table_addr =
+  check_slot slot;
+  (find_cmd_list t clb).(slot) <- Some table_addr
+
+let slot_table_addr t ~clb ~slot =
+  check_slot slot;
+  match (find_cmd_list t clb).(slot) with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Ahci: slot %d is empty" slot)
+
+(* --- command execution --- *)
+
+let execute t slot =
+  let table_addr = slot_table_addr t ~clb:(Int64.to_int t.clb) ~slot in
+  let ct = cmd_table t ~addr:table_addr in
+  Sim.sleep command_overhead;
+  let { Fis.op; lba; count } = ct.fis in
+  let prd_total = List.fold_left (fun acc p -> acc + p.sectors) 0 ct.prdt in
+  if prd_total < count then
+    invalid_arg
+      (Printf.sprintf "Ahci: PRDT covers %d sectors but command needs %d"
+         prd_total count);
+  (match op with
+  | Fis.Read ->
+    let data = Disk.read t.disk ~lba ~count in
+    let off = ref 0 in
+    List.iter
+      (fun prd ->
+        if !off < count then begin
+          let n = min prd.sectors (count - !off) in
+          let buf = Dma.find t.dma ~addr:prd.buf_addr in
+          Dma.write buf ~off:0 (Array.sub data !off n);
+          off := !off + n
+        end)
+      ct.prdt
+  | Fis.Write ->
+    let data = Array.make count Content.Zero in
+    let off = ref 0 in
+    List.iter
+      (fun prd ->
+        if !off < count then begin
+          let n = min prd.sectors (count - !off) in
+          let buf = Dma.find t.dma ~addr:prd.buf_addr in
+          Array.blit (Dma.read buf ~off:0 ~count:n) 0 data !off n;
+          off := !off + n
+        end)
+      ct.prdt;
+    Disk.write t.disk ~lba ~count data);
+  t.commands_processed <- t.commands_processed + 1;
+  (* Completion: clear CI bit, set interrupt status, raise IRQ. *)
+  t.ci <- Int64.logand t.ci (Int64.lognot (Int64.shift_left 1L slot));
+  t.is_reg <- Int64.logor t.is_reg 1L;
+  if Int64.logand t.ie 1L <> 0L then begin
+    t.irqs_raised <- t.irqs_raised + 1;
+    Irq.raise_irq t.irq ~vec:t.irq_vec
+  end
+
+let rec service_loop t =
+  let slot = Mailbox.recv t.work in
+  t.serving <- true;
+  execute t slot;
+  t.serving <- not (Mailbox.is_empty t.work);
+  service_loop t
+
+(* --- registers --- *)
+
+let reg_read t off =
+  if off = Regs.px_clb then t.clb
+  else if off = Regs.px_is then t.is_reg
+  else if off = Regs.px_ie then t.ie
+  else if off = Regs.px_cmd then t.cmd
+  else if off = Regs.px_tfd then
+    if t.serving || not (Mailbox.is_empty t.work) then tfd_bsy else 0L
+  else if off = Regs.px_ci then t.ci
+  else invalid_arg (Printf.sprintf "Ahci: read of unknown register 0x%x" off)
+
+let reg_write t off v =
+  if off = Regs.px_clb then t.clb <- v
+  else if off = Regs.px_is then t.is_reg <- Int64.logand t.is_reg (Int64.lognot v)
+  else if off = Regs.px_ie then t.ie <- v
+  else if off = Regs.px_cmd then t.cmd <- v
+  else if off = Regs.px_ci then begin
+    if Int64.logand t.cmd 1L = 0L then
+      invalid_arg "Ahci: command issued while port stopped (PxCMD.ST=0)";
+    (* Issue slots newly set in v. *)
+    for slot = 0 to 31 do
+      let bit = Int64.shift_left 1L slot in
+      if Int64.logand v bit <> 0L && Int64.logand t.ci bit = 0L then begin
+        t.ci <- Int64.logor t.ci bit;
+        ignore (Mailbox.try_send t.work slot : bool)
+      end
+    done
+  end
+  else invalid_arg (Printf.sprintf "Ahci: write of unknown register 0x%x" off)
+
+let raw_handler t =
+  { Mmio.read = reg_read t; write = reg_write t }
+
+let create sim ~mmio ~base ~dma ~disk ~irq ~irq_vec =
+  let t =
+    { sim;
+      base;
+      dma;
+      disk;
+      irq;
+      irq_vec;
+      clb = 0L;
+      is_reg = 0L;
+      ie = 0L;
+      cmd = 0L;
+      ci = 0L;
+      next_addr = 0x8000_0000;
+      cmd_lists = Hashtbl.create 4;
+      cmd_tables = Hashtbl.create 64;
+      work = Mailbox.create ();
+      serving = false;
+      commands_processed = 0;
+      irqs_raised = 0 }
+  in
+  Mmio.map mmio ~base ~size:0x200 (raw_handler t);
+  Sim.spawn_at sim ~name:"ahci-service" (Sim.now sim) (fun () -> service_loop t);
+  t
+
+let raw = raw_handler

@@ -1,0 +1,29 @@
+type t = Zero | Image of int | Data of int | Blob of string
+
+let equal a b =
+  match (a, b) with
+  | Zero, Zero -> true
+  | Image x, Image y -> x = y
+  | Data x, Data y -> x = y
+  | Blob x, Blob y -> String.equal x y
+  | (Zero | Image _ | Data _ | Blob _), _ -> false
+
+let pp fmt = function
+  | Zero -> Format.pp_print_string fmt "zero"
+  | Image lba -> Format.fprintf fmt "image[%d]" lba
+  | Data tag -> Format.fprintf fmt "data#%d" tag
+  | Blob s -> Format.fprintf fmt "blob[%d bytes]" (String.length s)
+
+let tag_counter = ref 0
+
+let fresh_tag () =
+  incr tag_counter;
+  !tag_counter
+
+let image_sectors ~lba ~count = Array.init count (fun i -> Image (lba + i))
+
+let data_sectors ~count =
+  let tag = fresh_tag () in
+  Array.make count (Data tag)
+
+let zeroes ~count = Array.make count Zero

@@ -1,0 +1,31 @@
+(** Sector content identity.
+
+    The simulator tracks {e what} a sector holds rather than its bytes:
+    whether it is untouched, carries sector [lba] of the golden OS image,
+    or carries data from a specific guest write. This makes end-to-end
+    correctness properties checkable — e.g. "after deployment every
+    sector equals the server image except where the guest wrote"
+    (§3.1/Figure 1d) and "a late background-copy fill must never clobber
+    a newer guest write" (§3.3's bitmap consistency argument). *)
+
+type t =
+  | Zero  (** never written; a fresh local disk *)
+  | Image of int  (** sector [lba] of the golden image *)
+  | Data of int  (** guest-written data, identified by a unique tag *)
+  | Blob of string
+      (** actual bytes, for the rare data whose contents matter to the
+          simulation itself (e.g. the VMM's persisted fill bitmap) *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val fresh_tag : unit -> int
+(** Allocate a unique tag for a guest write. *)
+
+val image_sectors : lba:int -> count:int -> t array
+(** [count] consecutive image sectors starting at [lba]. *)
+
+val data_sectors : count:int -> t array
+(** [count] sectors of a single fresh guest write (same tag). *)
+
+val zeroes : count:int -> t array

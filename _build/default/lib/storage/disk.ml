@@ -1,0 +1,200 @@
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Prng = Bmcast_engine.Prng
+
+type profile = {
+  name : string;
+  capacity_sectors : int;
+  media_rate_bytes_per_s : float;
+  write_factor : float;  (* writes stream slightly slower than reads *)
+  track_to_track_seek : Time.span;
+  full_stroke_seek : Time.span;
+  rotation_period : Time.span;
+  cache_hit_time : Time.span;
+  fixed_overhead : Time.span;
+}
+
+let hdd_constellation2 =
+  { name = "Seagate Constellation.2 500GB 7200rpm";
+    capacity_sectors = 976_773_168;  (* 500 GB in 512-byte sectors *)
+    media_rate_bytes_per_s = 119.5e6;
+    write_factor = 1.045;
+    track_to_track_seek = Time.us 800;
+    full_stroke_seek = Time.ms 16;
+    rotation_period = Time.us 8333;  (* 7200 rpm *)
+    cache_hit_time = Time.us 120;
+    fixed_overhead = Time.us 150 }
+
+let ssd_sata =
+  { name = "SATA SSD";
+    capacity_sectors = 976_773_168;
+    media_rate_bytes_per_s = 500e6;
+    write_factor = 1.2;
+    track_to_track_seek = 0;
+    full_stroke_seek = 0;
+    rotation_period = 0;
+    cache_hit_time = Time.us 40;
+    fixed_overhead = Time.us 60 }
+
+(* Extent values.  [Img delta] means sector [l] holds image sector
+   [l + delta]; BMcast's identical-address-space deployment always has
+   delta = 0, but copies of image data elsewhere stay representable. *)
+type run = Img of int | Tag of int | Zeros | Blob1 of string
+
+type t = {
+  sim : Sim.t;
+  profile : profile;
+  extents : run Extent_map.t;
+  prng : Prng.t;
+  mutable head_pos : int;  (* LBA after the last media access *)
+  mutable cache_start : int;  (* last-read window, for cache hits *)
+  mutable cache_len : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable seeks : int;
+  mutable busy_time : Time.span;
+}
+
+let create sim profile =
+  { sim;
+    profile;
+    extents = Extent_map.create ();
+    prng = Prng.split (Sim.rand sim);
+    head_pos = 0;
+    cache_start = 0;
+    cache_len = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+    seeks = 0;
+    busy_time = 0 }
+
+let profile t = t.profile
+let capacity_sectors t = t.profile.capacity_sectors
+
+let check_span t ~lba ~count =
+  if lba < 0 || count <= 0 || lba + count > t.profile.capacity_sectors then
+    invalid_arg
+      (Printf.sprintf "Disk: bad span lba=%d count=%d (capacity %d)" lba count
+         t.profile.capacity_sectors)
+
+(* --- content --- *)
+
+let peek t ~lba ~count =
+  check_span t ~lba ~count;
+  let out = Array.make count Content.Zero in
+  ignore
+    (Extent_map.fold_range t.extents ~lba ~count ~init:()
+       ~f:(fun () ~lba:sub ~count:n v ->
+         match v with
+         | None | Some Zeros -> ()
+         | Some (Img delta) ->
+           for i = 0 to n - 1 do
+             out.(sub - lba + i) <- Content.Image (sub + i + delta)
+           done
+         | Some (Tag tag) ->
+           for i = 0 to n - 1 do
+             out.(sub - lba + i) <- Content.Data tag
+           done
+         | Some (Blob1 s) ->
+           for i = 0 to n - 1 do
+             out.(sub - lba + i) <- Content.Blob s
+           done)
+      : unit);
+  out
+
+(* Split written data into uniform runs so extents stay compact. *)
+let poke t ~lba ~count data =
+  check_span t ~lba ~count;
+  if Array.length data <> count then
+    invalid_arg "Disk.poke: data length mismatch";
+  let run_of i =
+    match data.(i) with
+    | Content.Zero -> Zeros
+    | Content.Image img_lba -> Img (img_lba - (lba + i))
+    | Content.Data tag -> Tag tag
+    | Content.Blob s -> Blob1 s
+  in
+  let rec go start =
+    if start < count then begin
+      let v = run_of start in
+      let finish = ref (start + 1) in
+      while !finish < count && run_of !finish = v do
+        incr finish
+      done;
+      Extent_map.set t.extents ~lba:(lba + start) ~count:(!finish - start) v;
+      go !finish
+    end
+  in
+  go 0
+
+let sector t lba = (peek t ~lba ~count:1).(0)
+
+let fill_with_image t =
+  Extent_map.set t.extents ~lba:0 ~count:t.profile.capacity_sectors (Img 0)
+
+(* --- timing --- *)
+
+let in_cache t ~lba ~count =
+  count <= t.cache_len && lba >= t.cache_start
+  && lba + count <= t.cache_start + t.cache_len
+
+let seek_time t distance =
+  if distance = 0 then 0
+  else begin
+    let p = t.profile in
+    let frac = float_of_int distance /. float_of_int p.capacity_sectors in
+    let extra =
+      Time.of_float_s (Time.to_float_s (p.full_stroke_seek - p.track_to_track_seek) *. sqrt frac)
+    in
+    p.track_to_track_seek + extra
+  end
+
+let rotation t distance =
+  if distance = 0 || t.profile.rotation_period = 0 then 0
+  else Prng.int t.prng t.profile.rotation_period
+
+let transfer_time t op count =
+  let rate =
+    match op with
+    | `Read -> t.profile.media_rate_bytes_per_s
+    | `Write -> t.profile.media_rate_bytes_per_s /. t.profile.write_factor
+  in
+  Time.of_float_s (float_of_int (count * 512) /. rate)
+
+let service_time t op ~lba ~count =
+  check_span t ~lba ~count;
+  match op with
+  | `Read when in_cache t ~lba ~count -> t.profile.cache_hit_time
+  | `Read | `Write ->
+    let distance = abs (lba - t.head_pos) in
+    t.profile.fixed_overhead + seek_time t distance + rotation t distance
+    + transfer_time t op count
+
+let serve t op ~lba ~count =
+  let span = service_time t op ~lba ~count in
+  let cache_hit = op = `Read && in_cache t ~lba ~count in
+  if not cache_hit then begin
+    if lba <> t.head_pos then t.seeks <- t.seeks + 1;
+    t.head_pos <- lba + count;
+    if op = `Read then begin
+      t.cache_start <- lba;
+      t.cache_len <- count
+    end
+  end;
+  t.busy_time <- t.busy_time + span;
+  Sim.sleep span
+
+let read t ~lba ~count =
+  serve t `Read ~lba ~count;
+  t.bytes_read <- t.bytes_read + (count * 512);
+  peek t ~lba ~count
+
+let write t ~lba ~count data =
+  serve t `Write ~lba ~count;
+  t.bytes_written <- t.bytes_written + (count * 512);
+  poke t ~lba ~count data
+
+let bytes_read t = t.bytes_read
+let bytes_written t = t.bytes_written
+let seeks t = t.seeks
+let busy_time t = t.busy_time

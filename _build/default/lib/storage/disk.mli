@@ -1,0 +1,62 @@
+(** Rotating / solid-state disk model: content plus service timing.
+
+    Content is stored compactly as extents (see {!Extent_map}); timing
+    follows classic disk mechanics — seek distance, rotational latency,
+    media transfer rate, and an on-disk track cache. The track cache is
+    load-bearing for BMcast: the mediator's interrupt-generation trick
+    re-reads "a single dummy sector that hits the disk cache" (§3.2), so
+    cached re-reads must be fast.
+
+    [read]/[write] block the calling process for the service time; the
+    caller (a controller) is responsible for serializing requests. *)
+
+type profile = {
+  name : string;
+  capacity_sectors : int;
+  media_rate_bytes_per_s : float;
+  write_factor : float;  (** write streaming runs this much slower *)
+  track_to_track_seek : Bmcast_engine.Time.span;
+  full_stroke_seek : Bmcast_engine.Time.span;
+  rotation_period : Bmcast_engine.Time.span;  (** 0 for SSDs *)
+  cache_hit_time : Bmcast_engine.Time.span;
+  fixed_overhead : Bmcast_engine.Time.span;  (** per-command overhead *)
+}
+
+val hdd_constellation2 : profile
+(** Calibrated to the paper's Seagate Constellation.2 ST9500620NS
+    (500 GB, 7200 rpm, ~117 MB/s sequential with 1 MB requests). *)
+
+val ssd_sata : profile
+(** A SATA SSD profile for the "would SSDs help?" discussions in §2/§5.1. *)
+
+type t
+
+val create : Bmcast_engine.Sim.t -> profile -> t
+val profile : t -> profile
+val capacity_sectors : t -> int
+
+(** {2 Timed operations (process context)} *)
+
+val read : t -> lba:int -> count:int -> Content.t array
+val write : t -> lba:int -> count:int -> Content.t array -> unit
+
+val service_time :
+  t -> [ `Read | `Write ] -> lba:int -> count:int -> Bmcast_engine.Time.span
+(** Time the next such operation would take (also advances no state). *)
+
+(** {2 Instant access (tests, image preloading, assertions)} *)
+
+val peek : t -> lba:int -> count:int -> Content.t array
+val poke : t -> lba:int -> count:int -> Content.t array -> unit
+val sector : t -> int -> Content.t
+
+val fill_with_image : t -> unit
+(** Instantly set every sector to its image content (a pre-deployed
+    disk, or the storage server's copy). *)
+
+(** {2 Statistics} *)
+
+val bytes_read : t -> int
+val bytes_written : t -> int
+val seeks : t -> int
+val busy_time : t -> Bmcast_engine.Time.span

@@ -1,0 +1,31 @@
+type buf = { addr : int; data : Content.t array }
+
+type t = { mutable next_addr : int; bufs : (int, buf) Hashtbl.t }
+
+let create () = { next_addr = 0x1000_0000; bufs = Hashtbl.create 64 }
+
+let alloc t ~sectors =
+  if sectors <= 0 then invalid_arg "Dma.alloc: sectors must be positive";
+  let addr = t.next_addr in
+  (* Keep addresses sector-aligned and non-overlapping. *)
+  t.next_addr <- t.next_addr + (sectors * 512);
+  let buf = { addr; data = Array.make sectors Content.Zero } in
+  Hashtbl.replace t.bufs addr buf;
+  buf
+
+let find t ~addr =
+  match Hashtbl.find_opt t.bufs addr with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Dma.find: unknown buffer 0x%x" addr)
+
+let free t buf = Hashtbl.remove t.bufs buf.addr
+
+let write buf ~off src =
+  if off < 0 || off + Array.length src > Array.length buf.data then
+    invalid_arg "Dma.write: out of bounds";
+  Array.blit src 0 buf.data off (Array.length src)
+
+let read buf ~off ~count =
+  if off < 0 || count < 0 || off + count > Array.length buf.data then
+    invalid_arg "Dma.read: out of bounds";
+  Array.sub buf.data off count

@@ -1,0 +1,29 @@
+(** Guest-memory DMA buffers.
+
+    Models the RAM buffers that disk controllers transfer into/out of.
+    Buffers live in a flat address space so device command structures can
+    reference them by address, the way real PRDs/PRDTs do; BMcast's
+    mediators exploit this to act as a "virtual DMA controller" (§3.2),
+    copying server data directly into guest buffers, and to retarget a
+    device at a VMM-owned dummy buffer. *)
+
+type t
+
+type buf = { addr : int; data : Content.t array }
+(** [data] holds one element per sector. *)
+
+val create : unit -> t
+
+val alloc : t -> sectors:int -> buf
+(** Fresh zeroed buffer at a unique address. *)
+
+val find : t -> addr:int -> buf
+(** Raises [Invalid_argument] for an unknown address. *)
+
+val free : t -> buf -> unit
+
+val write : buf -> off:int -> Content.t array -> unit
+(** Copy sectors into the buffer at sector offset [off].
+    Raises [Invalid_argument] on overflow. *)
+
+val read : buf -> off:int -> count:int -> Content.t array

@@ -1,0 +1,80 @@
+module M = Map.Make (Int)
+
+(* start-lba -> (sector count, value); extents never overlap. *)
+type 'a t = { mutable m : (int * 'a) M.t }
+
+let create () = { m = M.empty }
+
+let check_range ~lba ~count =
+  if lba < 0 then invalid_arg "Extent_map: negative lba";
+  if count <= 0 then invalid_arg "Extent_map: count must be positive"
+
+(* All extents intersecting [lba, lba+count). *)
+let overlapping t ~lba ~count =
+  let finish = lba + count in
+  let init =
+    match M.find_last_opt (fun s -> s < lba) t.m with
+    | Some (s, (n, v)) when s + n > lba -> [ (s, n, v) ]
+    | Some _ | None -> []
+  in
+  let rest =
+    M.to_seq_from lba t.m
+    |> Seq.take_while (fun (s, _) -> s < finish)
+    |> Seq.map (fun (s, (n, v)) -> (s, n, v))
+    |> List.of_seq
+  in
+  init @ rest
+
+let clear_range t ~lba ~count =
+  check_range ~lba ~count;
+  let finish = lba + count in
+  List.iter
+    (fun (s, n, v) ->
+      t.m <- M.remove s t.m;
+      if s < lba then t.m <- M.add s (lba - s, v) t.m;
+      if s + n > finish then t.m <- M.add finish (s + n - finish, v) t.m)
+    (overlapping t ~lba ~count)
+
+let set t ~lba ~count v =
+  check_range ~lba ~count;
+  clear_range t ~lba ~count;
+  (* Merge with an adjacent equal-valued predecessor and successor. *)
+  let lba, count =
+    match M.find_last_opt (fun s -> s < lba) t.m with
+    | Some (s, (n, pv)) when s + n = lba && pv = v ->
+      t.m <- M.remove s t.m;
+      (s, count + n)
+    | Some _ | None -> (lba, count)
+  in
+  let count =
+    match M.find_opt (lba + count) t.m with
+    | Some (n, sv) when sv = v ->
+      t.m <- M.remove (lba + count) t.m;
+      count + n
+    | Some _ | None -> count
+  in
+  t.m <- M.add lba (count, v) t.m
+
+let get t lba =
+  match M.find_last_opt (fun s -> s <= lba) t.m with
+  | Some (s, (n, v)) when lba < s + n -> Some v
+  | Some _ | None -> None
+
+let fold_range t ~lba ~count ~init ~f =
+  check_range ~lba ~count;
+  let finish = lba + count in
+  let emit acc ~from ~until v =
+    if until > from then f acc ~lba:from ~count:(until - from) v else acc
+  in
+  let rec go acc pos = function
+    | [] -> emit acc ~from:pos ~until:finish None
+    | (s, n, v) :: rest ->
+      let ext_start = max s pos and ext_end = min (s + n) finish in
+      let acc = emit acc ~from:pos ~until:ext_start None in
+      let acc = emit acc ~from:ext_start ~until:ext_end (Some v) in
+      go acc ext_end rest
+  in
+  go init lba (overlapping t ~lba ~count)
+
+let extent_count t = M.cardinal t.m
+let covered t = M.fold (fun _ (n, _) acc -> acc + n) t.m 0

@@ -1,0 +1,34 @@
+(** Range map from LBA extents to values.
+
+    Stores disk contents compactly: a 67-million-sector disk filled
+    mostly by large sequential background-copy writes stays a handful of
+    extents. Values are uniform per extent ("all Image", "all Data tag
+    17"); positional content like [Image lba] is reconstructed by the
+    caller from the extent's position (see {!Disk}). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val set : 'a t -> lba:int -> count:int -> 'a -> unit
+(** Assign value to [\[lba, lba+count)], overwriting and splitting any
+    overlapped extents. Adjacent extents with equal values merge. *)
+
+val clear_range : 'a t -> lba:int -> count:int -> unit
+(** Remove any mapping in the range. *)
+
+val get : 'a t -> int -> 'a option
+(** Value at a single LBA. *)
+
+val fold_range :
+  'a t -> lba:int -> count:int -> init:'b ->
+  f:('b -> lba:int -> count:int -> 'a option -> 'b) -> 'b
+(** Fold over maximal sub-ranges of [\[lba, lba+count)] with a uniform
+    mapping status ([Some v] or unmapped). Sub-ranges are visited in
+    ascending LBA order and exactly cover the query range. *)
+
+val extent_count : 'a t -> int
+(** Number of stored extents (a compactness measure). *)
+
+val covered : 'a t -> int
+(** Total number of mapped LBAs. *)

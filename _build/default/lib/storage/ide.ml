@@ -1,0 +1,250 @@
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Pio = Bmcast_hw.Pio
+module Irq = Bmcast_hw.Irq
+
+module Regs = struct
+  let data = 0
+  let features = 1
+  let seccount = 2
+  let lba0 = 3
+  let lba1 = 4
+  let lba2 = 5
+  let device = 6
+  let command = 7
+end
+
+let cmd_read_dma = 0xC8
+let cmd_write_dma = 0xCA
+let cmd_flush = 0xE7
+
+let status_bsy = 0x80
+let status_drdy = 0x40
+let status_err = 0x01
+
+module Bm = struct
+  let command = 0
+  let status = 2
+  let prdt = 4
+end
+
+let ctrl_nien = 0x02
+
+type prd = { buf_addr : int; sectors : int }
+
+(* Per-command controller overhead; IDE has higher per-command cost than
+   AHCI (PIO register programming, legacy protocol). *)
+let command_overhead = Time.us 35
+
+type t = {
+  sim : Sim.t;
+  cmd_base : int;
+  bm_base : int;
+  ctrl_base : int;
+  dma : Dma.t;
+  disk : Disk.t;
+  irq : Irq.t;
+  irq_vec : int;
+  (* task file *)
+  mutable seccount : int;
+  mutable lba0 : int;
+  mutable lba1 : int;
+  mutable lba2 : int;
+  mutable device : int;
+  mutable status : int;
+  (* bus master *)
+  mutable bm_cmd : int;
+  mutable bm_status : int;
+  mutable bm_prdt : int;
+  (* control *)
+  mutable ctrl : int;
+  (* PRD tables *)
+  mutable next_addr : int;
+  prdts : (int, prd list) Hashtbl.t;
+  (* pending command armed by a command-register write, executed when the
+     bus master is started *)
+  mutable armed : int option;
+  mutable commands_processed : int;
+  mutable irqs_raised : int;
+}
+
+let cmd_base t = t.cmd_base
+let bm_base t = t.bm_base
+let ctrl_base t = t.ctrl_base
+let irq_vec t = t.irq_vec
+let dma t = t.dma
+let disk t = t.disk
+let commands_processed t = t.commands_processed
+let irqs_raised t = t.irqs_raised
+
+let register_prdt t prds =
+  let addr = t.next_addr in
+  t.next_addr <- addr + 0x100;
+  Hashtbl.replace t.prdts addr prds;
+  addr
+
+let prdt t ~addr =
+  match Hashtbl.find_opt t.prdts addr with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Ide: no PRD table at 0x%x" addr)
+
+let lba_of_taskfile t =
+  (* 28-bit LBA: low nibble of the device register holds bits 24-27. *)
+  t.lba0 lor (t.lba1 lsl 8) lor (t.lba2 lsl 16) lor ((t.device land 0x0F) lsl 24)
+
+let count_of_taskfile t = if t.seccount = 0 then 256 else t.seccount
+
+let execute t cmd =
+  t.status <- status_bsy;
+  t.bm_status <- t.bm_status lor 0x01;
+  Sim.sleep command_overhead;
+  let lba = lba_of_taskfile t and count = count_of_taskfile t in
+  (if cmd = cmd_read_dma then begin
+     let data = Disk.read t.disk ~lba ~count in
+     let prds = prdt t ~addr:t.bm_prdt in
+     let off = ref 0 in
+     List.iter
+       (fun prd ->
+         if !off < count then begin
+           let n = min prd.sectors (count - !off) in
+           let buf = Dma.find t.dma ~addr:prd.buf_addr in
+           Dma.write buf ~off:0 (Array.sub data !off n);
+           off := !off + n
+         end)
+       prds
+   end
+   else if cmd = cmd_write_dma then begin
+     let prds = prdt t ~addr:t.bm_prdt in
+     let data = Array.make count Content.Zero in
+     let off = ref 0 in
+     List.iter
+       (fun prd ->
+         if !off < count then begin
+           let n = min prd.sectors (count - !off) in
+           let buf = Dma.find t.dma ~addr:prd.buf_addr in
+           Array.blit (Dma.read buf ~off:0 ~count:n) 0 data !off n;
+           off := !off + n
+         end)
+       prds;
+     Disk.write t.disk ~lba ~count data
+   end
+   else if cmd = cmd_flush then Sim.sleep (Time.us 500)
+   else invalid_arg (Printf.sprintf "Ide: unsupported command 0x%x" cmd));
+  t.commands_processed <- t.commands_processed + 1;
+  t.status <- status_drdy;
+  t.bm_cmd <- t.bm_cmd land lnot 0x01;
+  t.bm_status <- (t.bm_status land lnot 0x01) lor 0x04;
+  if t.ctrl land ctrl_nien = 0 then begin
+    t.irqs_raised <- t.irqs_raised + 1;
+    Irq.raise_irq t.irq ~vec:t.irq_vec
+  end
+
+let start_bus_master t =
+  match t.armed with
+  | None -> invalid_arg "Ide: bus master started with no command armed"
+  | Some cmd ->
+    t.armed <- None;
+    (* BSY asserts the moment DMA starts — before any simulated time
+       passes — so no other agent can observe an idle device and clobber
+       the task file. *)
+    t.status <- status_bsy;
+    t.bm_status <- t.bm_status lor 0x01;
+    Sim.spawn_at t.sim ~name:"ide-execute" (Sim.now t.sim) (fun () ->
+        execute t cmd)
+
+(* --- task file handlers --- *)
+
+let cmd_inp t off =
+  if off = Regs.command then t.status
+  else if off = Regs.seccount then t.seccount
+  else if off = Regs.lba0 then t.lba0
+  else if off = Regs.lba1 then t.lba1
+  else if off = Regs.lba2 then t.lba2
+  else if off = Regs.device then t.device
+  else if off = Regs.features || off = Regs.data then 0
+  else invalid_arg (Printf.sprintf "Ide: read of unknown task-file port %d" off)
+
+let cmd_outp t off v =
+  if off = Regs.seccount then t.seccount <- v land 0xFF
+  else if off = Regs.lba0 then t.lba0 <- v land 0xFF
+  else if off = Regs.lba1 then t.lba1 <- v land 0xFF
+  else if off = Regs.lba2 then t.lba2 <- v land 0xFF
+  else if off = Regs.device then t.device <- v land 0xFF
+  else if off = Regs.features || off = Regs.data then ()
+  else if off = Regs.command then begin
+    if t.status land status_bsy <> 0 then
+      invalid_arg "Ide: command written while busy";
+    if v = cmd_flush then begin
+      (* Non-DMA command: executes immediately (BSY asserts now). *)
+      t.status <- status_bsy;
+      Sim.spawn_at t.sim ~name:"ide-flush" (Sim.now t.sim) (fun () ->
+          execute t v)
+    end
+    else t.armed <- Some v
+  end
+  else invalid_arg (Printf.sprintf "Ide: write of unknown task-file port %d" off)
+
+(* --- bus master handlers --- *)
+
+let bm_inp t off =
+  if off = Bm.command then t.bm_cmd
+  else if off = Bm.status then t.bm_status
+  else if off = Bm.prdt then t.bm_prdt
+  else invalid_arg (Printf.sprintf "Ide: read of unknown bus-master port %d" off)
+
+let bm_outp t off v =
+  if off = Bm.command then begin
+    let starting = v land 0x01 <> 0 && t.bm_cmd land 0x01 = 0 in
+    t.bm_cmd <- v;
+    if starting then start_bus_master t
+  end
+  else if off = Bm.status then
+    (* RW1C on the IRQ bit. *)
+    t.bm_status <- t.bm_status land lnot (v land 0x04)
+  else if off = Bm.prdt then t.bm_prdt <- v
+  else invalid_arg (Printf.sprintf "Ide: write of unknown bus-master port %d" off)
+
+(* --- control handlers --- *)
+
+let ctrl_inp t off =
+  if off = 0 then t.status  (* alternate status *)
+  else invalid_arg "Ide: unknown control port"
+
+let ctrl_outp t off v =
+  if off = 0 then t.ctrl <- v
+  else invalid_arg "Ide: unknown control port"
+
+let raw_cmd t = { Pio.inp = cmd_inp t; outp = cmd_outp t }
+let raw_bm t = { Pio.inp = bm_inp t; outp = bm_outp t }
+let raw_ctrl t = { Pio.inp = ctrl_inp t; outp = ctrl_outp t }
+
+let create sim ~pio ~cmd_base ~bm_base ~ctrl_base ~dma ~disk ~irq ~irq_vec =
+  let t =
+    { sim;
+      cmd_base;
+      bm_base;
+      ctrl_base;
+      dma;
+      disk;
+      irq;
+      irq_vec;
+      seccount = 0;
+      lba0 = 0;
+      lba1 = 0;
+      lba2 = 0;
+      device = 0;
+      status = status_drdy;
+      bm_cmd = 0;
+      bm_status = 0;
+      bm_prdt = 0;
+      ctrl = 0;
+      next_addr = 0x9000_0000;
+      prdts = Hashtbl.create 16;
+      armed = None;
+      commands_processed = 0;
+      irqs_raised = 0 }
+  in
+  Pio.map pio ~base:cmd_base ~count:8 (raw_cmd t);
+  Pio.map pio ~base:bm_base ~count:8 (raw_bm t);
+  Pio.map pio ~base:ctrl_base ~count:1 (raw_ctrl t);
+  t

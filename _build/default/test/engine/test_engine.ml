@@ -1,0 +1,616 @@
+(* Tests for the discrete-event simulation engine. *)
+
+module Time = Bmcast_engine.Time
+module Heap = Bmcast_engine.Heap
+module Prng = Bmcast_engine.Prng
+module Sim = Bmcast_engine.Sim
+module Mailbox = Bmcast_engine.Mailbox
+module Semaphore = Bmcast_engine.Semaphore
+module Signal = Bmcast_engine.Signal
+module Stats = Bmcast_engine.Stats
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Time --- *)
+
+let test_time_units () =
+  check_int "us" 1_000 (Time.us 1);
+  check_int "ms" 1_000_000 (Time.ms 1);
+  check_int "s" 1_000_000_000 (Time.s 1);
+  check_int "minutes" 60_000_000_000 (Time.minutes 1);
+  check_int "of_float_s" (Time.ms 1500) (Time.of_float_s 1.5);
+  check_float "to_float_s" 2.5 (Time.to_float_s (Time.ms 2500))
+
+let test_time_arith () =
+  check_int "add" (Time.s 3) (Time.add (Time.s 1) (Time.s 2));
+  check_int "diff" (Time.s 1) (Time.diff (Time.s 3) (Time.s 2));
+  check_int "mul" (Time.s 6) (Time.mul (Time.s 2) 3);
+  check_int "div" (Time.s 2) (Time.div (Time.s 6) 3)
+
+let test_time_pp () =
+  Alcotest.(check string) "ns" "999ns" (Time.to_string 999);
+  Alcotest.(check string) "s" "1.500s" (Time.to_string (Time.ms 1500))
+
+(* --- Heap --- *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  Heap.push h 30 "c";
+  Heap.push h 10 "a";
+  Heap.push h 20 "b";
+  let order = List.init 3 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] order;
+  check_bool "empty" true (Heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h 5 i
+  done;
+  let order = List.init 10 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list int)) "fifo among equal times" (List.init 10 Fun.id) order
+
+let test_heap_peek () =
+  let h = Heap.create () in
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek_time h);
+  Heap.push h 42 ();
+  Alcotest.(check (option int)) "peek" (Some 42) (Heap.peek_time h);
+  check_int "size" 1 (Heap.size h)
+
+let test_heap_interleaved () =
+  (* Push/pop interleaving maintains order. *)
+  let h = Heap.create () in
+  let prng = Prng.create 7 in
+  let popped = ref [] in
+  for _ = 1 to 500 do
+    Heap.push h (Prng.int prng 1000) ()
+  done;
+  for _ = 1 to 250 do
+    match Heap.pop h with
+    | Some (t, ()) -> popped := t :: !popped
+    | None -> ()
+  done;
+  for _ = 1 to 500 do
+    Heap.push h (500 + Prng.int prng 1000) ()
+  done;
+  let rec drain () =
+    match Heap.pop h with
+    | Some (t, ()) ->
+      popped := t :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let l = List.rev !popped in
+  (* First 250 pops are sorted; remaining pops are sorted. *)
+  let rec is_sorted = function
+    | a :: (b :: _ as rest) -> a <= b && is_sorted rest
+    | _ -> true
+  in
+  let first, rest =
+    (List.filteri (fun i _ -> i < 250) l, List.filteri (fun i _ -> i >= 250) l)
+  in
+  check_bool "first sorted" true (is_sorted first);
+  check_bool "rest sorted" true (is_sorted rest)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let h = Heap.create () in
+      List.iter (fun t -> Heap.push h t ()) times;
+      let rec drain acc =
+        match Heap.pop h with
+        | Some (t, ()) -> drain (t :: acc)
+        | None -> List.rev acc
+      in
+      let out = drain [] in
+      out = List.sort compare times)
+
+(* --- Prng --- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 123 and b = Prng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_split_independent () =
+  let a = Prng.create 1 in
+  let b = Prng.split a in
+  let xs = List.init 10 (fun _ -> Prng.bits64 a) in
+  let ys = List.init 10 (fun _ -> Prng.bits64 b) in
+  check_bool "streams differ" true (xs <> ys)
+
+let test_prng_int_bounds () =
+  let p = Prng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int p 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_float_bounds () =
+  let p = Prng.create 10 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float p 3.0 in
+    check_bool "in range" true (v >= 0.0 && v < 3.0)
+  done
+
+let test_prng_exponential_mean () =
+  let p = Prng.create 11 in
+  let m = Stats.Mean.create () in
+  for _ = 1 to 50_000 do
+    Stats.Mean.add m (Prng.exponential p 5.0)
+  done;
+  let mu = Stats.Mean.mean m in
+  check_bool "mean near 5" true (abs_float (mu -. 5.0) < 0.2)
+
+let test_prng_gaussian_moments () =
+  let p = Prng.create 12 in
+  let m = Stats.Mean.create () in
+  for _ = 1 to 50_000 do
+    Stats.Mean.add m (Prng.gaussian p ~mu:10.0 ~sigma:2.0)
+  done;
+  check_bool "mean near 10" true (abs_float (Stats.Mean.mean m -. 10.0) < 0.1);
+  check_bool "std near 2" true (abs_float (Stats.Mean.stddev m -. 2.0) < 0.1)
+
+let test_prng_zipf_skew () =
+  let p = Prng.create 13 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let r = Prng.zipf p ~n:100 ~theta:0.99 in
+    check_bool "in range" true (r >= 0 && r < 100);
+    counts.(r) <- counts.(r) + 1
+  done;
+  (* Rank 0 must be much more popular than rank 50. *)
+  check_bool "skewed" true (counts.(0) > 10 * max 1 counts.(50))
+
+let test_prng_bernoulli () =
+  let p = Prng.create 14 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.bernoulli p 0.3 then incr hits
+  done;
+  check_bool "p near 0.3" true (abs_float (float_of_int !hits /. 10_000.0 -. 0.3) < 0.03)
+
+let test_prng_shuffle_permutation () =
+  let p = Prng.create 15 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle p a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* --- Sim --- *)
+
+let test_sim_clock_advances () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.spawn_at sim Time.zero (fun () ->
+      log := (Sim.clock (), "start") :: !log;
+      Sim.sleep (Time.ms 5);
+      log := (Sim.clock (), "mid") :: !log;
+      Sim.sleep (Time.ms 10);
+      log := (Sim.clock (), "end") :: !log);
+  Sim.run sim;
+  Alcotest.(check (list (pair int string)))
+    "timeline"
+    [ (Time.zero, "start"); (Time.ms 5, "mid"); (Time.ms 15, "end") ]
+    (List.rev !log)
+
+let test_sim_schedule_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim (Time.ms 2) (fun () -> log := 2 :: !log);
+  Sim.schedule sim (Time.ms 1) (fun () -> log := 1 :: !log);
+  Sim.schedule sim (Time.ms 3) (fun () -> log := 3 :: !log);
+  Sim.run sim;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_sim_schedule_past_rejected () =
+  let sim = Sim.create () in
+  Sim.schedule sim (Time.ms 10) (fun () ->
+      Alcotest.check_raises "past" (Invalid_argument "x") (fun () ->
+          try Sim.schedule sim (Time.ms 5) ignore
+          with Invalid_argument _ -> raise (Invalid_argument "x")));
+  Sim.run sim
+
+let test_sim_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  Sim.spawn_at sim Time.zero (fun () ->
+      for _ = 1 to 100 do
+        incr count;
+        Sim.sleep (Time.ms 1)
+      done);
+  Sim.run ~until:(Time.ms 10) sim;
+  check_bool "stopped early" true (!count <= 11);
+  check_int "clock at horizon" (Time.ms 10) (Sim.now sim)
+
+let test_sim_spawn_children () =
+  let sim = Sim.create () in
+  let sum = ref 0 in
+  Sim.spawn_at sim Time.zero (fun () ->
+      for i = 1 to 5 do
+        Sim.spawn (fun () ->
+            Sim.sleep (Time.ms i);
+            sum := !sum + i)
+      done);
+  Sim.run sim;
+  check_int "all children ran" 15 !sum
+
+let test_sim_process_failure () =
+  let sim = Sim.create () in
+  Sim.spawn_at sim ~name:"boom" Time.zero (fun () ->
+      Sim.sleep (Time.ms 1);
+      failwith "exploded");
+  (match Sim.run sim with
+  | () -> Alcotest.fail "expected Process_failure"
+  | exception Sim.Process_failure (name, Failure msg) ->
+    Alcotest.(check string) "name" "boom" name;
+    Alcotest.(check string) "msg" "exploded" msg
+  | exception _ -> Alcotest.fail "wrong exception")
+
+let test_sim_suspend_waker () =
+  let sim = Sim.create () in
+  let waker_ref = ref None in
+  let got = ref 0 in
+  Sim.spawn_at sim Time.zero (fun () ->
+      let v = Sim.suspend (fun waker -> waker_ref := Some waker) in
+      got := v);
+  Sim.spawn_at sim (Time.ms 3) (fun () ->
+      match !waker_ref with
+      | Some w ->
+        check_bool "first wake accepted" true (w 42);
+        check_bool "second wake rejected" false (w 43)
+      | None -> Alcotest.fail "waker not registered");
+  Sim.run sim;
+  check_int "value delivered" 42 !got
+
+let test_sim_determinism () =
+  (* Two identical runs produce identical event orderings. *)
+  let run_once () =
+    let sim = Sim.create ~seed:5 () in
+    let log = ref [] in
+    Sim.spawn_at sim Time.zero (fun () ->
+        let p = Sim.rand (Sim.self ()) in
+        for _ = 1 to 50 do
+          Sim.sleep (Prng.int p 1000);
+          log := Sim.clock () :: !log
+        done);
+    Sim.run sim;
+    !log
+  in
+  Alcotest.(check (list int)) "identical" (run_once ()) (run_once ())
+
+let test_sim_yield_interleave () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.spawn_at sim Time.zero (fun () ->
+      log := "a1" :: !log;
+      Sim.yield ();
+      log := "a2" :: !log);
+  Sim.spawn_at sim Time.zero (fun () ->
+      log := "b1" :: !log;
+      Sim.yield ();
+      log := "b2" :: !log);
+  Sim.run sim;
+  Alcotest.(check (list string)) "interleaved" [ "a1"; "b1"; "a2"; "b2" ] (List.rev !log)
+
+let test_sim_wait_until () =
+  let sim = Sim.create () in
+  Sim.spawn_at sim Time.zero (fun () ->
+      Sim.wait_until (Time.ms 7);
+      check_int "at 7ms" (Time.ms 7) (Sim.clock ());
+      Sim.wait_until (Time.ms 3);
+      check_int "no travel back" (Time.ms 7) (Sim.clock ()));
+  Sim.run sim
+
+(* --- Mailbox --- *)
+
+let test_mailbox_fifo () =
+  let sim = Sim.create () in
+  let mb = Mailbox.create () in
+  let out = ref [] in
+  Sim.spawn_at sim Time.zero (fun () ->
+      for i = 1 to 5 do
+        Mailbox.send mb i
+      done);
+  Sim.spawn_at sim Time.zero (fun () ->
+      for _ = 1 to 5 do
+        out := Mailbox.recv mb :: !out
+      done);
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !out)
+
+let test_mailbox_blocking_recv () =
+  let sim = Sim.create () in
+  let mb = Mailbox.create () in
+  let got_at = ref Time.zero in
+  Sim.spawn_at sim Time.zero (fun () ->
+      ignore (Mailbox.recv mb : int);
+      got_at := Sim.clock ());
+  Sim.spawn_at sim (Time.ms 20) (fun () -> Mailbox.send mb 1);
+  Sim.run sim;
+  check_int "receiver blocked until send" (Time.ms 20) !got_at
+
+let test_mailbox_capacity_blocks_sender () =
+  let sim = Sim.create () in
+  let mb = Mailbox.create ~capacity:2 () in
+  let sent_all_at = ref Time.zero in
+  Sim.spawn_at sim Time.zero (fun () ->
+      Mailbox.send mb 1;
+      Mailbox.send mb 2;
+      Mailbox.send mb 3;
+      (* blocks until a recv *)
+      sent_all_at := Sim.clock ());
+  Sim.spawn_at sim (Time.ms 50) (fun () -> ignore (Mailbox.recv mb : int));
+  Sim.run sim;
+  check_int "third send blocked" (Time.ms 50) !sent_all_at
+
+let test_mailbox_recv_timeout () =
+  let sim = Sim.create () in
+  let mb : int Mailbox.t = Mailbox.create () in
+  let result = ref (Some 0) in
+  Sim.spawn_at sim Time.zero (fun () ->
+      result := Mailbox.recv_timeout mb (Time.ms 10);
+      check_int "timed out at 10ms" (Time.ms 10) (Sim.clock ()));
+  Sim.run sim;
+  Alcotest.(check (option int)) "none" None !result
+
+let test_mailbox_recv_timeout_success () =
+  let sim = Sim.create () in
+  let mb = Mailbox.create () in
+  let result = ref None in
+  Sim.spawn_at sim Time.zero (fun () ->
+      result := Mailbox.recv_timeout mb (Time.ms 10));
+  Sim.spawn_at sim (Time.ms 5) (fun () -> Mailbox.send mb 99);
+  Sim.run sim;
+  Alcotest.(check (option int)) "delivered" (Some 99) !result
+
+let test_mailbox_timeout_not_lost () =
+  (* A message sent after a receiver timed out must stay in the box. *)
+  let sim = Sim.create () in
+  let mb = Mailbox.create () in
+  Sim.spawn_at sim Time.zero (fun () ->
+      ignore (Mailbox.recv_timeout mb (Time.ms 1) : int option));
+  Sim.spawn_at sim (Time.ms 5) (fun () -> Mailbox.send mb 7);
+  Sim.run sim;
+  check_int "message retained" 1 (Mailbox.length mb)
+
+let test_mailbox_try_ops () =
+  let sim = Sim.create () in
+  Sim.spawn_at sim Time.zero (fun () ->
+      let mb = Mailbox.create ~capacity:1 () in
+      Alcotest.(check (option int)) "empty" None (Mailbox.try_recv mb);
+      check_bool "send ok" true (Mailbox.try_send mb 1);
+      check_bool "full" false (Mailbox.try_send mb 2);
+      Alcotest.(check (option int)) "recv" (Some 1) (Mailbox.try_recv mb));
+  Sim.run sim
+
+(* --- Semaphore --- *)
+
+let test_semaphore_mutual_exclusion () =
+  let sim = Sim.create () in
+  let sem = Semaphore.create 1 in
+  let inside = ref 0 and max_inside = ref 0 in
+  for _ = 1 to 5 do
+    Sim.spawn_at sim Time.zero (fun () ->
+        Semaphore.with_permit sem (fun () ->
+            incr inside;
+            if !inside > !max_inside then max_inside := !inside;
+            Sim.sleep (Time.ms 3);
+            decr inside))
+  done;
+  Sim.run sim;
+  check_int "never two inside" 1 !max_inside
+
+let test_semaphore_counting () =
+  let sim = Sim.create () in
+  let sem = Semaphore.create 3 in
+  let done_at = ref [] in
+  for _ = 1 to 6 do
+    Sim.spawn_at sim Time.zero (fun () ->
+        Semaphore.with_permit sem (fun () -> Sim.sleep (Time.ms 10));
+        done_at := Sim.clock () :: !done_at)
+  done;
+  Sim.run sim;
+  let sorted = List.sort compare !done_at in
+  Alcotest.(check (list int))
+    "two batches"
+    [ Time.ms 10; Time.ms 10; Time.ms 10; Time.ms 20; Time.ms 20; Time.ms 20 ]
+    sorted
+
+let test_semaphore_release_on_exception () =
+  let sim = Sim.create () in
+  let sem = Semaphore.create 1 in
+  Sim.spawn_at sim Time.zero (fun () ->
+      (try Semaphore.with_permit sem (fun () -> failwith "oops")
+       with Failure _ -> ());
+      check_int "released" 1 (Semaphore.available sem));
+  Sim.run sim
+
+(* --- Signal --- *)
+
+let test_latch_blocks_then_releases_all () =
+  let sim = Sim.create () in
+  let latch = Signal.Latch.create () in
+  let released = ref [] in
+  for i = 1 to 3 do
+    Sim.spawn_at sim Time.zero (fun () ->
+        Signal.Latch.wait latch;
+        released := (i, Sim.clock ()) :: !released)
+  done;
+  Sim.spawn_at sim (Time.ms 5) (fun () -> Signal.Latch.set latch);
+  Sim.run sim;
+  check_int "all released" 3 (List.length !released);
+  List.iter (fun (_, t) -> check_int "at set time" (Time.ms 5) t) !released
+
+let test_latch_set_is_level_triggered () =
+  let sim = Sim.create () in
+  let latch = Signal.Latch.create () in
+  Signal.Latch.set latch;
+  let passed = ref false in
+  Sim.spawn_at sim Time.zero (fun () ->
+      Signal.Latch.wait latch;
+      passed := true);
+  Sim.run sim;
+  check_bool "no block" true !passed
+
+let test_pulse_edge_triggered () =
+  let sim = Sim.create () in
+  let p = Signal.Pulse.create () in
+  Signal.Pulse.pulse p;
+  (* past pulse ignored *)
+  let woke_at = ref Time.zero in
+  Sim.spawn_at sim Time.zero (fun () ->
+      Signal.Pulse.wait p;
+      woke_at := Sim.clock ());
+  Sim.spawn_at sim (Time.ms 8) (fun () -> Signal.Pulse.pulse p);
+  Sim.run sim;
+  check_int "woke on next pulse" (Time.ms 8) !woke_at
+
+let test_pulse_wait_timeout () =
+  let sim = Sim.create () in
+  let p = Signal.Pulse.create () in
+  let r1 = ref true and r2 = ref false in
+  Sim.spawn_at sim Time.zero (fun () -> r1 := Signal.Pulse.wait_timeout p (Time.ms 5));
+  Sim.spawn_at sim (Time.ms 10) (fun () ->
+      Sim.spawn (fun () -> r2 := Signal.Pulse.wait_timeout p (Time.ms 100));
+      Sim.sleep (Time.ms 1);
+      Signal.Pulse.pulse p);
+  Sim.run sim;
+  check_bool "timed out" false !r1;
+  check_bool "pulsed" true !r2
+
+(* --- Stats --- *)
+
+let test_histogram_basic () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add h) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  check_int "count" 5 (Stats.Histogram.count h);
+  check_float "mean" 3.0 (Stats.Histogram.mean h);
+  check_float "min" 1.0 (Stats.Histogram.min h);
+  check_float "max" 5.0 (Stats.Histogram.max h);
+  check_float "median" 3.0 (Stats.Histogram.median h);
+  check_float "p0" 1.0 (Stats.Histogram.percentile h 0.0);
+  check_float "p100" 5.0 (Stats.Histogram.percentile h 100.0);
+  check_float "p25" 2.0 (Stats.Histogram.percentile h 25.0)
+
+let test_histogram_clear () =
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.add h 1.0;
+  Stats.Histogram.clear h;
+  check_int "cleared" 0 (Stats.Histogram.count h)
+
+let test_histogram_stddev () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add h) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_float "stddev" 2.0 (Stats.Histogram.stddev h)
+
+let prop_histogram_percentile_monotone =
+  QCheck.Test.make ~name:"histogram percentiles are monotone" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_bound_exclusive 1000.0))
+    (fun samples ->
+      let h = Stats.Histogram.create () in
+      List.iter (Stats.Histogram.add h) samples;
+      let ps = [ 0.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ] in
+      let vals = List.map (Stats.Histogram.percentile h) ps in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono vals)
+
+let test_series_bucket_mean () =
+  let s = Stats.Series.create () in
+  Stats.Series.add s (Time.ms 1) 10.0;
+  Stats.Series.add s (Time.ms 2) 20.0;
+  Stats.Series.add s (Time.ms 12) 30.0;
+  let buckets = Stats.Series.bucket_mean s ~width:(Time.ms 10) in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "buckets"
+    [ (0, 15.0); (Time.ms 10, 30.0) ]
+    buckets
+
+let test_rate_windows () =
+  let r = Stats.Rate.create () in
+  Stats.Rate.add r (Time.ms 100) 50.0;
+  Stats.Rate.add r (Time.ms 900) 50.0;
+  Stats.Rate.add r (Time.ms 1500) 200.0;
+  check_float "total" 300.0 (Stats.Rate.total r);
+  check_float "rate [0,1s)" 100.0 (Stats.Rate.rate_between r Time.zero (Time.s 1));
+  let windows = Stats.Rate.per_window r ~width:(Time.s 1) in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "windows"
+    [ (0, 100.0); (Time.s 1, 200.0) ]
+    windows
+
+let test_mean_welford () =
+  let m = Stats.Mean.create () in
+  List.iter (Stats.Mean.add m) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_int "count" 4 (Stats.Mean.count m);
+  check_float "mean" 2.5 (Stats.Mean.mean m);
+  check_bool "stddev" true (abs_float (Stats.Mean.stddev m -. 1.2909944487) < 1e-6)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "engine"
+    [ ( "time",
+        [ tc "units" `Quick test_time_units;
+          tc "arith" `Quick test_time_arith;
+          tc "pp" `Quick test_time_pp ] );
+      ( "heap",
+        [ tc "order" `Quick test_heap_order;
+          tc "fifo ties" `Quick test_heap_fifo_ties;
+          tc "peek" `Quick test_heap_peek;
+          tc "interleaved" `Quick test_heap_interleaved;
+          QCheck_alcotest.to_alcotest prop_heap_sorted ] );
+      ( "prng",
+        [ tc "determinism" `Quick test_prng_determinism;
+          tc "split" `Quick test_prng_split_independent;
+          tc "int bounds" `Quick test_prng_int_bounds;
+          tc "float bounds" `Quick test_prng_float_bounds;
+          tc "exponential mean" `Quick test_prng_exponential_mean;
+          tc "gaussian moments" `Quick test_prng_gaussian_moments;
+          tc "zipf skew" `Quick test_prng_zipf_skew;
+          tc "bernoulli" `Quick test_prng_bernoulli;
+          tc "shuffle permutation" `Quick test_prng_shuffle_permutation ] );
+      ( "sim",
+        [ tc "clock advances" `Quick test_sim_clock_advances;
+          tc "schedule order" `Quick test_sim_schedule_order;
+          tc "schedule past rejected" `Quick test_sim_schedule_past_rejected;
+          tc "run until" `Quick test_sim_until;
+          tc "spawn children" `Quick test_sim_spawn_children;
+          tc "process failure" `Quick test_sim_process_failure;
+          tc "suspend waker once" `Quick test_sim_suspend_waker;
+          tc "determinism" `Quick test_sim_determinism;
+          tc "yield interleave" `Quick test_sim_yield_interleave;
+          tc "wait_until" `Quick test_sim_wait_until ] );
+      ( "mailbox",
+        [ tc "fifo" `Quick test_mailbox_fifo;
+          tc "blocking recv" `Quick test_mailbox_blocking_recv;
+          tc "capacity blocks sender" `Quick test_mailbox_capacity_blocks_sender;
+          tc "recv timeout" `Quick test_mailbox_recv_timeout;
+          tc "recv timeout success" `Quick test_mailbox_recv_timeout_success;
+          tc "timeout does not lose messages" `Quick test_mailbox_timeout_not_lost;
+          tc "try ops" `Quick test_mailbox_try_ops ] );
+      ( "semaphore",
+        [ tc "mutual exclusion" `Quick test_semaphore_mutual_exclusion;
+          tc "counting" `Quick test_semaphore_counting;
+          tc "release on exception" `Quick test_semaphore_release_on_exception ] );
+      ( "signal",
+        [ tc "latch releases all" `Quick test_latch_blocks_then_releases_all;
+          tc "latch level triggered" `Quick test_latch_set_is_level_triggered;
+          tc "pulse edge triggered" `Quick test_pulse_edge_triggered;
+          tc "pulse wait timeout" `Quick test_pulse_wait_timeout ] );
+      ( "stats",
+        [ tc "histogram basic" `Quick test_histogram_basic;
+          tc "histogram clear" `Quick test_histogram_clear;
+          tc "histogram stddev" `Quick test_histogram_stddev;
+          QCheck_alcotest.to_alcotest prop_histogram_percentile_monotone;
+          tc "series bucket mean" `Quick test_series_bucket_mean;
+          tc "rate windows" `Quick test_rate_windows;
+          tc "mean welford" `Quick test_mean_welford ] ) ]

@@ -1,0 +1,278 @@
+(* Tests for the network substrate: Ethernet fabric, NIC rings, IB. *)
+
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Mmio = Bmcast_hw.Mmio
+module Irq = Bmcast_hw.Irq
+module Packet = Bmcast_net.Packet
+module Fabric = Bmcast_net.Fabric
+module Nic = Bmcast_net.Nic
+module Ib = Bmcast_net.Ib
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Fabric --- *)
+
+let test_fabric_delivery () =
+  let sim = Sim.create () in
+  let fab = Fabric.create sim () in
+  let got = ref [] in
+  let a = Fabric.attach fab ~name:"a" (fun _ -> ()) in
+  let b = Fabric.attach fab ~name:"b" (fun p -> got := p :: !got) in
+  Sim.spawn_at sim Time.zero (fun () ->
+      Fabric.send a ~dst:(Fabric.port_id b) ~size_bytes:1000 (Packet.Raw "hi"));
+  Sim.run sim;
+  check_int "one frame" 1 (List.length !got);
+  let p = List.hd !got in
+  check_int "src" (Fabric.port_id a) p.Packet.src;
+  check_int "size" 1000 p.Packet.size_bytes
+
+let test_fabric_serialization_time () =
+  (* 1 MB spread over jumbo frames on GbE should take ~8.4 ms one-way
+     (two serializations: uplink + egress, pipelined, so ~1x + 1 frame). *)
+  let sim = Sim.create () in
+  let fab = Fabric.create sim () in
+  let done_at = ref Time.zero in
+  let frames = 112 (* ~1 MB / 9038 *) in
+  let received = ref 0 in
+  let a = Fabric.attach fab ~name:"a" (fun _ -> ()) in
+  let b =
+    Fabric.attach fab ~name:"b" (fun _ ->
+        incr received;
+        if !received = frames then done_at := Sim.now sim)
+  in
+  Sim.spawn_at sim Time.zero (fun () ->
+      for _ = 1 to frames do
+        Fabric.send a ~dst:(Fabric.port_id b) ~size_bytes:9038 (Packet.Raw "x")
+      done);
+  Sim.run sim;
+  let secs = Time.to_float_s !done_at in
+  let expected = float_of_int (frames * 9038) /. 125e6 in
+  check_bool
+    (Printf.sprintf "%.4fs close to %.4fs" secs expected)
+    true
+    (secs > expected *. 0.95 && secs < expected *. 1.3)
+
+let test_fabric_mtu_enforced () =
+  let sim = Sim.create () in
+  let fab = Fabric.create sim ~mtu:1500 () in
+  let a = Fabric.attach fab ~name:"a" (fun _ -> ()) in
+  check_bool "oversize rejected" true
+    (try
+       Fabric.send a ~dst:0 ~size_bytes:9038 (Packet.Raw "x");
+       false
+     with Invalid_argument _ -> true)
+
+let test_fabric_loss () =
+  let sim = Sim.create () in
+  let fab = Fabric.create sim ~loss_rate:0.5 () in
+  let received = ref 0 in
+  let a = Fabric.attach fab ~name:"a" (fun _ -> ()) in
+  let b = Fabric.attach fab ~name:"b" (fun _ -> incr received) in
+  Sim.spawn_at sim Time.zero (fun () ->
+      for _ = 1 to 1000 do
+        Fabric.send a ~dst:(Fabric.port_id b) ~size_bytes:100 (Packet.Raw "x")
+      done);
+  Sim.run sim;
+  check_bool "some lost" true (Fabric.frames_dropped fab > 300);
+  check_bool "some delivered" true (!received > 300);
+  check_int "conservation" 1000 (!received + Fabric.frames_dropped fab)
+
+let test_fabric_contention_shares_egress () =
+  (* Two senders to one destination: total delivery time ~= sum of both
+     at the egress port (the server-saturation effect of §5.1). *)
+  let sim = Sim.create () in
+  let fab = Fabric.create sim () in
+  let received = ref 0 and done_at = ref Time.zero in
+  let a = Fabric.attach fab ~name:"a" (fun _ -> ()) in
+  let b = Fabric.attach fab ~name:"b" (fun _ -> ()) in
+  let dst =
+    Fabric.attach fab ~name:"dst" (fun _ ->
+        incr received;
+        if !received = 200 then done_at := Sim.now sim)
+  in
+  let send_from p =
+    for _ = 1 to 100 do
+      Fabric.send p ~dst:(Fabric.port_id dst) ~size_bytes:9038 (Packet.Raw "x")
+    done
+  in
+  Sim.spawn_at sim Time.zero (fun () -> send_from a);
+  Sim.spawn_at sim Time.zero (fun () -> send_from b);
+  Sim.run sim;
+  let secs = Time.to_float_s !done_at in
+  let one_sender = float_of_int (100 * 9038) /. 125e6 in
+  check_bool "egress saturates" true (secs > 1.9 *. one_sender)
+
+(* --- Nic --- *)
+
+type nic_rig = {
+  sim : Sim.t;
+  fab : Fabric.t;
+  nic : Nic.t;
+  peer : Fabric.port;
+  peer_rx : Packet.t list ref;
+}
+
+let nic_rig () =
+  let sim = Sim.create () in
+  let fab = Fabric.create sim () in
+  let mmio = Mmio.create () in
+  let irq = Irq.create sim in
+  let nic = Nic.create sim ~mmio ~base:0xE000_0000 ~fabric:fab ~name:"nic" ~irq ~irq_vec:10 in
+  let peer_rx = ref [] in
+  let peer = Fabric.attach fab ~name:"peer" (fun p -> peer_rx := p :: !peer_rx) in
+  { sim; fab; nic; peer; peer_rx }
+
+let test_nic_tx () =
+  let r = nic_rig () in
+  let h = Nic.raw r.nic in
+  let ring = Nic.default_tx_ring r.nic in
+  Nic.set_tx_desc r.nic ~ring ~idx:0 ~dst:(Fabric.port_id r.peer) ~size_bytes:500
+    (Packet.Raw "one");
+  Nic.set_tx_desc r.nic ~ring ~idx:1 ~dst:(Fabric.port_id r.peer) ~size_bytes:600
+    (Packet.Raw "two");
+  Sim.spawn_at r.sim Time.zero (fun () -> h.Mmio.write Nic.Regs.tdt 2L);
+  Sim.run r.sim;
+  check_int "two frames" 2 (List.length !(r.peer_rx));
+  check_int "tdh advanced" 2 (Int64.to_int (h.Mmio.read Nic.Regs.tdh))
+
+let test_nic_rx_ring () =
+  let r = nic_rig () in
+  let h = Nic.raw r.nic in
+  (* Publish 4 rx buffers. *)
+  h.Mmio.write Nic.Regs.rdt 4L;
+  Sim.spawn_at r.sim Time.zero (fun () ->
+      Fabric.send r.peer ~dst:(Fabric.port_id (Nic.port r.nic)) ~size_bytes:700
+        (Packet.Raw "hello"));
+  Sim.run r.sim;
+  check_int "rdh advanced" 1 (Int64.to_int (h.Mmio.read Nic.Regs.rdh));
+  (match Nic.rx_desc r.nic ~ring:(Nic.default_rx_ring r.nic) ~idx:0 with
+  | Some p -> check_int "size" 700 p.Packet.size_bytes
+  | None -> Alcotest.fail "no frame in rx ring");
+  Nic.clear_rx_desc r.nic ~ring:(Nic.default_rx_ring r.nic) ~idx:0
+
+let test_nic_rx_overflow_drops () =
+  let r = nic_rig () in
+  (* No buffers published: everything drops. *)
+  Sim.spawn_at r.sim Time.zero (fun () ->
+      for _ = 1 to 3 do
+        Fabric.send r.peer ~dst:(Fabric.port_id (Nic.port r.nic)) ~size_bytes:100
+          (Packet.Raw "x")
+      done);
+  Sim.run r.sim;
+  check_int "all dropped" 3 (Nic.rx_dropped r.nic)
+
+let test_nic_rx_irq () =
+  let sim = Sim.create () in
+  let fab = Fabric.create sim () in
+  let mmio = Mmio.create () in
+  let irq = Irq.create sim in
+  let nic = Nic.create sim ~mmio ~base:0xE000_0000 ~fabric:fab ~name:"nic" ~irq ~irq_vec:10 in
+  let fired = ref 0 in
+  Irq.register irq ~vec:10 (fun () -> incr fired);
+  let peer = Fabric.attach fab ~name:"peer" (fun _ -> ()) in
+  let h = Nic.raw nic in
+  h.Mmio.write Nic.Regs.rdt 8L;
+  h.Mmio.write Nic.Regs.ie 1L;
+  Sim.spawn_at sim Time.zero (fun () ->
+      Fabric.send peer ~dst:(Fabric.port_id (Nic.port nic)) ~size_bytes:100
+        (Packet.Raw "x"));
+  Sim.run sim;
+  check_int "irq" 1 !fired
+
+(* --- Ib --- *)
+
+let test_ib_rdma_latency () =
+  let sim = Sim.create () in
+  let ib = Ib.create sim () in
+  let a = Ib.attach ib ~name:"a" and b = Ib.attach ib ~name:"b" in
+  let elapsed = ref 0 in
+  Sim.spawn_at sim Time.zero (fun () ->
+      let t0 = Sim.clock () in
+      Ib.rdma a ~dst:b ~bytes:65536;
+      elapsed := Time.diff (Sim.clock ()) t0);
+  Sim.run sim;
+  (* 64 KB at 3.2 GB/s = 20.5 us + 1.3 us base. *)
+  check_bool "latency plausible" true
+    (!elapsed > Time.us 20 && !elapsed < Time.us 25)
+
+let test_ib_overhead_adds_to_latency () =
+  let sim = Sim.create () in
+  let ib = Ib.create sim () in
+  let a = Ib.attach ib ~name:"a" and b = Ib.attach ib ~name:"b" in
+  let base = ref 0 and virt = ref 0 in
+  Sim.spawn_at sim Time.zero (fun () ->
+      let t0 = Sim.clock () in
+      Ib.rdma a ~dst:b ~bytes:65536;
+      base := Time.diff (Sim.clock ()) t0;
+      Ib.set_op_overhead a (Time.us 5);
+      let t1 = Sim.clock () in
+      Ib.rdma a ~dst:b ~bytes:65536;
+      virt := Time.diff (Sim.clock ()) t1);
+  Sim.run sim;
+  check_int "overhead lands on latency" (Time.us 5) (!virt - !base)
+
+let test_ib_bandwidth_hides_overhead () =
+  (* Pipelined posts: per-op overhead below the wire time is hidden, so
+     virtualized and bare throughput match (Fig 12's explanation). *)
+  let run_with overhead =
+    let sim = Sim.create () in
+    let ib = Ib.create sim () in
+    let a = Ib.attach ib ~name:"a" and b = Ib.attach ib ~name:"b" in
+    Ib.set_op_overhead a overhead;
+    let finish = ref 0 in
+    Sim.spawn_at sim Time.zero (fun () ->
+        let remaining = ref 1000 in
+        for _ = 1 to 1000 do
+          Ib.post a ~dst:b ~bytes:65536 ~on_complete:(fun () ->
+              decr remaining;
+              if !remaining = 0 then finish := Sim.now sim)
+        done);
+    Sim.run sim;
+    float_of_int (1000 * 65536) /. Time.to_float_s !finish
+  in
+  let bare = run_with 0 and virt = run_with (Time.us 5) in
+  check_bool
+    (Printf.sprintf "bw %.2f vs %.2f GB/s" (bare /. 1e9) (virt /. 1e9))
+    true
+    (abs_float (bare -. virt) /. bare < 0.01)
+
+let test_ib_msg_rendezvous () =
+  let sim = Sim.create () in
+  let ib = Ib.create sim () in
+  let a = Ib.attach ib ~name:"a" and b = Ib.attach ib ~name:"b" in
+  let got = ref 0 in
+  Sim.spawn_at sim Time.zero (fun () -> got := Ib.recv_msg b ~src:a);
+  Sim.spawn_at sim (Time.ms 1) (fun () -> Ib.send_msg a ~dst:b ~bytes:4096);
+  Sim.run sim;
+  check_int "message size" 4096 !got
+
+let test_ib_bytes_counted () =
+  let sim = Sim.create () in
+  let ib = Ib.create sim () in
+  let a = Ib.attach ib ~name:"a" and b = Ib.attach ib ~name:"b" in
+  Sim.spawn_at sim Time.zero (fun () -> Ib.rdma a ~dst:b ~bytes:1234);
+  Sim.run sim;
+  check_int "counted" 1234 (Ib.bytes_transferred ib)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "net"
+    [ ( "fabric",
+        [ tc "delivery" `Quick test_fabric_delivery;
+          tc "serialization time" `Quick test_fabric_serialization_time;
+          tc "mtu enforced" `Quick test_fabric_mtu_enforced;
+          tc "loss" `Quick test_fabric_loss;
+          tc "contention shares egress" `Quick test_fabric_contention_shares_egress ] );
+      ( "nic",
+        [ tc "tx" `Quick test_nic_tx;
+          tc "rx ring" `Quick test_nic_rx_ring;
+          tc "rx overflow drops" `Quick test_nic_rx_overflow_drops;
+          tc "rx irq" `Quick test_nic_rx_irq ] );
+      ( "ib",
+        [ tc "rdma latency" `Quick test_ib_rdma_latency;
+          tc "overhead adds to latency" `Quick test_ib_overhead_adds_to_latency;
+          tc "bandwidth hides overhead" `Quick test_ib_bandwidth_hides_overhead;
+          tc "msg rendezvous" `Quick test_ib_msg_rendezvous;
+          tc "bytes counted" `Quick test_ib_bytes_counted ] ) ]
