@@ -70,6 +70,75 @@ let deploy image_gb disk watch =
         (Vmm.events vmm));
   0
 
+(* --- chaos: deploy under a named fault scenario, check invariants --- *)
+
+let chaos scenario seed image_mb =
+  let module Fault = Bmcast_faults.Fault in
+  let module Fabric = Bmcast_net.Fabric in
+  let module Disk = Bmcast_storage.Disk in
+  let module Vblade = Bmcast_proto.Vblade in
+  let module Content = Bmcast_storage.Content in
+  let module Block_io = Bmcast_guest.Block_io in
+  let image_sectors = image_mb * 2048 in
+  let plan =
+    if scenario = "random" then
+      Fault.random_plan ~seed ~active:(Time.s 10) ~image_sectors
+    else
+      match Fault.scenario ~image_sectors scenario with
+      | Some p -> p
+      | None ->
+        Printf.eprintf "unknown scenario %S; known: random %s\n" scenario
+          (String.concat " " Fault.scenario_names);
+        exit 2
+  in
+  let sim = Sim.create ~seed () in
+  let fabric = Fabric.create sim () in
+  let profile =
+    { Disk.hdd_constellation2 with Disk.capacity_sectors = 2 * image_sectors }
+  in
+  let server_disk = Disk.create sim profile in
+  Disk.fill_with_image server_disk;
+  let vblade = Vblade.create sim ~fabric ~name:"server" ~disk:server_disk () in
+  let machine =
+    Machine.create sim ~name:"instance0" ~disk_profile:profile
+      ~disk_kind:Machine.Ahci_disk ~fabric ()
+  in
+  let params = Bmcast_core.Params.default ~image_sectors in
+  Printf.printf "Chaos run: scenario %S, seed %d, %d MB image\n%!" scenario
+    seed image_mb;
+  let rig = { Fault.sim; fabric; server = vblade; server_disk } in
+  let inj = Fault.inject rig plan in
+  let vmm_ref = ref None in
+  Sim.spawn_at sim ~name:"scenario" Time.zero (fun () ->
+      let vmm =
+        Vmm.boot machine ~params ~server_port:(Vblade.port_id vblade) ()
+      in
+      vmm_ref := Some vmm;
+      let blk = Block_io.attach machine in
+      ignore (Block_io.read blk ~lba:0 ~count:8 : Content.t array);
+      Vmm.wait_devirtualized vmm);
+  Sim.run ~until:(Time.minutes 60) sim;
+  let vmm = Option.get !vmm_ref in
+  Printf.printf "fault trace:\n";
+  List.iter
+    (fun (at, what) -> Printf.printf "  [%7.2fs] %s\n" (secs at) what)
+    (Fault.trace inj);
+  Printf.printf "lifecycle:\n";
+  List.iter
+    (fun (at, what) -> Printf.printf "  [%7.2fs] %s\n" (secs at) what)
+    (Vmm.events vmm);
+  let t = Vmm.totals vmm in
+  Printf.printf
+    "totals: %d retransmits, %d escalations, %d fetch failures, %d server \
+     crashes, %d injected disk errors\n"
+    t.Vmm.aoe_retransmits t.Vmm.aoe_escalations t.Vmm.fetch_failures
+    (Vblade.crashes vblade) (Disk.read_errors server_disk);
+  let checks =
+    Fault.Invariants.all ~image_sectors ~disk:machine.Machine.disk vmm
+  in
+  Printf.printf "invariants:\n%s\n" (Fault.Invariants.report checks);
+  if Fault.Invariants.failures checks = [] then 0 else 1
+
 (* --- compare: startup-time comparison (Figure 4 on demand) --- *)
 
 let compare_cmd image_gb =
@@ -117,6 +186,27 @@ let () =
       (Cmd.info "compare" ~doc:"compare startup time across deployment methods")
       Term.(const compare_cmd $ image_gb)
   in
+  let scenario =
+    Arg.(
+      value
+      & opt string "crash-mid-copy"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"fault scenario (or 'random' for a seeded random plan)")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed")
+  in
+  let image_mb =
+    Arg.(
+      value & opt int 256
+      & info [ "image-mb" ] ~docv:"MB" ~doc:"OS image size in MB")
+  in
+  let chaos_cmd =
+    Cmd.v
+      (Cmd.info "chaos"
+         ~doc:"deploy under a named fault scenario and check invariants")
+      Term.(const chaos $ scenario $ seed $ image_mb)
+  in
   let params_cmd =
     Cmd.v
       (Cmd.info "params" ~doc:"print deployment parameters")
@@ -125,6 +215,6 @@ let () =
   let group =
     Cmd.group
       (Cmd.info "bmcastctl" ~doc:"BMcast bare-metal deployment control")
-      [ deploy_cmd; compare_cmd; params_cmd ]
+      [ deploy_cmd; chaos_cmd; compare_cmd; params_cmd ]
   in
   exit (Cmd.eval' group)

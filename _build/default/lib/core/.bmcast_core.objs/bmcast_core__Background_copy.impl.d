@@ -1,1 +1,1 @@
-lib/core/background_copy.ml: Array Bitmap Bmcast_engine Bmcast_storage Float List Params
+lib/core/background_copy.ml: Array Bitmap Bmcast_engine Bmcast_proto Bmcast_storage Float List Params

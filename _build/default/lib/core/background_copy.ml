@@ -31,6 +31,9 @@ type t = {
   mutable bytes_written : int;
   mutable suspended : int;
   mutable stopped : bool;
+  mutable paused : bool;
+  mutable fetch_failures : int;
+  mutable consecutive_fetch_failures : int;
   mutable completed_at : Time.t option;
 }
 
@@ -55,7 +58,26 @@ let rec find_fetchable t ~from ~attempts =
       | None -> Some (lba, count)
       | Some (fl, fc) -> find_fetchable t ~from:(fl + fc) ~attempts:(attempts - 1))
 
+(* Transport faults the retriever must absorb rather than crash on: a
+   timed-out fetch (server down, sustained loss) or a target-side error.
+   Anything else is a programming error and still propagates. *)
+let transient_fetch_error = function
+  | Bmcast_proto.Aoe_client.Timeout _ | Bmcast_proto.Aoe_client.Target_error _
+    ->
+    true
+  | _ -> false
+
+(* Exponential backoff for fetch retries, capped at 1 s of virtual time
+   so recovery after a long outage is prompt. *)
+let fetch_backoff t =
+  let base = max t.params.Params.write_interval (Time.ms 1) in
+  let span = Time.mul base (1 lsl min t.consecutive_fetch_failures 6) in
+  min span (Time.s 1)
+
 let rec retriever t =
+  while t.paused && not t.stopped do
+    Sim.sleep t.params.Params.suspend_interval
+  done;
   if t.stopped then ()
   else if not (image_complete t) then begin
     (* Locality: if the guest touched the disk since we last looked,
@@ -81,13 +103,26 @@ let rec retriever t =
       t.in_flight <- (lba, count) :: t.in_flight;
       (match t.ops.fetch ~lba ~count with
       | data ->
+        t.consecutive_fetch_failures <- 0;
         t.cursor <- lba + count;
         Mailbox.send t.fifo { lba; data };
         retriever t
       | exception e ->
-        (* A VMM shutdown tears the transport down under us; anything
-           else is a real failure. *)
-        if not t.stopped then raise e)
+        (* A VMM shutdown tears the transport down under us; a transport
+           timeout or target error is a fault to ride out — back off
+           (exponentially, so sustained target loss quiesces the
+           retriever) and retry the same range; progress so far (bitmap,
+           cursor) is preserved. Anything else is a real failure. *)
+        t.in_flight <-
+          List.filter (fun (fl, fc) -> not (fl = lba && fc = count)) t.in_flight;
+        if t.stopped then ()
+        else if transient_fetch_error e then begin
+          t.fetch_failures <- t.fetch_failures + 1;
+          t.consecutive_fetch_failures <- t.consecutive_fetch_failures + 1;
+          Sim.sleep (fetch_backoff t);
+          retriever t
+        end
+        else raise e)
     | Some _ ->
       (* Wrapped past the image: restart from the beginning. *)
       t.cursor <- 0;
@@ -164,6 +199,9 @@ let start sim ~params ~bitmap ~ops =
       bytes_written = 0;
       suspended = 0;
       stopped = false;
+      paused = false;
+      fetch_failures = 0;
+      consecutive_fetch_failures = 0;
       completed_at = None }
   in
   Sim.spawn_at sim ~name:"bgcopy-retriever" (Sim.now sim) (fun () -> retriever t);
@@ -171,6 +209,13 @@ let start sim ~params ~bitmap ~ops =
   t
 
 let stop t = t.stopped <- true
+
+(* Operator pause: the retriever stops fetching after its current chunk;
+   the writer drains what is already in the FIFO, then idles on it. *)
+let pause t = t.paused <- true
+let resume t = t.paused <- false
+let is_paused t = t.paused
+let fetch_failures t = t.fetch_failures
 
 let wait_complete t = Signal.Latch.wait t.complete
 let is_complete t = Signal.Latch.is_set t.complete

@@ -33,6 +33,22 @@ val stop : t -> unit
 (** Ask both threads to exit after their current operation (used by a
     VMM shutdown). *)
 
+val pause : t -> unit
+(** Suspend retrieval after the current chunk: no new fetches are
+    issued until {!resume}. The writer drains chunks already fetched,
+    then idles. Progress (bitmap, cursor, in-flight accounting) is
+    preserved, so a resumed copy continues exactly where it paused. *)
+
+val resume : t -> unit
+val is_paused : t -> bool
+
+val fetch_failures : t -> int
+(** Transient fetch errors (transport timeout / target error) the
+    retriever absorbed. Each failure backs off exponentially — capped
+    at 1 s — so sustained target loss quiesces the retriever instead of
+    flooding a dead server, and the failed range is retried once the
+    fault clears. *)
+
 val wait_complete : t -> unit
 (** Block until every image sector is filled (process context). *)
 

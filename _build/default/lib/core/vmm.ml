@@ -302,6 +302,19 @@ let boot machine ~params ~server_port ?(release_memory = false)
       events = [] }
   in
   log_event t (if resume then "VMM booted (resuming)" else "VMM booted");
+  (* Resilience policy: a deployment must survive storage-server crashes
+     and sustained network faults, so an exhausted AoE retry budget
+     escalates to keep-trying (capped backoff) rather than raising a
+     timeout into the guest's I/O path — the guest just sees a slow
+     disk until the target answers again. The first escalation is
+     logged so operators can spot the outage in the event trace. *)
+  let escalation_logged = ref false in
+  Aoe_client.set_escalation aoe (fun ~attempts:_ _hdr ->
+      if not !escalation_logged then begin
+        escalation_logged := true;
+        log_event t "AoE target unresponsive: escalating retries"
+      end;
+      `Retry);
   Sim.spawn ~name:"bmcast-deployment" (fun () -> deployment t);
   t
 
@@ -334,6 +347,8 @@ type totals = {
   moderation_suspensions : int;
   vm_exits : int;
   aoe_retransmits : int;
+  aoe_escalations : int;
+  fetch_failures : int;
 }
 
 let totals t =
@@ -365,4 +380,9 @@ let totals t =
       | Some bg -> Background_copy.chunks_suspended bg
       | None -> 0);
     vm_exits = Cpu.total_exits t.machine.Machine.cpu;
-    aoe_retransmits = Aoe_client.retransmits t.aoe }
+    aoe_retransmits = Aoe_client.retransmits t.aoe;
+    aoe_escalations = Aoe_client.escalations t.aoe;
+    fetch_failures =
+      (match t.background with
+      | Some bg -> Background_copy.fetch_failures bg
+      | None -> 0) }

@@ -76,6 +76,11 @@ type totals = {
   moderation_suspensions : int;
   vm_exits : int;
   aoe_retransmits : int;
+  aoe_escalations : int;
+      (** AoE commands kept alive past the normal retry budget (storage
+          server down longer than the retransmission window) *)
+  fetch_failures : int;
+      (** background-copy fetches that timed out and were retried *)
 }
 
 val totals : t -> totals

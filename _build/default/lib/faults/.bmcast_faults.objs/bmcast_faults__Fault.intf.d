@@ -1,0 +1,1 @@
+lib/faults/fault.mli: Bmcast_core Bmcast_engine Bmcast_net Bmcast_proto Bmcast_storage

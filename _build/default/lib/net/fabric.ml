@@ -3,16 +3,31 @@ module Time = Bmcast_engine.Time
 module Prng = Bmcast_engine.Prng
 module Mailbox = Bmcast_engine.Mailbox
 
+(* Frame loss is either memoryless or a two-state Gilbert-Elliott chain
+   (good/bad), which produces the bursty losses real switches exhibit
+   under congestion or a flaky cable. The chain is stepped once per
+   forwarded frame. *)
+type loss_model =
+  | Uniform of float
+  | Gilbert of {
+      p_enter_bad : float;  (* per-frame P(good -> bad) *)
+      p_exit_bad : float;  (* per-frame P(bad -> good) *)
+      loss_good : float;
+      loss_bad : float;
+    }
+
 type t = {
   sim : Sim.t;
   rate : float;
   latency : Time.span;
   mtu : int;
-  mutable loss_rate : float;
+  mutable loss : loss_model;
+  mutable loss_in_bad : bool;  (* Gilbert-Elliott channel state *)
   prng : Prng.t;
   mutable ports : port array;
   mutable frames_sent : int;
   mutable frames_dropped : int;
+  mutable link_drops : int;
   mutable bytes_delivered : int;
 }
 
@@ -25,6 +40,8 @@ and port = {
   egress : Packet.t Mailbox.t;  (* switch -> endpoint *)
   tx_drain : Bmcast_engine.Signal.Pulse.t;
   mutable bytes_out : int;
+  mutable link_up : bool;
+  mutable stalled_until : Time.t;  (* NIC fault: DMA engine frozen *)
 }
 
 let transmit_span t size = Time.of_float_s (float_of_int size /. t.rate)
@@ -35,40 +52,78 @@ let create sim ?(port_rate_bytes_per_s = 125e6) ?(latency = Time.us 20)
     rate = port_rate_bytes_per_s;
     latency;
     mtu;
-    loss_rate;
+    loss = Uniform loss_rate;
+    loss_in_bad = false;
     prng = Prng.split (Sim.rand sim);
     ports = [||];
     frames_sent = 0;
     frames_dropped = 0;
+    link_drops = 0;
     bytes_delivered = 0 }
 
 let mtu t = t.mtu
-let set_loss_rate t r = t.loss_rate <- r
+let set_loss_rate t r = t.loss <- Uniform r
+
+let set_loss_model t m =
+  t.loss <- m;
+  (* A fresh model starts in the good state. *)
+  t.loss_in_bad <- false
+
+let loss_model t = t.loss
+
+(* One per-frame roll of the active loss model. Draw counts match the
+   pre-existing behaviour for [Uniform 0.0] (no draw), keeping seeded
+   runs that never touch the loss model bit-identical. *)
+let loss_roll t =
+  match t.loss with
+  | Uniform p -> p > 0.0 && Prng.bernoulli t.prng p
+  | Gilbert g ->
+    (if t.loss_in_bad then begin
+       if Prng.bernoulli t.prng g.p_exit_bad then t.loss_in_bad <- false
+     end
+     else if Prng.bernoulli t.prng g.p_enter_bad then t.loss_in_bad <- true);
+    let p = if t.loss_in_bad then g.loss_bad else g.loss_good in
+    p > 0.0 && Prng.bernoulli t.prng p
 
 let find_port t id =
   if id < 0 || id >= Array.length t.ports then
     invalid_arg (Printf.sprintf "Fabric: unknown port %d" id);
   t.ports.(id)
 
+let port_of_id = find_port
+
+(* A stalled NIC neither serializes nor accepts frames until the stall
+   expires; queued frames survive and drain afterwards. *)
+let rec stall_wait port =
+  let now = Sim.now port.fab.sim in
+  if now < port.stalled_until then begin
+    Sim.sleep (Time.diff port.stalled_until now);
+    stall_wait port
+  end
+
 (* Uplink process: serialize the frame onto the wire, then hand it to the
    switch, which forwards to the destination port's egress queue. *)
 let rec uplink_loop t port =
   let frame = Mailbox.recv port.uplink in
+  stall_wait port;
   Sim.sleep (transmit_span t frame.Packet.size_bytes);
   port.bytes_out <- port.bytes_out + frame.Packet.size_bytes;
   Bmcast_engine.Signal.Pulse.pulse port.tx_drain;
   (* Propagation + switch forwarding. *)
   Sim.sleep t.latency;
-  (if t.loss_rate > 0.0 && Prng.bernoulli t.prng t.loss_rate then
-     t.frames_dropped <- t.frames_dropped + 1
-   else
-     let dst = find_port t frame.Packet.dst in
-     Mailbox.send dst.egress frame);
+  let dst = find_port t frame.Packet.dst in
+  (if not (port.link_up && dst.link_up) then begin
+     t.frames_dropped <- t.frames_dropped + 1;
+     t.link_drops <- t.link_drops + 1
+   end
+   else if loss_roll t then t.frames_dropped <- t.frames_dropped + 1
+   else Mailbox.send dst.egress frame);
   uplink_loop t port
 
 (* Egress process: serialize on the destination port, then deliver. *)
 let rec egress_loop t port =
   let frame = Mailbox.recv port.egress in
+  stall_wait port;
   Sim.sleep (transmit_span t frame.Packet.size_bytes);
   t.bytes_delivered <- t.bytes_delivered + frame.Packet.size_bytes;
   Sim.spawn ~name:(port.name ^ "-rx") (fun () -> port.rx frame);
@@ -84,7 +139,9 @@ let attach t ~name rx =
       uplink = Mailbox.create ();
       egress = Mailbox.create ();
       tx_drain = Bmcast_engine.Signal.Pulse.create ();
-      bytes_out = 0 }
+      bytes_out = 0;
+      link_up = true;
+      stalled_until = Time.zero }
   in
   t.ports <- Array.append t.ports [| port |];
   Sim.spawn_at t.sim ~name:(name ^ "-uplink") (Sim.now t.sim) (fun () ->
@@ -116,8 +173,16 @@ let send_wait p ~dst ~size_bytes payload =
   done;
   send p ~dst ~size_bytes payload
 
+let set_link_up p up = p.link_up <- up
+let link_up p = p.link_up
+
+let stall p span =
+  let until = Time.add (Sim.now p.fab.sim) span in
+  if until > p.stalled_until then p.stalled_until <- until
+
 let frames_sent t = t.frames_sent
 let frames_dropped t = t.frames_dropped
+let link_drops t = t.link_drops
 let bytes_delivered t = t.bytes_delivered
 let port_bytes_out p = p.bytes_out
 let port_queue_depth p = Mailbox.length p.uplink

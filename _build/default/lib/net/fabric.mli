@@ -5,12 +5,29 @@
     serialized onto the sender's uplink at the port rate, forwarded, then
     serialized again on the destination port — so multiple senders
     targeting one destination (many instances hitting one storage server)
-    naturally saturate that port. Optional uniform packet loss exercises
-    the AoE retransmission extension. *)
+    naturally saturate that port. Optional packet loss — uniform or
+    bursty (Gilbert-Elliott) — exercises the AoE retransmission
+    extension, and per-port link state / NIC stalls support the fault
+    injection subsystem (see {!Bmcast_faults.Fault}). *)
 
 type t
 
 type port
+
+(** Frame-loss process applied at the switch forwarding point. [Uniform]
+    drops each frame independently; [Gilbert] is the classic two-state
+    bursty-loss chain, stepped once per forwarded frame: in the good
+    state frames drop with [loss_good], in the bad state with
+    [loss_bad], and the state flips with the two transition
+    probabilities. *)
+type loss_model =
+  | Uniform of float
+  | Gilbert of {
+      p_enter_bad : float;
+      p_exit_bad : float;
+      loss_good : float;
+      loss_bad : float;
+    }
 
 val create :
   Bmcast_engine.Sim.t ->
@@ -28,8 +45,37 @@ val attach : t -> name:string -> (Packet.t -> unit) -> port
     in a fresh simulation process). *)
 
 val port_id : port -> int
+
+val port_of_id : t -> int -> port
+(** Look a port up by its id (for fault injection on an endpoint known
+    only by number). Raises [Invalid_argument] for unknown ids. *)
+
 val mtu : t -> int
+
 val set_loss_rate : t -> float -> unit
+(** Shorthand for [set_loss_model t (Uniform r)]. *)
+
+val set_loss_model : t -> loss_model -> unit
+(** Replace the loss process; a Gilbert chain (re)starts in the good
+    state. *)
+
+val loss_model : t -> loss_model
+
+(** {2 Link faults (fault injection hook points)} *)
+
+val set_link_up : port -> bool -> unit
+(** Administratively take an endpoint's link down (or back up). While
+    either end of a path is down, frames crossing the switch are
+    dropped and counted in {!link_drops}; senders notice only through
+    missing responses, as on real hardware. *)
+
+val link_up : port -> bool
+
+val stall : port -> Bmcast_engine.Time.span -> unit
+(** Freeze the port's NIC for a duration starting now (a wedged DMA
+    engine / PCIe hiccup): nothing serializes in or out until the stall
+    expires, but queued frames survive and drain afterwards.
+    Overlapping stalls extend to the latest deadline. *)
 
 val send : port -> dst:int -> size_bytes:int -> Packet.payload -> unit
 (** Enqueue a frame for transmission (returns immediately; callable from
@@ -47,6 +93,11 @@ val send_wait : port -> dst:int -> size_bytes:int -> Packet.payload -> unit
 
 val frames_sent : t -> int
 val frames_dropped : t -> int
+
+val link_drops : t -> int
+(** Subset of {!frames_dropped} lost to a down link (vs. the loss
+    model). *)
+
 val bytes_delivered : t -> int
 val port_bytes_out : port -> int
 val port_queue_depth : port -> int

@@ -31,6 +31,9 @@ type t = {
   pending : (int, pending) Hashtbl.t;
   mutable retransmits : int;
   mutable requests_sent : int;
+  mutable escalation : (attempts:int -> Aoe.header -> [ `Retry | `Fail ]) option;
+  mutable escalations : int;
+  mutable completions : int;
 }
 
 let create sim ~send ?(mtu = 9000) ?(timeout = Time.ms 20)
@@ -49,10 +52,17 @@ let create sim ~send ?(mtu = 9000) ?(timeout = Time.ms 20)
     next_tag = 1;
     pending = Hashtbl.create 32;
     retransmits = 0;
-    requests_sent = 0 }
+    requests_sent = 0;
+    escalation = None;
+    escalations = 0;
+    completions = 0 }
 
 let retransmits t = t.retransmits
 let requests_sent t = t.requests_sent
+let set_escalation t f = t.escalation <- Some f
+let escalations t = t.escalations
+let completions t = t.completions
+let pending_count t = Hashtbl.length t.pending
 
 let fresh_tag t =
   let tag = t.next_tag in
@@ -67,6 +77,7 @@ let on_frame t frame =
     | Some p when hdr.Aoe.error ->
       p.failed <- true;
       Hashtbl.remove t.pending hdr.Aoe.tag;
+      t.completions <- t.completions + 1;
       Signal.Latch.set p.done_
     | Some p ->
       let base = p.request.Aoe.lba in
@@ -91,6 +102,7 @@ let on_frame t frame =
         if p.received = 0 then p.received <- p.request.Aoe.count);
       if p.received >= p.request.Aoe.count then begin
         Hashtbl.remove t.pending hdr.Aoe.tag;
+        t.completions <- t.completions + 1;
         Signal.Latch.set p.done_
       end
 
@@ -109,13 +121,27 @@ let run_command t request write_data =
   in
   Hashtbl.replace t.pending request.Aoe.tag p;
   let payload = Option.value write_data ~default:[||] in
+  let give_up () =
+    Hashtbl.remove t.pending request.Aoe.tag;
+    raise
+      (Timeout
+         (Printf.sprintf "AoE command tag=%d lba=%d count=%d"
+            request.Aoe.tag request.Aoe.lba request.Aoe.count))
+  in
   let rec attempt n =
+    (* Exhausted the normal retry budget: consult the escalation hook
+       (installed by the VMM) before surfacing a timeout. [`Retry] keeps
+       the command alive at the capped backoff so a target that comes
+       back — failover, crash recovery — lets it complete instead of
+       erroring into the guest's I/O path. Without a hook the historical
+       behaviour stands: raise {!Timeout}. *)
     if n > t.max_retries then begin
-      Hashtbl.remove t.pending request.Aoe.tag;
-      raise
-        (Timeout
-           (Printf.sprintf "AoE command tag=%d lba=%d count=%d"
-              request.Aoe.tag request.Aoe.lba request.Aoe.count))
+      match t.escalation with
+      | None -> give_up ()
+      | Some f -> (
+        match f ~attempts:n request with
+        | `Fail -> give_up ()
+        | `Retry -> t.escalations <- t.escalations + 1)
     end;
     if n > 0 then t.retransmits <- t.retransmits + 1;
     t.requests_sent <- t.requests_sent + 1;

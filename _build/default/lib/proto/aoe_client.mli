@@ -30,7 +30,29 @@ val on_frame : t -> Aoe.frame -> unit
     multiple clients can share a pipe). *)
 
 exception Timeout of string
-(** Raised when a command exhausts its retries. *)
+(** Raised when a command exhausts its retries (and the escalation hook,
+    if any, declines to keep it alive). *)
+
+val set_escalation :
+  t -> (attempts:int -> Aoe.header -> [ `Retry | `Fail ]) -> unit
+(** Install the retry-escalation policy consulted each time a command
+    exceeds [max_retries]: [`Retry] re-sends at the capped exponential
+    backoff (so a recovered or failed-over target completes the request
+    instead of a {!Timeout} reaching the guest I/O path); [`Fail]
+    surfaces {!Timeout} as before. [attempts] counts sends so far for
+    this command. Without a hook the historical raise-on-exhaustion
+    behaviour is preserved. *)
+
+val escalations : t -> int
+(** Times the escalation hook answered [`Retry]. *)
+
+val completions : t -> int
+(** Commands that completed (successfully or with a target error).
+    Together with {!pending_count} this gives the no-lost /
+    no-double-completed accounting the fault invariants check. *)
+
+val pending_count : t -> int
+(** Commands currently awaiting a response. *)
 
 exception Target_error of string
 (** Raised when the target answers with the AoE error flag (e.g. an

@@ -21,29 +21,73 @@ type t = {
   disk_lock : Semaphore.t;
   mutable requests_served : int;
   mutable bytes_served : int;
+  mutable up : bool;
+  mutable epoch : int;  (* bumped on crash; orphans in-flight work *)
+  mutable crashes : int;
+  mutable disk_error_retries : int;
 }
 
 let port t = Option.get t.fabric_port
 let port_id t = Fabric.port_id (port t)
 let requests_served t = t.requests_served
 let bytes_served t = t.bytes_served
+let is_up t = t.up
+let crashes t = t.crashes
+let disk_error_retries t = t.disk_error_retries
+
+(* Power loss: the daemon dies mid-flight. Queued requests vanish and
+   any response a worker was about to send is suppressed (its epoch no
+   longer matches); clients recover by retransmitting. The disk itself
+   is non-volatile, so [restart] needs no state beyond flipping the
+   server back up. *)
+let crash t =
+  if t.up then begin
+    t.up <- false;
+    t.epoch <- t.epoch + 1;
+    t.crashes <- t.crashes + 1;
+    while Mailbox.try_recv t.work <> None do
+      ()
+    done
+  end
+
+let restart t = t.up <- true
 
 (* vblade's sendto blocks when the socket buffer fills — the root of the
-   single-thread bottleneck the paper fixed with a worker pool. *)
-let respond t ~dst hdr data = Aoe.send_wait (port t) ~dst hdr data
+   single-thread bottleneck the paper fixed with a worker pool. A
+   response conceived before a crash (stale epoch) is lost with the
+   process that was sending it. *)
+let respond t ~epoch ~dst hdr data =
+  if t.up && t.epoch = epoch then Aoe.send_wait (port t) ~dst hdr data
 
 let bad_range t hdr =
   (hdr.Aoe.command = Aoe.Ata_read || hdr.Aoe.command = Aoe.Ata_write)
   && (hdr.Aoe.lba < 0 || hdr.Aoe.count <= 0
      || hdr.Aoe.lba + hdr.Aoe.count > Disk.capacity_sectors t.disk)
 
+(* Transient media errors (injected by the fault subsystem) are the
+   server's problem, not the client's: retry with a short settle delay,
+   like a real target re-reading a recoverable sector. Only a fault that
+   outlives every retry escalates to an AoE error response. *)
+let disk_retry_limit = 8
+
+let rec read_with_retry t ~lba ~count attempts =
+  match
+    Semaphore.with_permit t.disk_lock (fun () -> Disk.read t.disk ~lba ~count)
+  with
+  | data -> data
+  | exception Disk.Read_error _ when attempts < disk_retry_limit ->
+    t.disk_error_retries <- t.disk_error_retries + 1;
+    Sim.sleep (Time.ms 2);
+    read_with_retry t ~lba ~count (attempts + 1)
+
 let serve t job =
+  let epoch = t.epoch in
   let hdr = job.frame.Aoe.hdr in
   Sim.sleep
     (t.per_request_cpu + Time.mul t.per_sector_cpu hdr.Aoe.count);
   if bad_range t hdr then
     (* A malformed request gets an error response, not a dead target. *)
-    respond t ~dst:job.src
+    respond t ~epoch ~dst:job.src
       { hdr with Aoe.is_response = true; error = true; count = 0 }
       [||]
   else
@@ -53,33 +97,37 @@ let serve t job =
        stay sequential), then stream fragments with socket
        backpressure. With one worker the next command's disk read waits
        for this command's wire time; a pool overlaps them. *)
-    let data =
-      if t.ram_cache then Disk.peek t.disk ~lba:hdr.Aoe.lba ~count:hdr.Aoe.count
-      else
-        Semaphore.with_permit t.disk_lock (fun () ->
-            Disk.read t.disk ~lba:hdr.Aoe.lba ~count:hdr.Aoe.count)
-    in
-    let per_frame = Aoe.max_sectors ~mtu:t.mtu in
-    let rec stream off frag =
-      if off < hdr.Aoe.count then begin
-        let n = min per_frame (hdr.Aoe.count - off) in
-        respond t ~dst:job.src
-          { hdr with
-            Aoe.is_response = true;
-            frag = frag land 0xFF;
-            lba = hdr.Aoe.lba + off;
-            count = n }
-          (Array.sub data off n);
-        stream (off + n) (frag + 1)
-      end
-    in
-    stream 0 0;
-    t.requests_served <- t.requests_served + 1;
-    t.bytes_served <- t.bytes_served + (hdr.Aoe.count * 512)
+    (match
+       if t.ram_cache then
+         Disk.peek t.disk ~lba:hdr.Aoe.lba ~count:hdr.Aoe.count
+       else read_with_retry t ~lba:hdr.Aoe.lba ~count:hdr.Aoe.count 0
+     with
+    | exception Disk.Read_error _ ->
+      respond t ~epoch ~dst:job.src
+        { hdr with Aoe.is_response = true; error = true; count = 0 }
+        [||]
+    | data ->
+      let per_frame = Aoe.max_sectors ~mtu:t.mtu in
+      let rec stream off frag =
+        if off < hdr.Aoe.count then begin
+          let n = min per_frame (hdr.Aoe.count - off) in
+          respond t ~epoch ~dst:job.src
+            { hdr with
+              Aoe.is_response = true;
+              frag = frag land 0xFF;
+              lba = hdr.Aoe.lba + off;
+              count = n }
+            (Array.sub data off n);
+          stream (off + n) (frag + 1)
+        end
+      in
+      stream 0 0;
+      t.requests_served <- t.requests_served + 1;
+      t.bytes_served <- t.bytes_served + (hdr.Aoe.count * 512))
   | Aoe.Query_config ->
     (* Target discovery: capacity rides in the LBA field. *)
     t.requests_served <- t.requests_served + 1;
-    respond t ~dst:job.src
+    respond t ~epoch ~dst:job.src
       { hdr with
         Aoe.is_response = true;
         lba = Disk.capacity_sectors t.disk;
@@ -91,7 +139,7 @@ let serve t job =
           job.frame.Aoe.data);
     t.requests_served <- t.requests_served + 1;
     t.bytes_served <- t.bytes_served + (hdr.Aoe.count * 512);
-    respond t ~dst:job.src { hdr with Aoe.is_response = true } [||]
+    respond t ~epoch ~dst:job.src { hdr with Aoe.is_response = true } [||]
 
 let rec worker_loop t =
   let job = Mailbox.recv t.work in
@@ -100,7 +148,7 @@ let rec worker_loop t =
 
 let on_rx t (pkt : Packet.t) =
   match pkt.Packet.payload with
-  | Aoe.Frame frame when not frame.Aoe.hdr.Aoe.is_response ->
+  | Aoe.Frame frame when not frame.Aoe.hdr.Aoe.is_response && t.up ->
     ignore (Mailbox.try_send t.work { src = pkt.Packet.src; frame } : bool)
   | Aoe.Frame _ | _ -> ()
 
@@ -119,7 +167,11 @@ let create sim ~fabric ~name ~disk ?(workers = 8)
       work = Mailbox.create ();
       disk_lock = Semaphore.create 1;
       requests_served = 0;
-      bytes_served = 0 }
+      bytes_served = 0;
+      up = true;
+      epoch = 0;
+      crashes = 0;
+      disk_error_retries = 0 }
   in
   t.fabric_port <- Some (Fabric.attach fabric ~name (on_rx t));
   for i = 1 to workers do

@@ -29,5 +29,22 @@ val create :
 val port : t -> Bmcast_net.Fabric.port
 val port_id : t -> int
 
+(** {2 Crash / restart (fault injection hook points)}
+
+    A crash models the daemon (or its host) dying: queued requests are
+    discarded, responses being assembled are suppressed, and incoming
+    frames are ignored until {!restart}. The backing disk is
+    non-volatile, so a restarted server resumes serving the same
+    content; clients recover lost commands by retransmission. *)
+
+val crash : t -> unit
+val restart : t -> unit
+val is_up : t -> bool
+val crashes : t -> int
+
+val disk_error_retries : t -> int
+(** Transient {!Bmcast_storage.Disk.Read_error}s the server absorbed by
+    retrying before answering. *)
+
 val requests_served : t -> int
 val bytes_served : t -> int

@@ -1,1 +1,1 @@
-lib/storage/disk.ml: Array Bmcast_engine Content Extent_map Printf
+lib/storage/disk.ml: Array Bmcast_engine Content Extent_map List Printf

@@ -41,6 +41,16 @@ let ssd_sata =
    delta = 0, but copies of image data elsewhere stay representable. *)
 type run = Img of int | Tag of int | Zeros | Blob1 of string
 
+exception Read_error of int
+
+(* An injected transient media fault: reads overlapping [lba, lba+count)
+   fail [remaining] more times before the sectors read clean again. *)
+type read_fault = {
+  f_lba : int;
+  f_count : int;
+  mutable f_remaining : int;
+}
+
 type t = {
   sim : Sim.t;
   profile : profile;
@@ -53,6 +63,10 @@ type t = {
   mutable bytes_written : int;
   mutable seeks : int;
   mutable busy_time : Time.span;
+  mutable read_faults : read_fault list;
+  mutable spike_extra : Time.span;
+  mutable spike_until : Time.t;
+  mutable read_errors : int;
 }
 
 let create sim profile =
@@ -66,10 +80,46 @@ let create sim profile =
     bytes_read = 0;
     bytes_written = 0;
     seeks = 0;
-    busy_time = 0 }
+    busy_time = 0;
+    read_faults = [];
+    spike_extra = 0;
+    spike_until = 0;
+    read_errors = 0 }
 
 let profile t = t.profile
 let capacity_sectors t = t.profile.capacity_sectors
+
+(* --- fault injection hook points --- *)
+
+let inject_read_errors t ~lba ~count ~times =
+  if count <= 0 || times <= 0 then
+    invalid_arg "Disk.inject_read_errors: count and times must be positive";
+  t.read_faults <-
+    { f_lba = lba; f_count = count; f_remaining = times } :: t.read_faults
+
+let set_latency_spike t ~extra ~until =
+  t.spike_extra <- extra;
+  t.spike_until <- until
+
+let read_errors t = t.read_errors
+
+(* A timed read overlapping a live fault window burns one of the
+   fault's remaining failures and errors out (after the mechanical
+   service time — the head did travel). *)
+let take_read_fault t ~lba ~count =
+  let hit =
+    List.find_opt
+      (fun f -> f.f_remaining > 0 && f.f_lba < lba + count && lba < f.f_lba + f.f_count)
+      t.read_faults
+  in
+  match hit with
+  | None -> None
+  | Some f ->
+    f.f_remaining <- f.f_remaining - 1;
+    if f.f_remaining = 0 then
+      t.read_faults <- List.filter (fun g -> g != f) t.read_faults;
+    t.read_errors <- t.read_errors + 1;
+    Some (max lba f.f_lba)
 
 let check_span t ~lba ~count =
   if lba < 0 || count <= 0 || lba + count > t.profile.capacity_sectors then
@@ -161,14 +211,17 @@ let transfer_time t op count =
   in
   Time.of_float_s (float_of_int (count * 512) /. rate)
 
+let spike t =
+  if Sim.now t.sim < t.spike_until then t.spike_extra else 0
+
 let service_time t op ~lba ~count =
   check_span t ~lba ~count;
   match op with
-  | `Read when in_cache t ~lba ~count -> t.profile.cache_hit_time
+  | `Read when in_cache t ~lba ~count -> t.profile.cache_hit_time + spike t
   | `Read | `Write ->
     let distance = abs (lba - t.head_pos) in
     t.profile.fixed_overhead + seek_time t distance + rotation t distance
-    + transfer_time t op count
+    + transfer_time t op count + spike t
 
 let serve t op ~lba ~count =
   let span = service_time t op ~lba ~count in
@@ -186,6 +239,9 @@ let serve t op ~lba ~count =
 
 let read t ~lba ~count =
   serve t `Read ~lba ~count;
+  (match take_read_fault t ~lba ~count with
+  | Some bad_lba -> raise (Read_error bad_lba)
+  | None -> ());
   t.bytes_read <- t.bytes_read + (count * 512);
   peek t ~lba ~count
 

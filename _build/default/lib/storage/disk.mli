@@ -37,8 +37,29 @@ val capacity_sectors : t -> int
 
 (** {2 Timed operations (process context)} *)
 
+exception Read_error of int
+(** Raised by {!read} when the span overlaps an injected transient
+    fault; carries the first failing LBA. The mechanical service time
+    has already elapsed when this is raised. *)
+
 val read : t -> lba:int -> count:int -> Content.t array
 val write : t -> lba:int -> count:int -> Content.t array -> unit
+
+(** {2 Fault injection (hook points for {!Bmcast_faults.Fault})} *)
+
+val inject_read_errors : t -> lba:int -> count:int -> times:int -> unit
+(** Arm a transient media fault: the next [times] timed reads touching
+    [\[lba, lba+count)] raise {!Read_error}, after which the sectors
+    read clean again (a real disk's recoverable-sector behaviour).
+    Instant {!peek} access is unaffected. *)
+
+val set_latency_spike : t -> extra:Bmcast_engine.Time.span -> until:Bmcast_engine.Time.t -> unit
+(** Until the given absolute time, every timed operation takes [extra]
+    longer (firmware garbage collection, thermal recalibration, a
+    shared-spindle neighbour). Replaces any previous spike. *)
+
+val read_errors : t -> int
+(** Number of injected read errors actually delivered so far. *)
 
 val service_time :
   t -> [ `Read | `Write ] -> lba:int -> count:int -> Bmcast_engine.Time.span

@@ -79,6 +79,92 @@ let test_fabric_loss () =
   check_bool "some delivered" true (!received > 300);
   check_int "conservation" 1000 (!received + Fabric.frames_dropped fab)
 
+let test_fabric_gilbert_bursty_loss () =
+  (* Gilbert-Elliott chain with a lossless good state and a fully lossy
+     bad state: all drops come from bad-state visits, so losses arrive
+     in runs of consecutive frames — the burst pattern the AoE
+     retransmission extension has to survive. *)
+  let sim = Sim.create () in
+  let fab = Fabric.create sim () in
+  Fabric.set_loss_model fab
+    (Fabric.Gilbert
+       { p_enter_bad = 0.05; p_exit_bad = 0.25; loss_good = 0.0; loss_bad = 1.0 });
+  let n = 2000 in
+  let got = ref [] in
+  let a = Fabric.attach fab ~name:"a" (fun _ -> ()) in
+  let b =
+    Fabric.attach fab ~name:"b" (fun p ->
+        match p.Packet.payload with
+        | Packet.Raw s -> got := int_of_string s :: !got
+        | _ -> ())
+  in
+  Sim.spawn_at sim Time.zero (fun () ->
+      for i = 0 to n - 1 do
+        Fabric.send a ~dst:(Fabric.port_id b) ~size_bytes:100
+          (Packet.Raw (string_of_int i))
+      done);
+  Sim.run sim;
+  let received = List.length !got in
+  check_int "conservation" n (received + Fabric.frames_dropped fab);
+  check_bool "some lost" true (Fabric.frames_dropped fab > 0);
+  check_bool "most delivered" true (received > n / 2);
+  (* At least one burst: two consecutive frame indices both missing. *)
+  let delivered = Array.make n false in
+  List.iter (fun i -> delivered.(i) <- true) !got;
+  let burst = ref false in
+  for i = 0 to n - 2 do
+    if (not delivered.(i)) && not delivered.(i + 1) then burst := true
+  done;
+  check_bool "losses are bursty" true !burst
+
+let test_fabric_link_flap () =
+  (* Frames sent while either end's link is down are dropped at the
+     switch and counted separately; delivery resumes as soon as the
+     link returns — no queued ghosts from the outage. *)
+  let sim = Sim.create () in
+  let fab = Fabric.create sim () in
+  let got = ref [] in
+  let a = Fabric.attach fab ~name:"a" (fun _ -> ()) in
+  let b =
+    Fabric.attach fab ~name:"b" (fun p ->
+        match p.Packet.payload with
+        | Packet.Raw s -> got := int_of_string s :: !got
+        | _ -> ())
+  in
+  check_bool "links start up" true (Fabric.link_up a && Fabric.link_up b);
+  Sim.spawn_at sim ~name:"sender" Time.zero (fun () ->
+      for i = 0 to 99 do
+        Fabric.send a ~dst:(Fabric.port_id b) ~size_bytes:100
+          (Packet.Raw (string_of_int i));
+        Sim.sleep (Time.ms 1)
+      done);
+  Sim.spawn_at sim ~name:"flapper" (Time.ms 30) (fun () ->
+      Fabric.set_link_up b false;
+      Sim.sleep (Time.ms 30);
+      Fabric.set_link_up b true);
+  Sim.run sim;
+  let received = List.length !got in
+  check_int "conservation" 100 (received + Fabric.frames_dropped fab);
+  check_int "all drops are link drops" (Fabric.frames_dropped fab)
+    (Fabric.link_drops fab);
+  check_bool "outage dropped frames" true (Fabric.link_drops fab >= 20);
+  check_bool "frames before the flap delivered" true (List.mem 5 !got);
+  check_bool "delivery resumed after the flap" true (List.mem 99 !got)
+
+let test_fabric_nic_stall_delays_delivery () =
+  (* A stalled destination NIC holds a frame without dropping it. *)
+  let sim = Sim.create () in
+  let fab = Fabric.create sim () in
+  let at = ref Time.zero in
+  let a = Fabric.attach fab ~name:"a" (fun _ -> ()) in
+  let b = Fabric.attach fab ~name:"b" (fun _ -> at := Sim.now sim) in
+  Sim.spawn_at sim Time.zero (fun () ->
+      Fabric.stall b (Time.ms 5);
+      Fabric.send a ~dst:(Fabric.port_id b) ~size_bytes:100 (Packet.Raw "x"));
+  Sim.run sim;
+  check_bool "delivered" true (!at > Time.zero);
+  check_bool "held until the stall expired" true (!at >= Time.ms 5)
+
 let test_fabric_contention_shares_egress () =
   (* Two senders to one destination: total delivery time ~= sum of both
      at the egress port (the server-saturation effect of §5.1). *)
@@ -264,6 +350,10 @@ let () =
           tc "serialization time" `Quick test_fabric_serialization_time;
           tc "mtu enforced" `Quick test_fabric_mtu_enforced;
           tc "loss" `Quick test_fabric_loss;
+          tc "gilbert bursty loss" `Quick test_fabric_gilbert_bursty_loss;
+          tc "link flap" `Quick test_fabric_link_flap;
+          tc "nic stall delays delivery" `Quick
+            test_fabric_nic_stall_delays_delivery;
           tc "contention shares egress" `Quick test_fabric_contention_shares_egress ] );
       ( "nic",
         [ tc "tx" `Quick test_nic_tx;

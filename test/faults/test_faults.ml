@@ -1,0 +1,467 @@
+(* Chaos and property tests for the copy-on-read pipeline under
+   injected faults: every scenario must end with the local disk
+   byte-identical to the golden image, the background copy converged,
+   exactly one de-virtualization, and no AoE request lost. *)
+
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Content = Bmcast_storage.Content
+module Disk = Bmcast_storage.Disk
+module Fabric = Bmcast_net.Fabric
+module Aoe = Bmcast_proto.Aoe
+module Aoe_client = Bmcast_proto.Aoe_client
+module Vblade = Bmcast_proto.Vblade
+module Machine = Bmcast_platform.Machine
+module Block_io = Bmcast_guest.Block_io
+module Params = Bmcast_core.Params
+module Vmm = Bmcast_core.Vmm
+module Fault = Bmcast_faults.Fault
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Deployment rig with an injectable fault surface --- *)
+
+type rig = {
+  sim : Sim.t;
+  machine : Machine.t;
+  fabric : Fabric.t;
+  server_disk : Disk.t;
+  vblade : Vblade.t;
+  params : Params.t;
+}
+
+let make_rig ~image_sectors ~capacity_sectors ~tweak () =
+  let sim = Sim.create () in
+  let fabric = Fabric.create sim () in
+  let profile = { Disk.hdd_constellation2 with Disk.capacity_sectors } in
+  let server_disk = Disk.create sim profile in
+  Disk.fill_with_image server_disk;
+  let vblade =
+    Vblade.create sim ~fabric ~name:"server" ~disk:server_disk ()
+  in
+  let machine =
+    Machine.create sim ~name:"node0" ~disk_profile:profile
+      ~disk_kind:Machine.Ahci_disk ~fabric ()
+  in
+  let params = tweak (Params.default ~image_sectors) in
+  { sim; machine; fabric; server_disk; vblade; params }
+
+let fault_rig rig =
+  { Fault.sim = rig.sim;
+    fabric = rig.fabric;
+    server = rig.vblade;
+    server_disk = rig.server_disk }
+
+(* Boot, deploy to de-virtualization under a fault plan; [guest] runs
+   after the controller-initializing first read. *)
+let deploy_under ?(guest = fun _vmm _blk -> ()) ~image_sectors
+    ~capacity_sectors ~tweak plan =
+  let rig = make_rig ~image_sectors ~capacity_sectors ~tweak () in
+  let inj = Fault.inject (fault_rig rig) plan in
+  let vmm_ref = ref None in
+  Sim.spawn_at rig.sim ~name:"scenario" Time.zero (fun () ->
+      let vmm =
+        Vmm.boot rig.machine ~params:rig.params
+          ~server_port:(Vblade.port_id rig.vblade) ()
+      in
+      vmm_ref := Some vmm;
+      let blk = Block_io.attach rig.machine in
+      ignore (Block_io.read blk ~lba:0 ~count:8 : Content.t array);
+      guest vmm blk;
+      Vmm.wait_devirtualized vmm);
+  Sim.run ~until:(Time.minutes 30) rig.sim;
+  (rig, Option.get !vmm_ref, inj)
+
+let assert_invariants ?overrides ~image_sectors rig vmm =
+  let checks =
+    Fault.Invariants.all ?overrides ~image_sectors
+      ~disk:rig.machine.Machine.disk vmm
+  in
+  match Fault.Invariants.failures checks with
+  | [] -> ()
+  | bad -> Alcotest.fail (Fault.Invariants.report bad)
+
+let scenario_plan ~image_sectors name =
+  match Fault.scenario ~image_sectors name with
+  | Some p -> p
+  | None -> Alcotest.failf "unknown scenario %s" name
+
+(* Default-timing image sizes. The acceptance scenario needs the
+   background copy still running at t=5 s, so it uses a 256 MB image
+   (copy spans roughly 3.5 s to 9 s at the default write interval);
+   the other chaos scenarios run on 64 MB. *)
+let accept_sectors = 256 * 2048
+let small_sectors = 64 * 2048
+
+(* --- Acceptance: server crash at t=5 s during the background copy,
+   restart at t=8 s --- *)
+
+(* With the stock 3.5 s VMM init the copy only starts at ~5.05 s
+   (PXE load adds ~1.55 s), which would put the t=5 s crash just
+   before it; a 2 s init starts the copy at ~3.6 s so the crash lands
+   squarely mid-copy. *)
+let accept_tweak p = { p with Params.vmm_boot_time = Time.s 2 }
+
+let copy_started_at vmm =
+  List.assoc_opt "deployment phase: background copy started"
+    (List.map (fun (at, what) -> (what, at)) (Vmm.events vmm))
+
+let test_crash_mid_copy () =
+  let image_sectors = accept_sectors in
+  let rig, vmm, inj =
+    deploy_under ~image_sectors ~capacity_sectors:(512 * 2048)
+      ~tweak:accept_tweak
+      (scenario_plan ~image_sectors "crash-mid-copy")
+  in
+  assert_invariants ~image_sectors rig vmm;
+  (* The crash interrupted a copy already in flight. *)
+  (match copy_started_at vmm with
+  | None -> Alcotest.fail "background copy never started"
+  | Some at -> check_bool "copy started before the crash" true (at < Time.s 5));
+  check_int "exactly one crash" 1 (Vblade.crashes rig.vblade);
+  check_bool "server back up" true (Vblade.is_up rig.vblade);
+  (* The copy could not have finished before the restart. *)
+  (match Vmm.devirtualized_at vmm with
+  | None -> Alcotest.fail "not devirtualized"
+  | Some at ->
+    check_bool "devirtualized after the restart" true (at > Time.s 8));
+  (* Both fault events fired, in order. *)
+  Alcotest.(check (list string))
+    "fault trace" [ "server: crash"; "server: restart" ]
+    (List.map snd (Fault.trace inj))
+
+let test_crash_mid_copy_deterministic () =
+  (* Same seed (all rigs use the simulator's default seed): two runs
+     produce the identical event trace and timings. *)
+  let image_sectors = accept_sectors in
+  let run () =
+    let rig, vmm, inj =
+      deploy_under ~image_sectors ~capacity_sectors:(512 * 2048)
+        ~tweak:accept_tweak
+        (scenario_plan ~image_sectors "crash-mid-copy")
+    in
+    let t = Vmm.totals vmm in
+    ( Fault.trace inj,
+      Vmm.events vmm,
+      Vmm.devirtualized_at vmm,
+      (t.Vmm.redirected_bytes, t.Vmm.background_bytes, t.Vmm.aoe_retransmits),
+      Sim.events_executed rig.sim )
+  in
+  let tr1, ev1, at1, totals1, n1 = run () in
+  let tr2, ev2, at2, totals2, n2 = run () in
+  check_bool "identical fault trace" true (tr1 = tr2);
+  check_bool "identical lifecycle events" true (ev1 = ev2);
+  check_bool "identical devirt time" true (at1 = at2);
+  check_bool "identical totals" true (totals1 = totals2);
+  check_int "identical event count" n1 n2
+
+(* --- Chaos scenarios on the small image --- *)
+
+let test_burst_loss () =
+  let image_sectors = small_sectors in
+  let rig, vmm, _ =
+    deploy_under ~image_sectors ~capacity_sectors:(256 * 2048)
+      ~tweak:(fun p -> p)
+      (scenario_plan ~image_sectors "burst-loss")
+  in
+  assert_invariants ~image_sectors rig vmm;
+  check_bool "bursty loss dropped frames" true (Fabric.frames_dropped rig.fabric > 0);
+  check_bool "client retransmitted" true
+    ((Vmm.totals vmm).Vmm.aoe_retransmits > 0)
+
+let test_server_crash_during_boot () =
+  (* The server dies 100 ms after deployment starts and returns 800 ms
+     later; a cold guest read issued during the outage must simply run
+     slow, never fail. *)
+  let image_sectors = small_sectors in
+  let got = ref [||] in
+  let read_lba = image_sectors - 4096 in
+  let rig, vmm, _ =
+    deploy_under ~image_sectors ~capacity_sectors:(256 * 2048)
+      ~tweak:(fun p -> p)
+      ~guest:(fun _vmm blk ->
+        Sim.sleep (Time.ms 300);
+        (* t ~= 3.8 s: mid-outage. *)
+        got := Block_io.read blk ~lba:read_lba ~count:64)
+      (scenario_plan ~image_sectors "server-crash-boot")
+  in
+  assert_invariants ~image_sectors rig vmm;
+  check_int "one crash" 1 (Vblade.crashes rig.vblade);
+  check_bool "guest read survived the outage" true
+    (Array.for_all2 Content.equal !got
+       (Content.image_sectors ~lba:read_lba ~count:64))
+
+let test_disk_read_errors () =
+  (* Transient media errors on the server disk: absorbed by the
+     server-side retry, invisible end to end. The slow write interval
+     keeps the copy running long enough that the armed ranges are hit
+     after arming. *)
+  let image_sectors = small_sectors in
+  let rig, vmm, _ =
+    deploy_under ~image_sectors ~capacity_sectors:(256 * 2048)
+      ~tweak:(fun p -> { p with Params.write_interval = Time.ms 150 })
+      (scenario_plan ~image_sectors "disk-errors")
+  in
+  assert_invariants ~image_sectors rig vmm;
+  check_bool "injected errors fired" true (Disk.read_errors rig.server_disk >= 3);
+  check_bool "server retried" true (Vblade.disk_error_retries rig.vblade >= 3)
+
+let test_link_flap () =
+  let image_sectors = small_sectors in
+  let rig, vmm, _ =
+    deploy_under ~image_sectors ~capacity_sectors:(256 * 2048)
+      ~tweak:(fun p -> { p with Params.write_interval = Time.ms 150 })
+      (scenario_plan ~image_sectors "link-flap")
+  in
+  assert_invariants ~image_sectors rig vmm;
+  check_bool "flaps dropped frames at the link" true
+    (Fabric.link_drops rig.fabric > 0);
+  check_bool "server link restored" true
+    (Fabric.link_up (Vblade.port rig.vblade))
+
+let test_guest_write_never_clobbered () =
+  (* A guest write during the outage must survive the background copy's
+     late fills: its sectors hold guest data at the end, everything
+     else is image data. *)
+  let image_sectors = small_sectors in
+  let write_lba = image_sectors - 1024 in
+  let payload = Content.data_sectors ~count:32 in
+  let rig, vmm, _ =
+    deploy_under ~image_sectors ~capacity_sectors:(256 * 2048)
+      ~tweak:(fun p -> p)
+      ~guest:(fun _vmm blk ->
+        Sim.sleep (Time.ms 1600);
+        (* t ~= 5.1 s: inside the 4.2–5.5 s server outage. The write
+           path is local, so it must land despite the dead server, and
+           the copy's late fill of that range must then skip it. *)
+        Block_io.write blk ~lba:write_lba ~count:32 payload)
+      [ { Fault.after = Time.ms 4200; action = Fault.Server_crash };
+        { Fault.after = Time.ms 5500; action = Fault.Server_restart } ]
+  in
+  let overrides =
+    List.init 32 (fun i -> (write_lba + i, payload.(i)))
+  in
+  assert_invariants ~overrides ~image_sectors rig vmm
+
+(* --- Property: random fault plans over random seeds --- *)
+
+(* Fast parameter set so each randomized deployment is cheap: tiny
+   boot, aggressive copy, 32 MB image. All faults recover within 2 s,
+   so every run must converge. *)
+let prop_sectors = 32 * 2048
+
+let prop_tweak p =
+  { p with
+    Params.vmm_boot_time = Time.ms 200;
+    Params.write_interval = Time.ms 10 }
+
+let test_random_plans_converge () =
+  List.iter
+    (fun seed ->
+      let plan =
+        Fault.random_plan ~seed ~active:(Time.s 2) ~image_sectors:prop_sectors
+      in
+      check_bool
+        (Printf.sprintf "seed %d: plan non-empty" seed)
+        true (plan <> []);
+      let rig, vmm, inj =
+        deploy_under ~image_sectors:prop_sectors
+          ~capacity_sectors:(128 * 2048) ~tweak:prop_tweak plan
+      in
+      let checks =
+        Fault.Invariants.all ~image_sectors:prop_sectors
+          ~disk:rig.machine.Machine.disk vmm
+      in
+      (match Fault.Invariants.failures checks with
+      | [] -> ()
+      | bad ->
+        Alcotest.failf "seed %d violated invariants under plan:\n%s\n%s" seed
+          (Fault.trace_to_string (Fault.trace inj))
+          (Fault.Invariants.report bad));
+      (* The injector must have drained the whole plan. *)
+      check_int
+        (Printf.sprintf "seed %d: all events applied" seed)
+        (List.length plan)
+        (List.length (Fault.trace inj)))
+    [ 1; 7; 23; 42; 101; 271; 577; 1009 ]
+
+let test_random_plan_deterministic () =
+  (* Same seed, same plan — and the same plan replayed on a fresh rig
+     yields the identical applied-event trace. *)
+  let plan seed =
+    Fault.random_plan ~seed ~active:(Time.s 2) ~image_sectors:prop_sectors
+  in
+  check_bool "same seed, same plan" true (plan 271 = plan 271);
+  check_bool "different seed, different plan" true (plan 271 <> plan 577);
+  let run () =
+    let _, vmm, inj =
+      deploy_under ~image_sectors:prop_sectors ~capacity_sectors:(128 * 2048)
+        ~tweak:prop_tweak (plan 271)
+    in
+    (Fault.trace inj, Vmm.events vmm, Vmm.devirtualized_at vmm)
+  in
+  check_bool "replay identical" true (run () = run ())
+
+(* --- AoE client escalation (regression + recovery) --- *)
+
+type client_rig = {
+  csim : Sim.t;
+  cfab : Fabric.t;
+  cserver_disk : Disk.t;
+  cvblade : Vblade.t;
+  client : Aoe_client.t;
+}
+
+let small_profile =
+  { Disk.hdd_constellation2 with Disk.capacity_sectors = 1 lsl 22 }
+
+let make_client_rig ?timeout () =
+  let csim = Sim.create () in
+  let cfab = Fabric.create csim () in
+  let cserver_disk = Disk.create csim small_profile in
+  Disk.fill_with_image cserver_disk;
+  let cvblade =
+    Vblade.create csim ~fabric:cfab ~name:"vblade" ~disk:cserver_disk ()
+  in
+  let client_ref = ref None in
+  let port =
+    Fabric.attach cfab ~name:"client" (fun pkt ->
+        match pkt.Bmcast_net.Packet.payload with
+        | Aoe.Frame f ->
+          Option.iter (fun c -> Aoe_client.on_frame c f) !client_ref
+        | _ -> ())
+  in
+  let send hdr data = Aoe.send port ~dst:(Vblade.port_id cvblade) hdr data in
+  let client = Aoe_client.create csim ~send ?timeout () in
+  client_ref := Some client;
+  { csim; cfab; cserver_disk; cvblade; client }
+
+let run_in rig f =
+  let out = ref None in
+  Sim.spawn_at rig.csim (Sim.now rig.csim) (fun () -> out := Some (f ()));
+  Sim.run rig.csim;
+  Option.get !out
+
+let test_client_timeout_without_hook () =
+  (* Regression pin: with no escalation hook installed, a command to a
+     dead server still raises [Timeout] once retries are exhausted, and
+     leaves nothing pending. *)
+  let rig = make_client_rig ~timeout:(Time.ms 1) () in
+  Vblade.crash rig.cvblade;
+  let raised =
+    run_in rig (fun () ->
+        try
+          ignore (Aoe_client.read rig.client ~lba:0 ~count:8 : Content.t array);
+          false
+        with Aoe_client.Timeout _ -> true)
+  in
+  check_bool "timeout raised" true raised;
+  check_int "nothing pending" 0 (Aoe_client.pending_count rig.client);
+  check_int "no completion" 0 (Aoe_client.completions rig.client)
+
+let test_client_escalation_outlives_crash () =
+  (* With the escalation hook, a server outage longer than the whole
+     retry budget no longer kills the request: the client keeps
+     retrying and completes once the server returns. *)
+  let rig = make_client_rig ~timeout:(Time.ms 1) () in
+  Aoe_client.set_escalation rig.client (fun ~attempts:_ _hdr -> `Retry);
+  Vblade.crash rig.cvblade;
+  Sim.spawn_at rig.csim (Time.ms 600) (fun () -> Vblade.restart rig.cvblade);
+  let data =
+    run_in rig (fun () -> Aoe_client.read rig.client ~lba:100 ~count:8)
+  in
+  check_bool "image data after recovery" true
+    (Array.for_all2 Content.equal data (Content.image_sectors ~lba:100 ~count:8));
+  check_bool "escalation engaged" true (Aoe_client.escalations rig.client > 0);
+  check_int "exactly one completion" 1 (Aoe_client.completions rig.client);
+  check_int "nothing pending" 0 (Aoe_client.pending_count rig.client)
+
+let test_client_escalation_can_fail () =
+  (* An escalation hook may also give up explicitly: [`Fail] restores
+     the original Timeout behaviour. *)
+  let rig = make_client_rig ~timeout:(Time.ms 1) () in
+  Aoe_client.set_escalation rig.client (fun ~attempts:_ _hdr -> `Fail);
+  Vblade.crash rig.cvblade;
+  let raised =
+    run_in rig (fun () ->
+        try
+          ignore (Aoe_client.read rig.client ~lba:0 ~count:8 : Content.t array);
+          false
+        with Aoe_client.Timeout _ -> true)
+  in
+  check_bool "fail decision raises" true raised;
+  check_int "no escalation counted" 0 (Aoe_client.escalations rig.client)
+
+(* --- Fault-plan plumbing unit tests --- *)
+
+let test_injector_orders_and_traces () =
+  let sim = Sim.create () in
+  let fabric = Fabric.create sim () in
+  let disk = Disk.create sim small_profile in
+  Disk.fill_with_image disk;
+  let vblade = Vblade.create sim ~fabric ~name:"server" ~disk () in
+  let rig = { Fault.sim; fabric; server = vblade; server_disk = disk } in
+  (* Deliberately unsorted plan. *)
+  let inj =
+    Fault.inject rig
+      [ { Fault.after = Time.ms 20; action = Fault.Server_restart };
+        { Fault.after = Time.ms 5; action = Fault.Server_crash };
+        { Fault.after = Time.ms 10;
+          action = Fault.Set_loss (Fabric.Uniform 0.25) } ]
+  in
+  Sim.spawn_at sim ~name:"probe" (Time.ms 7) (fun () ->
+      check_bool "server down at 7 ms" false (Vblade.is_up vblade);
+      Fault.wait_done inj;
+      check_bool "server up after plan" true (Vblade.is_up vblade));
+  Sim.run sim;
+  let tr = Fault.trace inj in
+  Alcotest.(check (list string))
+    "events applied in time order"
+    [ "server: crash"; "loss: uniform p=0.250"; "server: restart" ]
+    (List.map snd tr);
+  Alcotest.(check (list int))
+    "at the scheduled times"
+    [ 5_000_000; 10_000_000; 20_000_000 ]
+    (List.map fst tr);
+  check_bool "loss model applied" true
+    (Fabric.loss_model fabric = Fabric.Uniform 0.25)
+
+let test_scenarios_resolve () =
+  List.iter
+    (fun name ->
+      match Fault.scenario ~image_sectors:small_sectors name with
+      | Some plan -> check_bool (name ^ " non-empty") true (plan <> [])
+      | None -> Alcotest.failf "scenario %s missing" name)
+    Fault.scenario_names;
+  check_bool "unknown scenario rejected" true
+    (Fault.scenario ~image_sectors:small_sectors "no-such-thing" = None)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "faults"
+    [ ( "plan",
+        [ tc "injector orders and traces" `Quick test_injector_orders_and_traces;
+          tc "named scenarios resolve" `Quick test_scenarios_resolve ] );
+      ( "acceptance",
+        [ tc "crash mid-copy converges byte-identical" `Slow test_crash_mid_copy;
+          tc "crash mid-copy deterministic" `Slow
+            test_crash_mid_copy_deterministic ] );
+      ( "chaos",
+        [ tc "burst loss" `Slow test_burst_loss;
+          tc "server crash during boot" `Slow test_server_crash_during_boot;
+          tc "disk read errors" `Slow test_disk_read_errors;
+          tc "link flap" `Slow test_link_flap;
+          tc "guest write never clobbered" `Slow
+            test_guest_write_never_clobbered ] );
+      ( "property",
+        [ tc "random plans converge" `Slow test_random_plans_converge;
+          tc "random plans deterministic" `Slow test_random_plan_deterministic
+        ] );
+      ( "aoe-escalation",
+        [ tc "timeout without hook (regression)" `Quick
+            test_client_timeout_without_hook;
+          tc "escalation outlives crash" `Quick
+            test_client_escalation_outlives_crash;
+          tc "escalation can fail" `Quick test_client_escalation_can_fail ] )
+    ]
