@@ -100,9 +100,18 @@ let run_micro () =
 
 (* --- experiment registry --- *)
 
-let experiments =
-  [ ("fig4", fun () -> Fig04_startup.run ());
-    ("fig4-quick", fun () -> Fig04_startup.run ~image_gb:4 ());
+(* [metrics_dir] turns on per-phase metrics snapshots for the
+   experiments that support them, written as BENCH_<name>.json. *)
+let experiments ~metrics_dir =
+  let out name =
+    Option.map
+      (fun dir -> Filename.concat dir (Printf.sprintf "BENCH_%s.json" name))
+      metrics_dir
+  in
+  [ ("fig4", fun () -> Fig04_startup.run ?metrics_out:(out "fig4") ());
+    ( "fig4-quick",
+      fun () ->
+        Fig04_startup.run ~image_gb:4 ?metrics_out:(out "fig4_quick") () );
     ("fig5", fun () -> Fig05_database.run ());
     ("fig6", fun () -> Fig06_mpi.run ());
     ("fig7", fun () -> Fig07_kernbench.run ());
@@ -127,7 +136,7 @@ let quick_keys =
   [ "fig4-quick"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12";
     "micro" ]
 
-let run_named name =
+let run_named experiments name =
   match List.assoc_opt name experiments with
   | Some f ->
     f ();
@@ -136,7 +145,8 @@ let run_named name =
     Printf.eprintf "unknown experiment %S\n" name;
     false
 
-let main names =
+let main metrics_dir names =
+  let experiments = experiments ~metrics_dir in
   let names =
     match names with
     | [] | [ "all" ] -> all_keys
@@ -146,14 +156,25 @@ let main names =
   Printf.printf
     "BMcast evaluation harness - regenerating %d experiment group(s)\n%!"
     (List.length names);
-  if List.for_all run_named names then 0 else 1
+  if List.for_all (run_named experiments) names then 0 else 1
 
 let () =
   let open Cmdliner in
   let names = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT") in
+  let metrics_dir =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "metrics-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write per-experiment metrics snapshots (BENCH_<name>.json) \
+             into $(docv).")
+  in
   let doc =
     "Regenerate the BMcast paper's tables and figures (fig4-fig14, \
      ablations, scaleup, micro, or the 'quick' subset; default: all)"
   in
-  let cmd = Cmd.v (Cmd.info "bmcast-bench" ~doc) Term.(const main $ names) in
+  let cmd =
+    Cmd.v (Cmd.info "bmcast-bench" ~doc) Term.(const main $ metrics_dir $ names)
+  in
   exit (Cmd.eval' cmd)

@@ -1,6 +1,7 @@
 (* bmcastctl: drive BMcast deployments on the simulated testbed.
 
      dune exec bin/bmcastctl.exe -- deploy --image-gb 8 --disk ahci
+     dune exec bin/bmcastctl.exe -- trace --image-mb 256 -o deploy.trace.json
      dune exec bin/bmcastctl.exe -- compare --image-gb 32
      dune exec bin/bmcastctl.exe -- params *)
 
@@ -11,87 +12,159 @@ module Os = Bmcast_guest.Os
 module Vmm = Bmcast_core.Vmm
 module Params = Bmcast_core.Params
 module Stacks = Bmcast_experiments.Stacks
+module Trace = Bmcast_obs.Trace
+module Metrics = Bmcast_obs.Metrics
+module Fault = Bmcast_faults.Fault
+module Fabric = Bmcast_net.Fabric
+module Disk = Bmcast_storage.Disk
+module Vblade = Bmcast_proto.Vblade
+module Content = Bmcast_storage.Content
+module Block_io = Bmcast_guest.Block_io
 
 let secs t = Time.to_float_s t
 
+(* --- logging ---
+
+   App-level messages are the tool's normal output and go to stdout
+   bare, exactly as the old Printf-based output did. Everything else
+   (errors, -v debug detail) goes to stderr with a prefix. *)
+
+let reporter () =
+  let report _src level ~over k msgf =
+    let k _ =
+      over ();
+      k ()
+    in
+    let ppf =
+      match level with
+      | Logs.App -> Format.std_formatter
+      | _ -> Format.err_formatter
+    in
+    msgf @@ fun ?header:_ ?tags:_ fmt ->
+    match level with
+    | Logs.App -> Format.kfprintf k ppf (fmt ^^ "@.")
+    | level ->
+      Format.kfprintf k ppf
+        ("bmcastctl: [%s] " ^^ fmt ^^ "@.")
+        (Logs.level_to_string (Some level))
+  in
+  { Logs.report }
+
+let setup_logs quiet verbose =
+  Logs.set_reporter (reporter ());
+  Logs.set_level ~all:true
+    (if quiet then None
+     else if verbose then Some Logs.Debug
+     else Some Logs.Warning)
+
+(* --- observability plumbing shared by the subcommands --- *)
+
+let make_tracer = function
+  | None -> Trace.null
+  | Some _ -> Trace.create ~capacity:(1 lsl 22) ()
+
+let make_metrics = function None -> Metrics.null | Some _ -> Metrics.create ()
+
+let write_obs ~jsonl tracer trace_out metrics metrics_out =
+  Option.iter
+    (fun path ->
+      (if jsonl then Trace.write_jsonl else Trace.write_chrome) tracer path;
+      let dropped = Trace.dropped tracer in
+      Logs.app (fun m ->
+          m "trace: %d event(s) -> %s%s" (Trace.event_count tracer) path
+            (if dropped > 0 then Printf.sprintf " (%d dropped)" dropped
+             else "")))
+    trace_out;
+  Option.iter
+    (fun path ->
+      Metrics.write metrics path;
+      Logs.app (fun m ->
+          m "metrics: %d instrument(s) -> %s" (Metrics.size metrics) path))
+    metrics_out
+
 (* --- deploy: one instance, streaming deployment, progress timeline --- *)
 
-let deploy image_gb disk watch =
+let deploy () image_gb disk watch trace_out metrics_out jsonl =
   let disk_kind =
     match disk with
     | "ide" -> Machine.Ide_disk
     | "ahci" -> Machine.Ahci_disk
     | other ->
-      Printf.eprintf "unknown disk kind %S (ahci|ide)\n" other;
+      Logs.err (fun m -> m "unknown disk kind %S (ahci|ide)" other);
       exit 2
   in
-  let env = Stacks.make_env ~image_gb () in
+  let tracer = make_tracer trace_out in
+  let metrics = make_metrics metrics_out in
+  let env = Stacks.make_env ~image_gb ~trace:tracer ~metrics () in
   let m = Stacks.machine env ~name:"instance0" ~disk_kind () in
-  Printf.printf "Deploying a %d GB image to %s over AoE (disk: %s)\n%!"
-    image_gb m.Machine.name disk;
+  Logs.app (fun l ->
+      l "Deploying a %d GB image to %s over AoE (disk: %s)" image_gb
+        m.Machine.name disk);
   Stacks.run env (fun () ->
       let t0 = Sim.clock () in
       let rt, vmm = Stacks.bmcast env m () in
-      Printf.printf "[%7.2fs] VMM booted (PXE + init); deployment phase begins\n%!"
-        (secs (Time.diff (Sim.clock ()) t0));
+      Logs.app (fun l ->
+          l "[%7.2fs] VMM booted (PXE + init); deployment phase begins"
+            (secs (Time.diff (Sim.clock ()) t0)));
       if watch then
         Sim.spawn (fun () ->
             let rec tick () =
               if Vmm.devirtualized_at vmm = None then begin
                 Sim.sleep (Time.s 10);
-                Printf.printf "[%7.2fs] progress %5.1f%%  guest IO %.0f/s\n%!"
-                  (secs (Time.diff (Sim.clock ()) t0))
-                  (Vmm.progress vmm *. 100.0)
-                  (Vmm.guest_io_rate vmm);
+                Logs.app (fun l ->
+                    l "[%7.2fs] progress %5.1f%%  guest IO %.0f/s"
+                      (secs (Time.diff (Sim.clock ()) t0))
+                      (Vmm.progress vmm *. 100.0)
+                      (Vmm.guest_io_rate vmm));
                 tick ()
               end
             in
             tick ());
       Os.boot rt ();
-      Printf.printf "[%7.2fs] guest OS up (instance is serving)\n%!"
-        (secs (Time.diff (Sim.clock ()) t0));
+      Logs.app (fun l ->
+          l "[%7.2fs] guest OS up (instance is serving)"
+            (secs (Time.diff (Sim.clock ()) t0)));
       Vmm.wait_devirtualized vmm;
-      Printf.printf "[%7.2fs] de-virtualized: VMM gone, bare-metal phase\n%!"
-        (secs (Time.diff (Sim.clock ()) t0));
+      Logs.app (fun l ->
+          l "[%7.2fs] de-virtualized: VMM gone, bare-metal phase"
+            (secs (Time.diff (Sim.clock ()) t0)));
       let t = Vmm.totals vmm in
-      Printf.printf
-        "totals: %d redirects (%.1f MB copy-on-read), %.1f MB background \
-         copy,\n        %d multiplexed commands, %d queued guest commands, %d \
-         VM exits, %d AoE retransmits\n%!"
-        t.Vmm.redirects
-        (float_of_int t.Vmm.redirected_bytes /. 1e6)
-        (float_of_int t.Vmm.background_bytes /. 1e6)
-        t.Vmm.multiplexed_ops t.Vmm.queued_commands t.Vmm.vm_exits
-        t.Vmm.aoe_retransmits;
-      Printf.printf "lifecycle:\n";
+      Logs.app (fun l ->
+          l
+            "totals: %d redirects (%.1f MB copy-on-read), %.1f MB background \
+             copy,\n        %d multiplexed commands, %d queued guest \
+             commands, %d VM exits, %d AoE retransmits"
+            t.Vmm.redirects
+            (float_of_int t.Vmm.redirected_bytes /. 1e6)
+            (float_of_int t.Vmm.background_bytes /. 1e6)
+            t.Vmm.multiplexed_ops t.Vmm.queued_commands t.Vmm.vm_exits
+            t.Vmm.aoe_retransmits);
+      Logs.app (fun l -> l "lifecycle:");
       List.iter
         (fun (at, what) ->
-          Printf.printf "  [%7.2fs] %s\n" (secs (Time.diff at t0)) what)
+          Logs.app (fun l -> l "  [%7.2fs] %s" (secs (Time.diff at t0)) what))
         (Vmm.events vmm));
+  write_obs ~jsonl tracer trace_out metrics metrics_out;
   0
 
-(* --- chaos: deploy under a named fault scenario, check invariants --- *)
+(* --- shared single-machine testbed for the chaos and trace commands --- *)
 
-let chaos scenario seed image_mb =
-  let module Fault = Bmcast_faults.Fault in
-  let module Fabric = Bmcast_net.Fabric in
-  let module Disk = Bmcast_storage.Disk in
-  let module Vblade = Bmcast_proto.Vblade in
-  let module Content = Bmcast_storage.Content in
-  let module Block_io = Bmcast_guest.Block_io in
+type testbed = {
+  sim : Sim.t;
+  fabric : Fabric.t;
+  server_disk : Disk.t;
+  vblade : Vblade.t;
+  machine : Machine.t;
+  params : Params.t;
+  image_sectors : int;
+}
+
+let make_testbed ~seed ~image_mb ~trace ~metrics =
   let image_sectors = image_mb * 2048 in
-  let plan =
-    if scenario = "random" then
-      Fault.random_plan ~seed ~active:(Time.s 10) ~image_sectors
-    else
-      match Fault.scenario ~image_sectors scenario with
-      | Some p -> p
-      | None ->
-        Printf.eprintf "unknown scenario %S; known: random %s\n" scenario
-          (String.concat " " Fault.scenario_names);
-        exit 2
-  in
-  let sim = Sim.create ~seed () in
+  Logs.debug (fun m ->
+      m "testbed: %d MB image (%d sectors), seed %d" image_mb image_sectors
+        seed);
+  let sim = Sim.create ~seed ~trace ~metrics () in
   let fabric = Fabric.create sim () in
   let profile =
     { Disk.hdd_constellation2 with Disk.capacity_sectors = 2 * image_sectors }
@@ -103,70 +176,160 @@ let chaos scenario seed image_mb =
     Machine.create sim ~name:"instance0" ~disk_profile:profile
       ~disk_kind:Machine.Ahci_disk ~fabric ()
   in
-  let params = Bmcast_core.Params.default ~image_sectors in
-  Printf.printf "Chaos run: scenario %S, seed %d, %d MB image\n%!" scenario
-    seed image_mb;
-  let rig = { Fault.sim; fabric; server = vblade; server_disk } in
-  let inj = Fault.inject rig plan in
-  let vmm_ref = ref None in
-  Sim.spawn_at sim ~name:"scenario" Time.zero (fun () ->
+  let params = Params.default ~image_sectors in
+  { sim; fabric; server_disk; vblade; machine; params; image_sectors }
+
+let resolve_plan ~seed ~image_sectors scenario =
+  if scenario = "random" then
+    Fault.random_plan ~seed ~active:(Time.s 10) ~image_sectors
+  else
+    match Fault.scenario ~image_sectors scenario with
+    | Some p -> p
+    | None ->
+      Logs.err (fun m ->
+          m "unknown scenario %S; known: random %s" scenario
+            (String.concat " " Fault.scenario_names));
+      exit 2
+
+(* Boot the VMM, touch the disk once to force a copy-on-read redirect,
+   then wait out the full deployment. *)
+let spawn_deployment tb vmm_ref =
+  Sim.spawn_at tb.sim ~name:"scenario" Time.zero (fun () ->
       let vmm =
-        Vmm.boot machine ~params ~server_port:(Vblade.port_id vblade) ()
+        Vmm.boot tb.machine ~params:tb.params
+          ~server_port:(Vblade.port_id tb.vblade) ()
       in
       vmm_ref := Some vmm;
-      let blk = Block_io.attach machine in
+      let blk = Block_io.attach tb.machine in
       ignore (Block_io.read blk ~lba:0 ~count:8 : Content.t array);
-      Vmm.wait_devirtualized vmm);
-  Sim.run ~until:(Time.minutes 60) sim;
+      Vmm.wait_devirtualized vmm)
+
+(* --- chaos: deploy under a named fault scenario, check invariants --- *)
+
+let chaos () scenario seed image_mb trace_out metrics_out jsonl =
+  let plan =
+    resolve_plan ~seed ~image_sectors:(image_mb * 2048) scenario
+  in
+  let tracer = make_tracer trace_out in
+  let metrics = make_metrics metrics_out in
+  let tb = make_testbed ~seed ~image_mb ~trace:tracer ~metrics in
+  Logs.app (fun m ->
+      m "Chaos run: scenario %S, seed %d, %d MB image" scenario seed image_mb);
+  let rig =
+    { Fault.sim = tb.sim;
+      fabric = tb.fabric;
+      server = tb.vblade;
+      server_disk = tb.server_disk }
+  in
+  let inj = Fault.inject rig plan in
+  let vmm_ref = ref None in
+  spawn_deployment tb vmm_ref;
+  Sim.run ~until:(Time.minutes 60) tb.sim;
   let vmm = Option.get !vmm_ref in
-  Printf.printf "fault trace:\n";
+  Logs.app (fun m -> m "fault trace:");
   List.iter
-    (fun (at, what) -> Printf.printf "  [%7.2fs] %s\n" (secs at) what)
+    (fun (at, what) -> Logs.app (fun m -> m "  [%7.2fs] %s" (secs at) what))
     (Fault.trace inj);
-  Printf.printf "lifecycle:\n";
+  Logs.app (fun m -> m "lifecycle:");
   List.iter
-    (fun (at, what) -> Printf.printf "  [%7.2fs] %s\n" (secs at) what)
+    (fun (at, what) -> Logs.app (fun m -> m "  [%7.2fs] %s" (secs at) what))
     (Vmm.events vmm);
   let t = Vmm.totals vmm in
-  Printf.printf
-    "totals: %d retransmits, %d escalations, %d fetch failures, %d server \
-     crashes, %d injected disk errors\n"
-    t.Vmm.aoe_retransmits t.Vmm.aoe_escalations t.Vmm.fetch_failures
-    (Vblade.crashes vblade) (Disk.read_errors server_disk);
+  Logs.app (fun m ->
+      m
+        "totals: %d retransmits, %d escalations, %d fetch failures, %d \
+         server crashes, %d injected disk errors"
+        t.Vmm.aoe_retransmits t.Vmm.aoe_escalations t.Vmm.fetch_failures
+        (Vblade.crashes tb.vblade)
+        (Disk.read_errors tb.server_disk));
   let checks =
-    Fault.Invariants.all ~image_sectors ~disk:machine.Machine.disk vmm
+    Fault.Invariants.all ~image_sectors:tb.image_sectors
+      ~disk:tb.machine.Machine.disk vmm
   in
-  Printf.printf "invariants:\n%s\n" (Fault.Invariants.report checks);
+  Logs.app (fun m -> m "invariants:\n%s" (Fault.Invariants.report checks));
+  write_obs ~jsonl tracer trace_out metrics metrics_out;
   if Fault.Invariants.failures checks = [] then 0 else 1
+
+(* --- trace: run a deployment purely to produce a trace file --- *)
+
+let trace_cmd () scenario seed image_mb image_gb output jsonl metrics_out =
+  let image_mb =
+    match image_gb with Some gb -> gb * 1024 | None -> image_mb
+  in
+  let tracer = Trace.create ~capacity:(1 lsl 22) () in
+  let metrics = make_metrics metrics_out in
+  let tb = make_testbed ~seed ~image_mb ~trace:tracer ~metrics in
+  Logs.app (fun m ->
+      m "Trace run: scenario %S, seed %d, %d MB image" scenario seed image_mb);
+  let inj =
+    if scenario = "none" then None
+    else
+      let plan = resolve_plan ~seed ~image_sectors:tb.image_sectors scenario in
+      let rig =
+        { Fault.sim = tb.sim;
+          fabric = tb.fabric;
+          server = tb.vblade;
+          server_disk = tb.server_disk }
+      in
+      Some (Fault.inject rig plan)
+  in
+  let vmm_ref = ref None in
+  spawn_deployment tb vmm_ref;
+  Sim.run ~until:(Time.minutes 60) tb.sim;
+  Option.iter
+    (fun inj ->
+      List.iter
+        (fun (at, what) ->
+          Logs.debug (fun m -> m "fault [%7.2fs] %s" (secs at) what))
+        (Fault.trace inj))
+    inj;
+  (match Option.bind !vmm_ref Vmm.devirtualized_at with
+  | Some at -> Logs.app (fun m -> m "de-virtualized at %.2fs" (secs at))
+  | None -> Logs.app (fun m -> m "run ended before de-virtualization"));
+  write_obs ~jsonl tracer (Some output) metrics metrics_out;
+  0
 
 (* --- compare: startup-time comparison (Figure 4 on demand) --- *)
 
-let compare_cmd image_gb =
+let compare_cmd () image_gb =
   Bmcast_experiments.Fig04_startup.run ~image_gb ();
   0
 
 (* --- params: print the calibrated model constants --- *)
 
-let params () =
+let params () () =
   let p = Params.default ~image_sectors:Params.image_32gb_sectors in
-  Printf.printf "BMcast deployment parameters (32 GB image):\n";
-  Printf.printf "  chunk                 %d sectors (%d KB)\n"
-    p.Params.chunk_sectors (p.Params.chunk_sectors / 2);
-  Printf.printf "  VMM-write interval    %s\n"
-    (Time.to_string p.Params.write_interval);
-  Printf.printf "  suspend interval      %s\n"
-    (Time.to_string p.Params.suspend_interval);
-  Printf.printf "  guest IO threshold    %.0f IOs/s\n" p.Params.guest_io_threshold;
-  Printf.printf "  poll interval         %s\n"
-    (Time.to_string p.Params.poll_interval);
-  Printf.printf "  VMM memory            %d MB\n"
-    (p.Params.vmm_mem_bytes / 1024 / 1024);
-  Printf.printf "  VM-exit cost          %s\n" (Time.to_string p.Params.exit_cost);
-  Printf.printf "  deployment CPU steal  %.1f%%\n" (p.Params.deploy_steal *. 100.0);
+  Logs.app (fun m -> m "BMcast deployment parameters (32 GB image):");
+  Logs.app (fun m ->
+      m "  chunk                 %d sectors (%d KB)" p.Params.chunk_sectors
+        (p.Params.chunk_sectors / 2));
+  Logs.app (fun m ->
+      m "  VMM-write interval    %s" (Time.to_string p.Params.write_interval));
+  Logs.app (fun m ->
+      m "  suspend interval      %s" (Time.to_string p.Params.suspend_interval));
+  Logs.app (fun m ->
+      m "  guest IO threshold    %.0f IOs/s" p.Params.guest_io_threshold);
+  Logs.app (fun m ->
+      m "  poll interval         %s" (Time.to_string p.Params.poll_interval));
+  Logs.app (fun m ->
+      m "  VMM memory            %d MB" (p.Params.vmm_mem_bytes / 1024 / 1024));
+  Logs.app (fun m ->
+      m "  VM-exit cost          %s" (Time.to_string p.Params.exit_cost));
+  Logs.app (fun m ->
+      m "  deployment CPU steal  %.1f%%" (p.Params.deploy_steal *. 100.0));
   0
 
 let () =
   let open Cmdliner in
+  let verbosity =
+    let quiet =
+      Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress all output.")
+    in
+    let verbose =
+      Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print debug detail.")
+    in
+    Term.(const setup_logs $ quiet $ verbose)
+  in
   let image_gb =
     Arg.(value & opt int 8 & info [ "image-gb" ] ~docv:"GB" ~doc:"OS image size")
   in
@@ -176,15 +339,37 @@ let () =
   let watch =
     Arg.(value & flag & info [ "watch" ] ~doc:"print deployment progress")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace of the run to $(docv).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write a metrics snapshot (JSON) to $(docv).")
+  in
+  let jsonl =
+    Arg.(
+      value & flag
+      & info [ "jsonl" ]
+          ~doc:"Write the trace as JSON-lines instead of Chrome JSON.")
+  in
   let deploy_cmd =
     Cmd.v
       (Cmd.info "deploy" ~doc:"stream-deploy one bare-metal instance")
-      Term.(const deploy $ image_gb $ disk $ watch)
+      Term.(
+        const deploy $ verbosity $ image_gb $ disk $ watch $ trace_out
+        $ metrics_out $ jsonl)
   in
   let compare_cmd =
     Cmd.v
       (Cmd.info "compare" ~doc:"compare startup time across deployment methods")
-      Term.(const compare_cmd $ image_gb)
+      Term.(const compare_cmd $ verbosity $ image_gb)
   in
   let scenario =
     Arg.(
@@ -205,16 +390,50 @@ let () =
     Cmd.v
       (Cmd.info "chaos"
          ~doc:"deploy under a named fault scenario and check invariants")
-      Term.(const chaos $ scenario $ seed $ image_mb)
+      Term.(
+        const chaos $ verbosity $ scenario $ seed $ image_mb $ trace_out
+        $ metrics_out $ jsonl)
+  in
+  let trace_scenario =
+    Arg.(
+      value
+      & opt string "crash-mid-copy"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            "fault scenario to run under ('none' for a clean deployment, \
+             'random' for a seeded random plan)")
+  in
+  let trace_output =
+    Arg.(
+      value
+      & opt string "bmcast.trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"trace output path")
+  in
+  let trace_image_gb =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "image-gb" ] ~docv:"GB"
+          ~doc:"OS image size in GB (overrides $(b,--image-mb))")
+  in
+  let trace_cmd =
+    Cmd.v
+      (Cmd.info "trace"
+         ~doc:
+           "run a seeded deployment and export its execution trace \
+            (Chrome/Perfetto format)")
+      Term.(
+        const trace_cmd $ verbosity $ trace_scenario $ seed $ image_mb
+        $ trace_image_gb $ trace_output $ jsonl $ metrics_out)
   in
   let params_cmd =
     Cmd.v
       (Cmd.info "params" ~doc:"print deployment parameters")
-      Term.(const params $ const ())
+      Term.(const params $ verbosity $ const ())
   in
   let group =
     Cmd.group
       (Cmd.info "bmcastctl" ~doc:"BMcast bare-metal deployment control")
-      [ deploy_cmd; chaos_cmd; compare_cmd; params_cmd ]
+      [ deploy_cmd; chaos_cmd; trace_cmd; compare_cmd; params_cmd ]
   in
   exit (Cmd.eval' group)

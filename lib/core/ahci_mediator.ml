@@ -9,6 +9,8 @@ module Dma = Bmcast_storage.Dma
 module Ahci = Bmcast_storage.Ahci
 module Machine = Bmcast_platform.Machine
 module Aoe_client = Bmcast_proto.Aoe_client
+module Trace = Bmcast_obs.Trace
+module Metrics = Bmcast_obs.Metrics
 
 type stats = {
   mutable redirects : int;
@@ -53,6 +55,7 @@ type t = {
      EWMA of VMM command service times. *)
   mutable cmd_time_ewma : Time.span;
   stats : stats;
+  redirect_latency : Bmcast_obs.Stats.Histogram.t;
 }
 
 let stats t = t.stats
@@ -168,7 +171,14 @@ and issue_vmm t fis prdt =
      else Time.div (Time.add (Time.mul t.cmd_time_ewma 7) took) 8);
   (* Acknowledge our completion. *)
   t.raw.Mmio.write Ahci.Regs.px_is 1L;
-  t.stats.multiplexed_ops <- t.stats.multiplexed_ops + 1
+  t.stats.multiplexed_ops <- t.stats.multiplexed_ops + 1;
+  let tr = Sim.trace t.machine.Machine.sim in
+  if Trace.on tr ~cat:"mediator" then
+    Trace.complete tr ~cat:"mediator"
+      ~args:
+        [ ("lba", Trace.Int fis.Ahci.Fis.lba);
+          ("count", Trace.Int fis.Ahci.Fis.count) ]
+      "multiplexed-cmd" ~ts:issued_at
 
 and run_vmm_command t fis prdt = with_device t (fun () -> issue_vmm t fis prdt)
 
@@ -216,6 +226,7 @@ and vmm_write_empty t ~lba ~count data =
 and redirect t slot ct =
   t.stats.redirects <- t.stats.redirects + 1;
   t.inflight_redirects <- t.inflight_redirects + 1;
+  let started = Sim.now t.machine.Machine.sim in
   let { Ahci.Fis.lba; count; _ } = ct.Ahci.fis in
   let data = Array.make count Content.Zero in
   (* Assemble the request: empty sub-ranges from the server (2.
@@ -263,6 +274,11 @@ and redirect t slot ct =
         off := !off + n
       end)
     ct.Ahci.prdt;
+  (let tr = Sim.trace t.machine.Machine.sim in
+   if Trace.on tr ~cat:"mediator" then
+     Trace.instant tr ~cat:"mediator"
+       ~args:[ ("sectors", Trace.Int count) ]
+       "virtual-dma");
   (* 4. Restart: rewrite the command into a single dummy-sector read
      that hits the disk cache and let the device generate the
      interrupt. Serialize with VMM commands so the dummy does not
@@ -274,7 +290,15 @@ and redirect t slot ct =
         Sim.sleep t.params.Params.poll_interval
       done;
       t.inflight_redirects <- t.inflight_redirects - 1;
-      forward_issue t slot)
+      forward_issue t slot);
+  let sim = t.machine.Machine.sim in
+  Bmcast_obs.Stats.Histogram.add t.redirect_latency
+    (Time.to_float_ms (Time.diff (Sim.now sim) started));
+  let tr = Sim.trace sim in
+  if Trace.on tr ~cat:"mediator" then
+    Trace.complete tr ~cat:"mediator"
+      ~args:[ ("lba", Trace.Int lba); ("count", Trace.Int count) ]
+      "redirect" ~ts:started
 
 (* --- command dispatch (I/O interpretation) --- *)
 
@@ -289,7 +313,11 @@ and dispatch t slot =
     (* A VMM command occupies the device: intercept and queue. *)
     t.ghost_ci <- Int64.logor t.ghost_ci (Int64.shift_left 1L slot);
     Queue.add slot t.queued;
-    t.stats.queued_commands <- t.stats.queued_commands + 1
+    t.stats.queued_commands <- t.stats.queued_commands + 1;
+    let tr = Sim.trace t.machine.Machine.sim in
+    if Trace.on tr ~cat:"mediator" then
+      Trace.counter tr ~cat:"mediator" "ahci-queue-depth"
+        (float_of_int (Queue.length t.queued))
   end
   else if overlaps_protected t ~lba ~count then begin
     (* 3.3: the guest must not touch the saved-bitmap region; convert
@@ -389,7 +417,12 @@ let attach machine ~aoe ~bitmap ~params =
           redirected_sectors = 0;
           multiplexed_ops = 0;
           queued_commands = 0;
-          passthrough_commands = 0 } }
+          passthrough_commands = 0 };
+      redirect_latency =
+        Metrics.histogram
+          (Sim.metrics machine.Machine.sim)
+          ~labels:[ ("disk", "ahci") ]
+          "redirect_latency_ms" }
   in
   Mmio.interpose machine.Machine.mmio ~base:Machine.ahci_base
     { Mmio.on_read = (fun ~next off -> on_read t ~next off);
@@ -416,4 +449,7 @@ let devirtualize t =
   done;
   Semaphore.with_permit t.vmm_lock (fun () ->
       Mmio.remove_interposer t.machine.Machine.mmio ~base:Machine.ahci_base;
-      t.devirtualized <- true)
+      t.devirtualized <- true);
+  let tr = Sim.trace t.machine.Machine.sim in
+  if Trace.on tr ~cat:"mediator" then
+    Trace.instant tr ~cat:"mediator" "devirtualized"

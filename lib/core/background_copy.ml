@@ -4,6 +4,8 @@ module Prng = Bmcast_engine.Prng
 module Mailbox = Bmcast_engine.Mailbox
 module Signal = Bmcast_engine.Signal
 module Content = Bmcast_storage.Content
+module Trace = Bmcast_obs.Trace
+module Metrics = Bmcast_obs.Metrics
 
 type ops = {
   fetch : lba:int -> count:int -> Content.t array;
@@ -35,6 +37,7 @@ type t = {
   mutable fetch_failures : int;
   mutable consecutive_fetch_failures : int;
   mutable completed_at : Time.t option;
+  copy_rate : Bmcast_obs.Stats.Rate.t;
 }
 
 (* The bitmap covers exactly the image region. *)
@@ -101,8 +104,15 @@ let rec retriever t =
     | Some (lba, count) when lba < t.params.Params.image_sectors ->
       let count = min count (t.params.Params.image_sectors - lba) in
       t.in_flight <- (lba, count) :: t.in_flight;
+      let tr = Sim.trace t.sim in
+      let traced = Trace.on tr ~cat:"bgcopy" in
+      let fetch_started = Sim.now t.sim in
       (match t.ops.fetch ~lba ~count with
       | data ->
+        if traced then
+          Trace.complete tr ~cat:"bgcopy"
+            ~args:[ ("lba", Trace.Int lba); ("count", Trace.Int count) ]
+            "fetch" ~ts:fetch_started;
         t.consecutive_fetch_failures <- 0;
         t.cursor <- lba + count;
         Mailbox.send t.fifo { lba; data };
@@ -119,6 +129,13 @@ let rec retriever t =
         else if transient_fetch_error e then begin
           t.fetch_failures <- t.fetch_failures + 1;
           t.consecutive_fetch_failures <- t.consecutive_fetch_failures + 1;
+          if traced then
+            Trace.instant tr ~cat:"bgcopy"
+              ~args:
+                [ ("lba", Trace.Int lba);
+                  ("consecutive",
+                   Trace.Int t.consecutive_fetch_failures) ]
+              "fetch-error";
           Sim.sleep (fetch_backoff t);
           retriever t
         end
@@ -152,11 +169,21 @@ let rec writer t =
       t.ops.guest_io_rate () > t.params.Params.guest_io_threshold /. 2.0
       || t.ops.redirect_active ()
     in
+    let tr = Sim.trace t.sim in
+    let traced = Trace.on tr ~cat:"bgcopy" in
     if busy () then begin
       t.suspended <- t.suspended + 1;
+      if traced then
+        Trace.instant tr ~cat:"bgcopy"
+          ~args:[ ("guest-io-rate", Trace.Float (t.ops.guest_io_rate ())) ]
+          "moderation-suspend";
       while still_busy () do
         Sim.sleep t.params.Params.suspend_interval
-      done
+      done;
+      if traced then
+        Trace.instant tr ~cat:"bgcopy"
+          ~args:[ ("guest-io-rate", Trace.Float (t.ops.guest_io_rate ())) ]
+          "moderation-resume"
     end;
     (* Timer jitter (+-12%) keeps the writer from phase-locking with
        periodic guest I/O. *)
@@ -170,11 +197,20 @@ let rec writer t =
     (* The mediator re-checks emptiness while holding the device, so
        anything the guest filled since the fetch is skipped
        atomically. *)
+    let write_started = Sim.now t.sim in
     let written =
       t.ops.write_empty ~lba:chunk.lba ~count:(Array.length chunk.data)
         chunk.data
     in
     t.bytes_written <- t.bytes_written + (written * 512);
+    Bmcast_obs.Stats.Rate.add t.copy_rate (Sim.now t.sim)
+      (float_of_int (written * 512));
+    if traced then
+      Trace.complete tr ~cat:"bgcopy"
+        ~args:
+          [ ("lba", Trace.Int chunk.lba);
+            ("written-sectors", Trace.Int written) ]
+        "write-chunk" ~ts:write_started;
     t.in_flight <-
       List.filter
         (fun (fl, fc) ->
@@ -202,7 +238,8 @@ let start sim ~params ~bitmap ~ops =
       paused = false;
       fetch_failures = 0;
       consecutive_fetch_failures = 0;
-      completed_at = None }
+      completed_at = None;
+      copy_rate = Metrics.rate (Sim.metrics sim) "background_copy_bytes" }
   in
   Sim.spawn_at sim ~name:"bgcopy-retriever" (Sim.now sim) (fun () -> retriever t);
   Sim.spawn_at sim ~name:"bgcopy-writer" (Sim.now sim) (fun () -> writer t);

@@ -8,6 +8,8 @@ module Dma = Bmcast_storage.Dma
 module Ide = Bmcast_storage.Ide
 module Machine = Bmcast_platform.Machine
 module Aoe_client = Bmcast_proto.Aoe_client
+module Trace = Bmcast_obs.Trace
+module Metrics = Bmcast_obs.Metrics
 
 type stats = {
   mutable redirects : int;
@@ -60,6 +62,7 @@ type t = {
   (* §4.1: polling intervals estimated from recent I/O latencies. *)
   mutable cmd_time_ewma : Time.span;
   stats : stats;
+  redirect_latency : Bmcast_obs.Stats.Histogram.t;
 }
 
 let stats t = t.stats
@@ -180,7 +183,12 @@ and issue_vmm t c =
     (if t.cmd_time_ewma = 0 then took
      else Time.div (Time.add (Time.mul t.cmd_time_ewma 7) took) 8);
   t.raw_bm.Pio.outp Ide.Bm.status 0x04;
-  t.stats.multiplexed_ops <- t.stats.multiplexed_ops + 1
+  t.stats.multiplexed_ops <- t.stats.multiplexed_ops + 1;
+  let tr = Sim.trace t.machine.Machine.sim in
+  if Trace.on tr ~cat:"mediator" then
+    Trace.complete tr ~cat:"mediator"
+      ~args:[ ("lba", Trace.Int c.lba); ("count", Trace.Int c.count) ]
+      "multiplexed-cmd" ~ts:issued_at
 
 and run_vmm_command t c = with_device t (fun () -> issue_vmm t c)
 
@@ -264,6 +272,7 @@ and vmm_write_empty t ~lba ~count data =
 and redirect t c =
   t.stats.redirects <- t.stats.redirects + 1;
   t.inflight_redirects <- t.inflight_redirects + 1;
+  let started = Sim.now t.machine.Machine.sim in
   let { lba; count; _ } = c in
   let data = Array.make count Content.Zero in
   let empty = empty_in_image t ~lba ~count in
@@ -323,7 +332,15 @@ and redirect t c =
           lba = t.cached_lba;
           count = 1;
           prdt_addr = t.dummy_prdt;
-          bm_cmd = 0x01 lor 0x08 })
+          bm_cmd = 0x01 lor 0x08 });
+  let sim = t.machine.Machine.sim in
+  Bmcast_obs.Stats.Histogram.add t.redirect_latency
+    (Time.to_float_ms (Time.diff (Sim.now sim) started));
+  let tr = Sim.trace sim in
+  if Trace.on tr ~cat:"mediator" then
+    Trace.complete tr ~cat:"mediator"
+      ~args:[ ("lba", Trace.Int lba); ("count", Trace.Int count) ]
+      "redirect" ~ts:started
 
 (* --- command dispatch --- *)
 
@@ -332,7 +349,11 @@ and issue_guest t c =
   if c.cmd = Ide.cmd_read_dma then t.last_guest_lba <- Some (c.lba + c.count);
   if t.emulate_idle then begin
     Queue.add c t.queued;
-    t.stats.queued_commands <- t.stats.queued_commands + 1
+    t.stats.queued_commands <- t.stats.queued_commands + 1;
+    let tr = Sim.trace t.machine.Machine.sim in
+    if Trace.on tr ~cat:"mediator" then
+      Trace.counter tr ~cat:"mediator" "ide-queue-depth"
+        (float_of_int (Queue.length t.queued))
   end
   else if
     (c.cmd = Ide.cmd_write_dma || c.cmd = Ide.cmd_read_dma)
@@ -480,7 +501,12 @@ let attach machine ~aoe ~bitmap ~params =
           redirected_sectors = 0;
           multiplexed_ops = 0;
           queued_commands = 0;
-          passthrough_commands = 0 } }
+          passthrough_commands = 0 };
+      redirect_latency =
+        Metrics.histogram
+          (Sim.metrics machine.Machine.sim)
+          ~labels:[ ("disk", "ide") ]
+          "redirect_latency_ms" }
   in
   let pio = machine.Machine.pio in
   Pio.interpose pio ~base:Machine.ide_cmd_base
@@ -513,4 +539,7 @@ let devirtualize t =
       Pio.remove_interposer pio ~base:Machine.ide_cmd_base;
       Pio.remove_interposer pio ~base:Machine.ide_bm_base;
       Pio.remove_interposer pio ~base:Machine.ide_ctrl_base;
-      t.devirtualized <- true)
+      t.devirtualized <- true);
+  let tr = Sim.trace t.machine.Machine.sim in
+  if Trace.on tr ~cat:"mediator" then
+    Trace.instant tr ~cat:"mediator" "devirtualized"

@@ -14,6 +14,7 @@ module Runtime = Bmcast_platform.Runtime
 module Cpu_model = Bmcast_platform.Cpu_model
 module Aoe = Bmcast_proto.Aoe
 module Aoe_client = Bmcast_proto.Aoe_client
+module Trace = Bmcast_obs.Trace
 
 (* The VMM binary fetched over PXE ("we minimize the VMM size as much as
    possible", §3.1; BitVisor-based prototype is ~27 KLoC). *)
@@ -51,7 +52,9 @@ let phase t = t.phase
 let cpu_model t = t.cpu_model
 
 let log_event t what =
-  t.events <- (Sim.now t.machine.Machine.sim, what) :: t.events
+  t.events <- (Sim.now t.machine.Machine.sim, what) :: t.events;
+  let tr = Sim.trace t.machine.Machine.sim in
+  if Trace.on tr ~cat:"vmm" then Trace.instant tr ~cat:"vmm" what
 
 let events t = List.rev t.events
 
@@ -109,6 +112,7 @@ let med_devirtualize t = match t.mediator with
 let nested_paging_off_per_cpu = Time.us 8
 
 let devirtualize t =
+  let devirt_started = Sim.now t.machine.Machine.sim in
   let cores = Cpu.num_cores t.machine.Machine.cpu in
   for core = 0 to cores - 1 do
     ignore core;
@@ -149,6 +153,9 @@ let devirtualize t =
           end
         in
         loop ()));
+  (let tr = Sim.trace t.machine.Machine.sim in
+   if Trace.on tr ~cat:"vmm" then
+     Trace.complete tr ~cat:"vmm" "devirtualize" ~ts:devirt_started);
   Signal.Latch.set t.devirt_done
 
 (* The bitmap is persisted just past the image, in space no partition

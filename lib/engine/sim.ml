@@ -1,3 +1,6 @@
+module Trace = Bmcast_obs.Trace
+module Metrics = Bmcast_obs.Metrics
+
 type t = {
   mutable clock : Time.t;
   events : (unit -> unit) Heap.t;
@@ -5,6 +8,8 @@ type t = {
   mutable executed : int;
   mutable failure : (string * exn) option;
   mutable stop_requested : bool;
+  trace_ : Trace.t;
+  metrics_ : Metrics.t;
 }
 
 exception Process_failure of string * exn
@@ -16,17 +21,25 @@ type _ Effect.t +=
   | Spawn : string option * (unit -> unit) -> unit Effect.t
   | Self : t Effect.t
 
-let create ?(seed = 42) () =
-  { clock = Time.zero;
-    events = Heap.create ();
-    prng = Prng.create seed;
-    executed = 0;
-    failure = None;
-    stop_requested = false }
+let create ?(seed = 42) ?(trace = Trace.null) ?(metrics = Metrics.null) () =
+  let sim =
+    { clock = Time.zero;
+      events = Heap.create ();
+      prng = Prng.create seed;
+      executed = 0;
+      failure = None;
+      stop_requested = false;
+      trace_ = trace;
+      metrics_ = metrics }
+  in
+  Trace.set_clock trace (fun () -> sim.clock);
+  sim
 
 let now sim = sim.clock
 let rand sim = sim.prng
 let events_executed sim = sim.executed
+let trace sim = sim.trace_
+let metrics sim = sim.metrics_
 
 let schedule sim at fn =
   if at < sim.clock then
@@ -53,8 +66,16 @@ let rec exec_process sim name f =
           | Sleep d ->
             Some
               (fun (k : (a, unit) continuation) ->
-                schedule sim (Time.add sim.clock (max d 0)) (fun () ->
-                    continue k ()))
+                let wake =
+                  if Trace.on sim.trace_ ~cat:"sim" then begin
+                    let ts = sim.clock in
+                    fun () ->
+                      Trace.complete sim.trace_ ~cat:"sim" "sleep" ~ts;
+                      continue k ()
+                  end
+                  else fun () -> continue k ()
+                in
+                schedule sim (Time.add sim.clock (max d 0)) wake)
           | Clock -> Some (fun k -> continue k sim.clock)
           | Suspend register ->
             Some
@@ -64,6 +85,8 @@ let rec exec_process sim name f =
                   if !fired then false
                   else begin
                     fired := true;
+                    if Trace.on sim.trace_ ~cat:"sim" then
+                      Trace.instant sim.trace_ ~cat:"sim" "wake";
                     schedule sim sim.clock (fun () -> continue k v);
                     true
                   end
@@ -72,6 +95,12 @@ let rec exec_process sim name f =
           | Spawn (child_name, body) ->
             Some
               (fun k ->
+                if Trace.on sim.trace_ ~cat:"sim" then
+                  Trace.instant sim.trace_ ~cat:"sim"
+                    ~args:
+                      [ ("proc",
+                         Trace.Str (Option.value child_name ~default:"?")) ]
+                    "spawn";
                 schedule sim sim.clock (fun () ->
                     exec_process sim child_name body);
                 continue k ())
@@ -105,6 +134,12 @@ let run ?until sim =
         | Some (t, fn) ->
           sim.clock <- t;
           sim.executed <- sim.executed + 1;
+          if sim.executed land 8191 = 0 && Trace.on sim.trace_ ~cat:"sim" then begin
+            Trace.counter sim.trace_ ~cat:"sim" "events_executed"
+              (float_of_int sim.executed);
+            Trace.counter sim.trace_ ~cat:"sim" "event_queue_depth"
+              (float_of_int (Heap.size sim.events))
+          end;
           fn ();
           loop ())
   in

@@ -15,11 +15,28 @@ exception Process_failure of string * exn
 (** Raised by [run] when a spawned process raises: carries the process name
     and the original exception. *)
 
-val create : ?seed:int -> unit -> t
-(** Fresh simulation with clock at {!Time.zero}. Default seed is 42. *)
+val create :
+  ?seed:int ->
+  ?trace:Bmcast_obs.Trace.t ->
+  ?metrics:Bmcast_obs.Metrics.t ->
+  unit ->
+  t
+(** Fresh simulation with clock at {!Time.zero}. Default seed is 42.
+    [trace] (default {!Bmcast_obs.Trace.null}) receives spans/events
+    from instrumented subsystems with virtual-time stamps; the
+    simulation installs its clock into it. [metrics] (default
+    {!Bmcast_obs.Metrics.null}) is the registry subsystems register
+    instruments into at attach time. *)
 
 val now : t -> Time.t
 val rand : t -> Prng.t
+
+val trace : t -> Bmcast_obs.Trace.t
+(** The tracer passed at {!create} ([Trace.null] otherwise). With a
+    live tracer the scheduler records sleep spans, spawn/wake instants
+    and periodic event-loop counters under category ["sim"]. *)
+
+val metrics : t -> Bmcast_obs.Metrics.t
 
 val schedule : t -> Time.t -> (unit -> unit) -> unit
 (** [schedule sim at fn] runs callback [fn] at absolute time [at] (which

@@ -1,203 +1,1 @@
-module Dynarray = struct
-  type t = { mutable arr : float array; mutable len : int }
-
-  let create () = { arr = Array.make 64 0.0; len = 0 }
-
-  let push t v =
-    if t.len = Array.length t.arr then begin
-      let arr = Array.make (2 * t.len) 0.0 in
-      Array.blit t.arr 0 arr 0 t.len;
-      t.arr <- arr
-    end;
-    t.arr.(t.len) <- v;
-    t.len <- t.len + 1
-
-  let sorted_copy t =
-    let a = Array.sub t.arr 0 t.len in
-    Array.sort Float.compare a;
-    a
-end
-
-module Histogram = struct
-  type t = {
-    samples : Dynarray.t;
-    mutable sorted : float array option; (* invalidated on add *)
-    mutable sum : float;
-    mutable sumsq : float;
-    mutable minv : float;
-    mutable maxv : float;
-  }
-
-  let create () =
-    { samples = Dynarray.create ();
-      sorted = None;
-      sum = 0.0;
-      sumsq = 0.0;
-      minv = infinity;
-      maxv = neg_infinity }
-
-  let add t v =
-    Dynarray.push t.samples v;
-    t.sorted <- None;
-    t.sum <- t.sum +. v;
-    t.sumsq <- t.sumsq +. (v *. v);
-    if v < t.minv then t.minv <- v;
-    if v > t.maxv then t.maxv <- v
-
-  let count t = t.samples.Dynarray.len
-
-  let mean t =
-    let n = count t in
-    if n = 0 then 0.0 else t.sum /. float_of_int n
-
-  let stddev t =
-    let n = count t in
-    if n < 2 then 0.0
-    else
-      let m = mean t in
-      sqrt (Float.max 0.0 ((t.sumsq /. float_of_int n) -. (m *. m)))
-
-  let min t = t.minv
-  let max t = t.maxv
-
-  let sorted t =
-    match t.sorted with
-    | Some a -> a
-    | None ->
-      let a = Dynarray.sorted_copy t.samples in
-      t.sorted <- Some a;
-      a
-
-  let percentile t p =
-    let a = sorted t in
-    let n = Array.length a in
-    if n = 0 then invalid_arg "Histogram.percentile: empty";
-    if p <= 0.0 then a.(0)
-    else if p >= 100.0 then a.(n - 1)
-    else
-      let rank = p /. 100.0 *. float_of_int (n - 1) in
-      let lo = int_of_float (Float.of_int (int_of_float rank)) in
-      let hi = Stdlib.min (n - 1) (lo + 1) in
-      let frac = rank -. float_of_int lo in
-      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
-
-  let median t = percentile t 50.0
-
-  let clear t =
-    t.samples.Dynarray.len <- 0;
-    t.sorted <- None;
-    t.sum <- 0.0;
-    t.sumsq <- 0.0;
-    t.minv <- infinity;
-    t.maxv <- neg_infinity
-end
-
-module Series = struct
-  type t = {
-    mutable times : int array;
-    mutable values : float array;
-    mutable len : int;
-  }
-
-  let create () = { times = Array.make 64 0; values = Array.make 64 0.0; len = 0 }
-
-  let add t time v =
-    if t.len = Array.length t.times then begin
-      let times = Array.make (2 * t.len) 0 in
-      let values = Array.make (2 * t.len) 0.0 in
-      Array.blit t.times 0 times 0 t.len;
-      Array.blit t.values 0 values 0 t.len;
-      t.times <- times;
-      t.values <- values
-    end;
-    t.times.(t.len) <- time;
-    t.values.(t.len) <- v;
-    t.len <- t.len + 1
-
-  let length t = t.len
-
-  let to_list t =
-    let rec build i acc =
-      if i < 0 then acc else build (i - 1) ((t.times.(i), t.values.(i)) :: acc)
-    in
-    build (t.len - 1) []
-
-  let bucket_mean t ~width =
-    if width <= 0 then invalid_arg "Series.bucket_mean: width must be positive";
-    let tbl = Hashtbl.create 64 in
-    for i = 0 to t.len - 1 do
-      let b = t.times.(i) / width in
-      let sum, n = Option.value (Hashtbl.find_opt tbl b) ~default:(0.0, 0) in
-      Hashtbl.replace tbl b (sum +. t.values.(i), n + 1)
-    done;
-    Hashtbl.fold (fun b (sum, n) acc -> (b * width, sum /. float_of_int n) :: acc) tbl []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
-end
-
-module Rate = struct
-  type t = {
-    events : Series.t;
-    mutable total : float;
-  }
-
-  let create () = { events = Series.create (); total = 0.0 }
-
-  let add t time w =
-    Series.add t.events time w;
-    t.total <- t.total +. w
-
-  let tick t time = add t time 1.0
-  let total t = t.total
-
-  let rate_between t t0 t1 =
-    if t1 <= t0 then 0.0
-    else begin
-      let sum = ref 0.0 in
-      for i = 0 to t.events.Series.len - 1 do
-        let ts = t.events.Series.times.(i) in
-        if ts >= t0 && ts < t1 then sum := !sum +. t.events.Series.values.(i)
-      done;
-      !sum /. Time.to_float_s (Time.diff t1 t0)
-    end
-
-  let per_window t ~width =
-    if width <= 0 then invalid_arg "Rate.per_window: width must be positive";
-    if t.events.Series.len = 0 then []
-    else begin
-      let tbl = Hashtbl.create 64 in
-      let first = ref max_int and last = ref 0 in
-      for i = 0 to t.events.Series.len - 1 do
-        let b = t.events.Series.times.(i) / width in
-        if b < !first then first := b;
-        if b > !last then last := b;
-        let sum = Option.value (Hashtbl.find_opt tbl b) ~default:0.0 in
-        Hashtbl.replace tbl b (sum +. t.events.Series.values.(i))
-      done;
-      let w_s = Time.to_float_s width in
-      let rec build b acc =
-        if b < !first then acc
-        else
-          let sum = Option.value (Hashtbl.find_opt tbl b) ~default:0.0 in
-          build (b - 1) ((b * width, sum /. w_s) :: acc)
-      in
-      build !last []
-    end
-end
-
-module Mean = struct
-  type t = { mutable n : int; mutable mu : float; mutable m2 : float }
-
-  let create () = { n = 0; mu = 0.0; m2 = 0.0 }
-
-  let add t v =
-    t.n <- t.n + 1;
-    let delta = v -. t.mu in
-    t.mu <- t.mu +. (delta /. float_of_int t.n);
-    t.m2 <- t.m2 +. (delta *. (v -. t.mu))
-
-  let count t = t.n
-  let mean t = t.mu
-
-  let stddev t =
-    if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
-end
+include Bmcast_obs.Stats

@@ -13,13 +13,16 @@ type result = {
   pre_os : float;
   os_boot : float;
   total_post_firmware : float;
+  metrics_json : string;
 }
 
 let secs = Time.to_float_s
 
-(* Each configuration runs in its own fresh simulated testbed. *)
+(* Each configuration runs in its own fresh simulated testbed, with its
+   own metrics registry so the snapshot reflects just that config. *)
 let with_env image_gb label f =
-  let env = Stacks.make_env ?image_gb:(Some image_gb) () in
+  let metrics = Bmcast_obs.Metrics.create () in
+  let env = Stacks.make_env ?image_gb:(Some image_gb) ~metrics () in
   let m = Stacks.machine env ~name:label () in
   let out = ref None in
   Stacks.run env (fun () ->
@@ -33,7 +36,8 @@ let with_env image_gb label f =
             firmware = secs (Time.diff t_fw t0);
             pre_os = secs (Time.diff t_os_start t_fw);
             os_boot = secs (Time.diff t_end t_os_start);
-            total_post_firmware = secs (Time.diff t_end t_fw) });
+            total_post_firmware = secs (Time.diff t_end t_fw);
+            metrics_json = Bmcast_obs.Metrics.to_json metrics });
   Option.get !out
 
 let measure ?(image_gb = 32) () =
@@ -99,9 +103,33 @@ let paper_post_firmware = function
   | "KVM/iSCSI" -> Some 85.0
   | _ -> None
 
-let run ?image_gb () =
+(* Machine-readable companion to the printed figure: the same timing
+   breakdown plus each config's metrics snapshot, for offline analysis. *)
+let write_metrics path ?(image_gb = 32) results =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"experiment\":\"fig4-startup\",\"image_gb\":";
+  Buffer.add_string b (string_of_int image_gb);
+  Buffer.add_string b ",\"configs\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n{\"label\":%S,\"firmware\":%.6f,\"pre_os\":%.6f,\"os_boot\":%.6f,\
+            \"total_post_firmware\":%.6f,\"metrics\":%s}"
+           r.label r.firmware r.pre_os r.os_boot r.total_post_firmware
+           (String.trim r.metrics_json)))
+    results;
+  Buffer.add_string b "\n]}\n";
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc b)
+
+let run ?image_gb ?metrics_out () =
   Report.section "Figure 4: OS startup time";
   let results = measure ?image_gb () in
+  Option.iter (fun path -> write_metrics path ?image_gb results) metrics_out;
   Report.series_header [ "firmware"; "pre-OS"; "OS boot"; "post-fw total" ];
   List.iter
     (fun r ->

@@ -11,10 +11,15 @@ type result = {
   pre_os : float;  (** VMM boot / installer+copy+reboot / hypervisor boot *)
   os_boot : float;
   total_post_firmware : float;
+  metrics_json : string;
+      (** Per-config {!Bmcast_obs.Metrics.to_json} snapshot, taken when
+          the config's simulation ends. *)
 }
 
 val measure : ?image_gb:int -> unit -> result list
 (** Run all six configurations (fresh simulation each). *)
 
-val run : ?image_gb:int -> unit -> unit
-(** Measure and print the figure. *)
+val run : ?image_gb:int -> ?metrics_out:string -> unit -> unit
+(** Measure and print the figure. [metrics_out] additionally writes a
+    JSON file with the per-config timing breakdown and metrics
+    snapshots. *)

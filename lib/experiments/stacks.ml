@@ -26,8 +26,9 @@ type env = {
 }
 
 let make_env ?(seed = 42) ?(image_gb = 32)
-    ?(disk_profile = Disk.hdd_constellation2) ?(vblade_ram_cache = false) () =
-  let sim = Sim.create ~seed () in
+    ?(disk_profile = Disk.hdd_constellation2) ?(vblade_ram_cache = false)
+    ?trace ?metrics () =
+  let sim = Sim.create ~seed ?trace ?metrics () in
   let fabric = Fabric.create sim () in
   let ib = Ib.create sim () in
   let image_sectors = image_gb * 1024 * 1024 * 2 in

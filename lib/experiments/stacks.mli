@@ -23,12 +23,15 @@ val make_env :
   ?image_gb:int ->
   ?disk_profile:Bmcast_storage.Disk.profile ->
   ?vblade_ram_cache:bool ->
+  ?trace:Bmcast_obs.Trace.t ->
+  ?metrics:Bmcast_obs.Metrics.t ->
   unit ->
   env
 (** Defaults: seed 42, the paper's 32-GB image, the Constellation.2
     disk, disk-backed AoE server. [vblade_ram_cache] serves the image
     from the server's page cache — how a provider would run a popular
-    image at scale. *)
+    image at scale. [trace]/[metrics] attach an observability tracer
+    and metrics registry to the simulation (default: disabled). *)
 
 val machine :
   env -> name:string ->

@@ -9,6 +9,8 @@ module Vblade = Bmcast_proto.Vblade
 module Aoe_client = Bmcast_proto.Aoe_client
 module Vmm = Bmcast_core.Vmm
 module Bitmap = Bmcast_core.Bitmap
+module Obs_trace = Bmcast_obs.Trace
+module Metrics = Bmcast_obs.Metrics
 
 type rig = {
   sim : Sim.t;
@@ -87,11 +89,17 @@ let inject rig (plan : plan) =
     List.stable_sort (fun a b -> compare a.after b.after) plan
   in
   let t0 = Sim.now rig.sim in
+  let injected = Metrics.counter (Sim.metrics rig.sim) "faults_injected" in
   Sim.spawn_at rig.sim ~name:"fault-injector" t0 (fun () ->
       List.iter
         (fun ev ->
           Sim.wait_until (Time.add t0 ev.after);
           apply rig ev.action;
+          Metrics.incr injected;
+          let tr = Sim.trace rig.sim in
+          if Obs_trace.on tr ~cat:"faults" then
+            Obs_trace.complete tr ~cat:"faults" (describe ev.action)
+              ~ts:(Sim.now rig.sim);
           inj.trace_rev <- (Sim.now rig.sim, describe ev.action) :: inj.trace_rev)
         events;
       Signal.Latch.set inj.finished);

@@ -2,6 +2,7 @@ module Sim = Bmcast_engine.Sim
 module Time = Bmcast_engine.Time
 module Prng = Bmcast_engine.Prng
 module Mailbox = Bmcast_engine.Mailbox
+module Trace = Bmcast_obs.Trace
 
 (* Frame loss is either memoryless or a two-state Gilbert-Elliott chain
    (good/bad), which produces the bursty losses real switches exhibit
@@ -105,6 +106,9 @@ let rec stall_wait port =
    switch, which forwards to the destination port's egress queue. *)
 let rec uplink_loop t port =
   let frame = Mailbox.recv port.uplink in
+  let tr = Sim.trace t.sim in
+  let traced = Trace.on tr ~cat:"net" in
+  let ts = Sim.now t.sim in
   stall_wait port;
   Sim.sleep (transmit_span t frame.Packet.size_bytes);
   port.bytes_out <- port.bytes_out + frame.Packet.size_bytes;
@@ -114,18 +118,38 @@ let rec uplink_loop t port =
   let dst = find_port t frame.Packet.dst in
   (if not (port.link_up && dst.link_up) then begin
      t.frames_dropped <- t.frames_dropped + 1;
-     t.link_drops <- t.link_drops + 1
+     t.link_drops <- t.link_drops + 1;
+     if traced then Trace.instant tr ~cat:"net" "link-drop"
    end
-   else if loss_roll t then t.frames_dropped <- t.frames_dropped + 1
+   else if loss_roll t then begin
+     t.frames_dropped <- t.frames_dropped + 1;
+     if traced then Trace.instant tr ~cat:"net" "drop"
+   end
    else Mailbox.send dst.egress frame);
+  if traced then
+    Trace.complete tr ~cat:"net"
+      ~args:
+        [ ("port", Trace.Str port.name);
+          ("dst", Trace.Int frame.Packet.dst);
+          ("bytes", Trace.Int frame.Packet.size_bytes) ]
+      "xmit" ~ts;
   uplink_loop t port
 
 (* Egress process: serialize on the destination port, then deliver. *)
 let rec egress_loop t port =
   let frame = Mailbox.recv port.egress in
+  let tr = Sim.trace t.sim in
+  let traced = Trace.on tr ~cat:"net" in
+  let ts = Sim.now t.sim in
   stall_wait port;
   Sim.sleep (transmit_span t frame.Packet.size_bytes);
   t.bytes_delivered <- t.bytes_delivered + frame.Packet.size_bytes;
+  if traced then
+    Trace.complete tr ~cat:"net"
+      ~args:
+        [ ("port", Trace.Str port.name);
+          ("bytes", Trace.Int frame.Packet.size_bytes) ]
+      "deliver" ~ts;
   Sim.spawn ~name:(port.name ^ "-rx") (fun () -> port.rx frame);
   egress_loop t port
 

@@ -1,0 +1,52 @@
+(** Named-metric registry for the observability layer.
+
+    Subsystems register an instrument once (at attach/boot time) and
+    keep the returned handle; updates through the handle are plain
+    mutations with no lookup cost. Instruments are keyed by name plus
+    sorted [label=value] pairs, so [histogram m ~labels:["disk","ahci"]
+    "redirect_latency_ms"] and the same call again return the {e same}
+    histogram. JSON export is sorted by key — never by hash-table
+    iteration order — so snapshots of a seeded run are byte-stable. *)
+
+type t
+
+val null : t
+(** Disabled registry: registrations return fresh throwaway handles
+    that still work (so instrumented code needs no branching) but are
+    never stored — {!to_json} on [null] is always empty and no state is
+    shared between simulations. *)
+
+val create : unit -> t
+val enabled : t -> bool
+
+val counter : ?labels:(string * string) list -> t -> string -> float ref
+(** Monotonic counter; bump with {!incr}. *)
+
+val gauge : ?labels:(string * string) list -> t -> string -> float ref
+(** Last-value gauge; write with {!set}. *)
+
+val histogram : ?labels:(string * string) list -> t -> string -> Stats.Histogram.t
+
+val rate : ?labels:(string * string) list -> t -> string -> Stats.Rate.t
+(** Time-weighted rate; feed with [Stats.Rate.add r now weight]. *)
+
+val incr : ?by:float -> float ref -> unit
+val set : float ref -> float -> unit
+
+val size : t -> int
+(** Number of registered instruments. *)
+
+val key : string -> (string * string) list -> string
+(** The registry key for a name + labels ([name|k=v|...], labels
+    sorted). Exposed for tests and snapshot consumers. *)
+
+val to_json : t -> string
+(** Snapshot of every instrument as a JSON object keyed by metric key:
+    counters/gauges as numbers, histograms as
+    [{count,mean,stddev,min,max,p50,p90,p99}] (just [{count:0}] when
+    empty), rates as [{total,events,windows}] where [windows] is
+    [[seconds, weight-per-second], ...] over consecutive 1-second
+    windows. Safe to call mid-run. *)
+
+val write : t -> string -> unit
+(** [write t path] dumps {!to_json} to [path]. *)

@@ -1,0 +1,108 @@
+(** Measurement collectors for experiments.
+
+    All collectors are cheap to update from the simulation hot path and
+    compute summaries lazily. Timestamps are integer nanoseconds of
+    virtual time — the representation of [Bmcast_engine.Time.t], which
+    re-exports this module as [Bmcast_engine.Stats]. *)
+
+(** Sample accumulator with exact percentiles (stores all samples). *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+
+  val mean : t -> float
+  (** [0.0] when empty. *)
+
+  val stddev : t -> float
+  (** Population standard deviation; [0.0] with fewer than two
+      samples. *)
+
+  val min : t -> float
+  (** [infinity] when empty. *)
+
+  val max : t -> float
+  (** [neg_infinity] when empty. *)
+
+  val percentile : t -> float -> float
+  (** [percentile h p] with [p] in [\[0,100\]]; linear interpolation
+      between adjacent order statistics, so [percentile h 0.] is the
+      minimum and [percentile h 100.] the maximum.
+
+      @raise Invalid_argument if the histogram is empty — callers that
+      may observe an empty histogram must use {!percentile_opt} or
+      check {!count} first. *)
+
+  val percentile_opt : t -> float -> float option
+  (** Like {!percentile} but [None] when the histogram is empty. *)
+
+  val median : t -> float
+  (** [percentile t 50.]; raises like {!percentile} when empty. *)
+
+  val clear : t -> unit
+end
+
+(** Append-only (time, value) series. *)
+module Series : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> float -> unit
+  val length : t -> int
+  val to_list : t -> (int * float) list
+
+  val bucket_mean : t -> width:int -> (int * float) list
+  (** Average value per time bucket of the given width; buckets with no
+      samples are {e skipped} (no zero-filling — contrast with
+      {!Rate.per_window}). Bucket timestamps are bucket start times.
+
+      @raise Invalid_argument if [width <= 0]. *)
+end
+
+(** Event-rate meter: record occurrences (optionally weighted) and read
+    rates per window. *)
+module Rate : sig
+  type t
+
+  val create : unit -> t
+
+  val tick : t -> int -> unit
+  (** Record one event at the given time. *)
+
+  val add : t -> int -> float -> unit
+  (** Record a weighted event (e.g. bytes transferred). *)
+
+  val total : t -> float
+
+  val count : t -> int
+  (** Number of recorded events. *)
+
+  val rate_between : t -> int -> int -> float
+  (** Sum of weights in [\[t0, t1)] divided by the window in seconds.
+      [0.0] when [t1 <= t0]. *)
+
+  val per_window : t -> width:int -> (int * float) list
+  (** Rate (weight per second) for each {e consecutive} window from the
+      one holding the first recorded event through the one holding the
+      last: windows with no events in between are present with rate
+      [0.0], so the result has no time gaps. [\[\]] when no events were
+      recorded.
+
+      @raise Invalid_argument if [width <= 0]. *)
+end
+
+(** Running mean without storing samples (Welford). *)
+module Mean : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  val stddev : t -> float
+  (** Sample standard deviation (Bessel-corrected); [0.0] with fewer
+      than two samples. *)
+end

@@ -2,6 +2,7 @@ module Sim = Bmcast_engine.Sim
 module Time = Bmcast_engine.Time
 module Signal = Bmcast_engine.Signal
 module Content = Bmcast_storage.Content
+module Trace = Bmcast_obs.Trace
 
 exception Timeout of string
 
@@ -106,9 +107,18 @@ let on_frame t frame =
         Signal.Latch.set p.done_
       end
 
+let command_name = function
+  | Aoe.Ata_read -> "aoe-read"
+  | Aoe.Ata_write -> "aoe-write"
+  | Aoe.Query_config -> "query-config"
+
 (* Issue one command and block until fully answered, retrying on
    timeout. *)
 let run_command t request write_data =
+  let tr = Sim.trace t.sim in
+  let traced = Trace.on tr ~cat:"aoe" in
+  let start = Sim.now t.sim in
+  let tries = ref 0 in
   let p =
     { request;
       write_data;
@@ -141,9 +151,21 @@ let run_command t request write_data =
       | Some f -> (
         match f ~attempts:n request with
         | `Fail -> give_up ()
-        | `Retry -> t.escalations <- t.escalations + 1)
+        | `Retry ->
+          t.escalations <- t.escalations + 1;
+          if traced then
+            Trace.instant tr ~cat:"aoe"
+              ~args:[ ("tag", Trace.Int request.Aoe.tag) ]
+              "escalate")
     end;
-    if n > 0 then t.retransmits <- t.retransmits + 1;
+    if n > 0 then begin
+      t.retransmits <- t.retransmits + 1;
+      incr tries;
+      if traced then
+        Trace.instant tr ~cat:"aoe"
+          ~args:[ ("tag", Trace.Int request.Aoe.tag) ]
+          "retransmit"
+    end;
     t.requests_sent <- t.requests_sent + 1;
     t.send request payload;
     (* Wait for completion or timeout; the timeout backs off
@@ -160,6 +182,15 @@ let run_command t request write_data =
     if not woke && not (Signal.Latch.is_set p.done_) then attempt (n + 1)
   in
   attempt 0;
+  if traced then
+    Trace.complete tr ~cat:"aoe"
+      ~args:
+        [ ("tag", Trace.Int request.Aoe.tag);
+          ("lba", Trace.Int request.Aoe.lba);
+          ("count", Trace.Int request.Aoe.count);
+          ("retries", Trace.Int !tries) ]
+      (command_name request.Aoe.command)
+      ~ts:start;
   if p.failed then
     raise
       (Target_error

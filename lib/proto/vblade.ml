@@ -6,6 +6,7 @@ module Content = Bmcast_storage.Content
 module Disk = Bmcast_storage.Disk
 module Fabric = Bmcast_net.Fabric
 module Packet = Bmcast_net.Packet
+module Trace = Bmcast_obs.Trace
 
 type job = { src : int; frame : Aoe.frame }
 
@@ -45,12 +46,20 @@ let crash t =
     t.up <- false;
     t.epoch <- t.epoch + 1;
     t.crashes <- t.crashes + 1;
+    let dropped = ref 0 in
     while Mailbox.try_recv t.work <> None do
-      ()
-    done
+      incr dropped
+    done;
+    if Trace.on (Sim.trace t.sim) ~cat:"server" then
+      Trace.instant (Sim.trace t.sim) ~cat:"server"
+        ~args:[ ("queued-lost", Trace.Int !dropped) ]
+        "crash"
   end
 
-let restart t = t.up <- true
+let restart t =
+  t.up <- true;
+  if Trace.on (Sim.trace t.sim) ~cat:"server" then
+    Trace.instant (Sim.trace t.sim) ~cat:"server" "restart"
 
 (* vblade's sendto blocks when the socket buffer fills — the root of the
    single-thread bottleneck the paper fixed with a worker pool. A
@@ -143,7 +152,19 @@ let serve t job =
 
 let rec worker_loop t =
   let job = Mailbox.recv t.work in
-  serve t job;
+  let tr = Sim.trace t.sim in
+  if Trace.on tr ~cat:"server" then begin
+    let hdr = job.frame.Aoe.hdr in
+    let ts = Sim.now t.sim in
+    serve t job;
+    Trace.complete tr ~cat:"server"
+      ~args:
+        [ ("tag", Trace.Int hdr.Aoe.tag);
+          ("lba", Trace.Int hdr.Aoe.lba);
+          ("count", Trace.Int hdr.Aoe.count) ]
+      "serve" ~ts
+  end
+  else serve t job;
   worker_loop t
 
 let on_rx t (pkt : Packet.t) =

@@ -1,6 +1,7 @@
 module Sim = Bmcast_engine.Sim
 module Time = Bmcast_engine.Time
 module Prng = Bmcast_engine.Prng
+module Trace = Bmcast_obs.Trace
 
 type profile = {
   name : string;
@@ -235,7 +236,19 @@ let serve t op ~lba ~count =
     end
   end;
   t.busy_time <- t.busy_time + span;
-  Sim.sleep span
+  let tr = Sim.trace t.sim in
+  if Trace.on tr ~cat:"storage" then begin
+    let ts = Sim.now t.sim in
+    Sim.sleep span;
+    Trace.complete tr ~cat:"storage"
+      ~args:
+        [ ("lba", Trace.Int lba);
+          ("count", Trace.Int count);
+          ("cache-hit", Trace.Bool cache_hit) ]
+      (match op with `Read -> "disk-read" | `Write -> "disk-write")
+      ~ts
+  end
+  else Sim.sleep span
 
 let read t ~lba ~count =
   serve t `Read ~lba ~count;

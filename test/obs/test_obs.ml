@@ -1,0 +1,425 @@
+(* Unit, property, and end-to-end tests for the observability layer:
+   the Stats collectors, the deterministic tracer and its Chrome/JSONL
+   exports, the metrics registry, and the contract that identical seeds
+   produce byte-identical trace files while a disabled tracer leaves
+   the simulation's timing untouched. *)
+
+module Stats = Bmcast_obs.Stats
+module Trace = Bmcast_obs.Trace
+module Metrics = Bmcast_obs.Metrics
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+module Content = Bmcast_storage.Content
+module Disk = Bmcast_storage.Disk
+module Fabric = Bmcast_net.Fabric
+module Vblade = Bmcast_proto.Vblade
+module Machine = Bmcast_platform.Machine
+module Block_io = Bmcast_guest.Block_io
+module Params = Bmcast_core.Params
+module Vmm = Bmcast_core.Vmm
+module Fault = Bmcast_faults.Fault
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let expect_invalid_arg what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+  | exception Invalid_argument _ -> ()
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i =
+    i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+  in
+  go 0
+
+let check_contains what hay needle =
+  if not (contains hay needle) then
+    Alcotest.failf "%s: %S not found in output" what needle
+
+(* --- Stats: empty-collector contracts --- *)
+
+let test_histogram_empty () =
+  let h = Stats.Histogram.create () in
+  check_int "count" 0 (Stats.Histogram.count h);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Stats.Histogram.mean h);
+  check_bool "min is +inf" true (Stats.Histogram.min h = infinity);
+  check_bool "max is -inf" true (Stats.Histogram.max h = neg_infinity);
+  expect_invalid_arg "percentile on empty" (fun () ->
+      Stats.Histogram.percentile h 50.0);
+  expect_invalid_arg "median on empty" (fun () -> Stats.Histogram.median h);
+  Alcotest.(check (option (float 0.0)))
+    "percentile_opt" None
+    (Stats.Histogram.percentile_opt h 50.0);
+  Stats.Histogram.add h 7.0;
+  Alcotest.(check (option (float 0.0)))
+    "percentile_opt non-empty" (Some 7.0)
+    (Stats.Histogram.percentile_opt h 99.0);
+  Stats.Histogram.clear h;
+  check_int "count after clear" 0 (Stats.Histogram.count h);
+  expect_invalid_arg "percentile after clear" (fun () ->
+      Stats.Histogram.percentile h 0.0)
+
+let test_percentile_interpolation () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add h) [ 10.0; 0.0 ];
+  (* rank = p/100 * (n-1); p=25 over [0;10] interpolates to 2.5 *)
+  Alcotest.(check (float 1e-9)) "p25" 2.5 (Stats.Histogram.percentile h 25.0);
+  Alcotest.(check (float 1e-9)) "p0" 0.0 (Stats.Histogram.percentile h 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 10.0
+    (Stats.Histogram.percentile h 100.0)
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~count:500
+    ~name:"percentile stays within [min,max] and is monotone in p"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 40) (float_range (-1e6) 1e6))
+        (pair (int_range 0 100) (int_range 0 100)))
+    (fun (xs, (a, b)) ->
+      let h = Stats.Histogram.create () in
+      List.iter (Stats.Histogram.add h) xs;
+      let lo = List.fold_left Stdlib.min infinity xs in
+      let hi = List.fold_left Stdlib.max neg_infinity xs in
+      let p, q = if a <= b then (a, b) else (b, a) in
+      let vp = Stats.Histogram.percentile h (float_of_int p) in
+      let vq = Stats.Histogram.percentile h (float_of_int q) in
+      Stats.Histogram.percentile h 0.0 = lo
+      && Stats.Histogram.percentile h 100.0 = hi
+      && vp >= lo && vq <= hi && vp <= vq)
+
+let prop_welford_matches_two_pass =
+  QCheck.Test.make ~count:300
+    ~name:"Welford mean/stddev match the two-pass computation"
+    QCheck.(list_of_size Gen.(int_range 2 60) (float_range (-1e3) 1e3))
+    (fun xs ->
+      let m = Stats.Mean.create () in
+      List.iter (Stats.Mean.add m) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs
+        /. (n -. 1.0)
+      in
+      let exact = sqrt var in
+      Float.abs (Stats.Mean.mean m -. mean) <= 1e-9 *. (1.0 +. Float.abs mean)
+      && Float.abs (Stats.Mean.stddev m -. exact) <= 1e-6 *. (1.0 +. exact))
+
+let test_bucket_mean_skips_gaps () =
+  let s = Stats.Series.create () in
+  Stats.Series.add s 100 1.0;
+  Stats.Series.add s 150 3.0;
+  Stats.Series.add s 2_500 10.0;
+  (* bucket [1000,2000) holds no samples and must be absent, not 0 *)
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "buckets"
+    [ (0, 2.0); (2000, 10.0) ]
+    (Stats.Series.bucket_mean s ~width:1000);
+  expect_invalid_arg "width 0" (fun () -> Stats.Series.bucket_mean s ~width:0)
+
+let test_per_window_zero_fills_gaps () =
+  let r = Stats.Rate.create () in
+  Alcotest.(check (list (pair int (float 0.0))))
+    "empty rate" []
+    (Stats.Rate.per_window r ~width:1000);
+  Stats.Rate.add r 500 4.0;
+  Stats.Rate.add r 3_200 8.0;
+  (* 1000 ns windows = 1e-6 s, so rate = weight * 1e6; the two empty
+     windows in between are present with rate 0 (contrast with
+     Series.bucket_mean). *)
+  Alcotest.(check (list (pair int (float 1e-3))))
+    "windows"
+    [ (0, 4e6); (1000, 0.0); (2000, 0.0); (3000, 8e6) ]
+    (Stats.Rate.per_window r ~width:1000);
+  Alcotest.(check (float 1e-9)) "total" 12.0 (Stats.Rate.total r);
+  check_int "events" 2 (Stats.Rate.count r);
+  expect_invalid_arg "width -1" (fun () -> Stats.Rate.per_window r ~width:(-1))
+
+(* --- Trace: recording semantics --- *)
+
+let test_null_tracer () =
+  check_bool "disabled" false (Trace.enabled Trace.null);
+  check_bool "on" false (Trace.on Trace.null ~cat:"sim");
+  let r = Trace.span Trace.null ~cat:"sim" "body" (fun () -> 41 + 1) in
+  check_int "span runs its body" 42 r;
+  Trace.instant Trace.null ~cat:"sim" "i";
+  Trace.counter Trace.null ~cat:"sim" "c" 1.0;
+  Trace.complete Trace.null ~cat:"sim" "x" ~ts:0;
+  check_int "no events recorded" 0 (Trace.event_count Trace.null)
+
+let test_span_nesting_and_timestamps () =
+  let t = Trace.create () in
+  let now = ref 0 in
+  Trace.set_clock t (fun () -> !now);
+  now := 1_000;
+  Trace.span t ~cat:"a" "outer" (fun () ->
+      now := 2_500;
+      Trace.span t ~cat:"a"
+        ~args:(fun () -> [ ("k", Trace.Int 3) ])
+        "inner"
+        (fun () -> now := 3_000));
+  check_int "two spans" 2 (Trace.event_count t);
+  let chrome = Trace.to_chrome t in
+  (* ts/dur are microseconds with a fixed-point ns fraction *)
+  check_contains "inner span" chrome
+    "\"name\":\"inner\",\"ts\":2.500,\"dur\":0.500,\"args\":{\"k\":3}";
+  check_contains "outer span" chrome
+    "\"name\":\"outer\",\"ts\":1.000,\"dur\":2.000"
+
+let test_category_filter () =
+  let t = Trace.create ~categories:[ "net" ] () in
+  check_bool "net on" true (Trace.on t ~cat:"net");
+  check_bool "sim off" false (Trace.on t ~cat:"sim");
+  Trace.instant t ~cat:"sim" "skipped";
+  Trace.instant t ~cat:"net" "kept";
+  check_int "only net recorded" 1 (Trace.event_count t)
+
+let test_ring_drops_oldest () =
+  let t = Trace.create ~capacity:4 () in
+  let now = ref 0 in
+  Trace.set_clock t (fun () -> !now);
+  for i = 1 to 6 do
+    now := i * 1000;
+    Trace.instant t ~cat:"c" (Printf.sprintf "e%d" i)
+  done;
+  check_int "len capped" 4 (Trace.event_count t);
+  check_int "dropped" 2 (Trace.dropped t);
+  let lines = String.split_on_char '\n' (String.trim (Trace.to_jsonl t)) in
+  check_int "four lines" 4 (List.length lines);
+  check_contains "oldest survivor first" (List.hd lines) "\"name\":\"e3\"";
+  check_contains "newest last" (List.nth lines 3) "\"name\":\"e6\"";
+  check_bool "e2 evicted" false (contains (Trace.to_jsonl t) "e2")
+
+let test_export_shapes () =
+  let t = Trace.create () in
+  let now = ref 0 in
+  Trace.set_clock t (fun () -> !now);
+  now := 500;
+  Trace.counter t ~cat:"sim" "depth" 7.0;
+  Trace.instant t ~cat:"sim" ~args:[ ("s", Trace.Str "a\"b\nc") ] "mark";
+  let chrome = Trace.to_chrome t in
+  check_contains "counter phase" chrome
+    "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"cat\":\"sim\",\"name\":\"depth\",\"ts\":0.500,\"args\":{\"value\":7}}";
+  check_contains "instant phase" chrome "\"ph\":\"i\",\"s\":\"t\"";
+  check_contains "string escaping" chrome "{\"s\":\"a\\\"b\\nc\"}";
+  check_contains "process metadata" chrome
+    "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"bmcast\"}}";
+  check_contains "track metadata" chrome
+    "\"name\":\"thread_name\",\"args\":{\"name\":\"sim\"}"
+
+let test_export_deterministic () =
+  let build () =
+    let t = Trace.create () in
+    let now = ref 0 in
+    Trace.set_clock t (fun () -> !now);
+    List.iter
+      (fun (ts, cat, name) ->
+        now := ts;
+        Trace.instant t ~cat name)
+      [ (1, "b", "x"); (2, "a", "y"); (3, "b", "z") ];
+    t
+  in
+  check_string "chrome stable" (Trace.to_chrome (build ()))
+    (Trace.to_chrome (build ()));
+  check_string "jsonl stable" (Trace.to_jsonl (build ()))
+    (Trace.to_jsonl (build ()))
+
+(* --- Metrics registry --- *)
+
+let test_metrics_handle_reuse () =
+  let m = Metrics.create () in
+  let c1 = Metrics.counter m ~labels:[ ("disk", "ahci") ] "ops" in
+  let c2 = Metrics.counter m ~labels:[ ("disk", "ahci") ] "ops" in
+  check_bool "same handle" true (c1 == c2);
+  Metrics.incr c1;
+  Metrics.incr ~by:2.0 c2;
+  Alcotest.(check (float 0.0)) "shared state" 3.0 !c1;
+  let other = Metrics.counter m ~labels:[ ("disk", "ide") ] "ops" in
+  check_bool "distinct labels, distinct handle" false (c1 == other);
+  check_int "two instruments" 2 (Metrics.size m)
+
+let test_metrics_label_order () =
+  check_string "labels sorted in key" "x|a=1|b=2"
+    (Metrics.key "x" [ ("b", "2"); ("a", "1") ]);
+  let m = Metrics.create () in
+  let g1 = Metrics.gauge m ~labels:[ ("b", "2"); ("a", "1") ] "g" in
+  let g2 = Metrics.gauge m ~labels:[ ("a", "1"); ("b", "2") ] "g" in
+  check_bool "order-insensitive registration" true (g1 == g2)
+
+let test_metrics_kind_mismatch () =
+  let m = Metrics.create () in
+  let (_ : float ref) = Metrics.counter m "x" in
+  expect_invalid_arg "re-register as histogram" (fun () ->
+      Metrics.histogram m "x")
+
+let test_metrics_null_is_stateless () =
+  check_bool "disabled" false (Metrics.enabled Metrics.null);
+  let c1 = Metrics.counter Metrics.null "c" in
+  Metrics.incr ~by:5.0 c1;
+  let c2 = Metrics.counter Metrics.null "c" in
+  Alcotest.(check (float 0.0)) "fresh handle each time" 0.0 !c2;
+  check_int "nothing registered" 0 (Metrics.size Metrics.null);
+  check_string "empty snapshot" "{\n}\n" (Metrics.to_json Metrics.null)
+
+let test_metrics_to_json () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:2.0 (Metrics.counter m "b_ops");
+  Metrics.set (Metrics.gauge m "a_depth") 1.5;
+  let h = Metrics.histogram m "lat" in
+  List.iter (Stats.Histogram.add h) [ 1.0; 2.0; 3.0 ];
+  let (_ : Stats.Histogram.t) = Metrics.histogram m "lat_empty" in
+  let r = Metrics.rate m "bytes" in
+  Stats.Rate.add r 0 10.0;
+  let json = Metrics.to_json m in
+  check_string "snapshot is stable" json (Metrics.to_json m);
+  check_contains "gauge" json "\"a_depth\": 1.5";
+  check_contains "counter" json "\"b_ops\": 2";
+  check_contains "histogram" json "\"lat\": {\"count\":3,\"mean\":2,";
+  check_contains "empty histogram collapses" json "\"lat_empty\": {\"count\":0}";
+  check_contains "rate windows" json
+    "\"bytes\": {\"total\":10,\"events\":1,\"windows\":[[0,10]]}";
+  (* keys are emitted sorted, not in registration order *)
+  let ia = String.index json 'a' in
+  check_bool "sorted keys" true
+    (ia < String.length json
+    && contains (String.sub json 0 (ia + 10)) "a_depth")
+
+(* --- End-to-end: traced deployments on the simulated testbed --- *)
+
+let image_mb = 32
+let image_sectors = image_mb * 2048
+
+(* Same single-machine AoE rig as the chaos suite: boot the VMM, touch
+   the disk once (forcing a copy-on-read redirect), wait for
+   de-virtualization. *)
+let run_deploy ?(seed = 42) ?scenario ~trace ~metrics () =
+  let sim = Sim.create ~seed ~trace ~metrics () in
+  let fabric = Fabric.create sim () in
+  let profile =
+    { Disk.hdd_constellation2 with Disk.capacity_sectors = 2 * image_sectors }
+  in
+  let server_disk = Disk.create sim profile in
+  Disk.fill_with_image server_disk;
+  let vblade = Vblade.create sim ~fabric ~name:"server" ~disk:server_disk () in
+  let machine =
+    Machine.create sim ~name:"node0" ~disk_profile:profile
+      ~disk_kind:Machine.Ahci_disk ~fabric ()
+  in
+  let params = Params.default ~image_sectors in
+  (match scenario with
+  | None -> ()
+  | Some name ->
+    let plan =
+      match Fault.scenario ~image_sectors name with
+      | Some p -> p
+      | None -> Alcotest.failf "unknown scenario %s" name
+    in
+    let _inj =
+      Fault.inject { Fault.sim; fabric; server = vblade; server_disk } plan
+    in
+    ());
+  let vmm_ref = ref None in
+  Sim.spawn_at sim ~name:"scenario" Time.zero (fun () ->
+      let vmm =
+        Vmm.boot machine ~params ~server_port:(Vblade.port_id vblade) ()
+      in
+      vmm_ref := Some vmm;
+      let blk = Block_io.attach machine in
+      ignore (Block_io.read blk ~lba:0 ~count:8 : Content.t array);
+      Vmm.wait_devirtualized vmm);
+  Sim.run ~until:(Time.minutes 30) sim;
+  Option.get !vmm_ref
+
+let test_trace_deterministic_chaos () =
+  let go () =
+    let trace = Trace.create () in
+    let vmm =
+      run_deploy ~scenario:"crash-mid-copy" ~trace ~metrics:Metrics.null ()
+    in
+    check_bool "devirtualized" true (Vmm.devirtualized_at vmm <> None);
+    Trace.to_chrome trace
+  in
+  let a = go () and b = go () in
+  check_bool "byte-identical chrome export" true (String.equal a b);
+  (* acceptance: spans from at least these five subsystems *)
+  List.iter
+    (fun cat ->
+      check_contains "category present" a
+        (Printf.sprintf "\"cat\":%S" cat))
+    [ "sim"; "net"; "storage"; "mediator"; "faults" ]
+
+let test_disabled_tracer_is_inert () =
+  let totals_of trace =
+    let vmm = run_deploy ~trace ~metrics:Metrics.null () in
+    (Vmm.devirtualized_at vmm, Vmm.totals vmm)
+  in
+  let null_at, null_totals = totals_of Trace.null in
+  let traced = Trace.create () in
+  let traced_at, traced_totals = totals_of traced in
+  check_bool "same devirtualization time" true (null_at = traced_at);
+  check_bool "same totals" true (null_totals = traced_totals);
+  check_int "null tracer stays empty" 0 (Trace.event_count Trace.null);
+  check_bool "real tracer saw events" true (Trace.event_count traced > 0)
+
+let test_metrics_match_vmm_totals () =
+  let run () =
+    let metrics = Metrics.create () in
+    let vmm = run_deploy ~trace:Trace.null ~metrics () in
+    (metrics, Vmm.totals vmm)
+  in
+  let metrics, totals = run () in
+  let h = Metrics.histogram metrics ~labels:[ ("disk", "ahci") ] "redirect_latency_ms" in
+  check_int "one histogram sample per redirect" totals.Vmm.redirects
+    (Stats.Histogram.count h);
+  check_bool "redirects happened" true (totals.Vmm.redirects > 0);
+  let r = Metrics.rate metrics "background_copy_bytes" in
+  Alcotest.(check (float 0.0))
+    "rate total equals background bytes"
+    (float_of_int totals.Vmm.background_bytes)
+    (Stats.Rate.total r);
+  check_bool "background copy ran" true (totals.Vmm.background_bytes > 0);
+  (* the snapshot is itself deterministic for a fixed seed *)
+  let metrics2, _ = run () in
+  check_string "snapshot deterministic" (Metrics.to_json metrics)
+    (Metrics.to_json metrics2)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [ ( "stats",
+        [ Alcotest.test_case "histogram empty contract" `Quick
+            test_histogram_empty;
+          Alcotest.test_case "percentile interpolation" `Quick
+            test_percentile_interpolation;
+          qt prop_percentile_bounds;
+          qt prop_welford_matches_two_pass;
+          Alcotest.test_case "bucket_mean skips gaps" `Quick
+            test_bucket_mean_skips_gaps;
+          Alcotest.test_case "per_window zero-fills gaps" `Quick
+            test_per_window_zero_fills_gaps ] );
+      ( "trace",
+        [ Alcotest.test_case "null tracer records nothing" `Quick
+            test_null_tracer;
+          Alcotest.test_case "span nesting and timestamps" `Quick
+            test_span_nesting_and_timestamps;
+          Alcotest.test_case "category filter" `Quick test_category_filter;
+          Alcotest.test_case "ring drops oldest" `Quick test_ring_drops_oldest;
+          Alcotest.test_case "export shapes" `Quick test_export_shapes;
+          Alcotest.test_case "exports deterministic" `Quick
+            test_export_deterministic ] );
+      ( "metrics",
+        [ Alcotest.test_case "handle reuse" `Quick test_metrics_handle_reuse;
+          Alcotest.test_case "label order" `Quick test_metrics_label_order;
+          Alcotest.test_case "kind mismatch" `Quick test_metrics_kind_mismatch;
+          Alcotest.test_case "null is stateless" `Quick
+            test_metrics_null_is_stateless;
+          Alcotest.test_case "to_json" `Quick test_metrics_to_json ] );
+      ( "e2e",
+        [ Alcotest.test_case "chaos trace is byte-deterministic" `Quick
+            test_trace_deterministic_chaos;
+          Alcotest.test_case "disabled tracer is inert" `Quick
+            test_disabled_tracer_is_inert;
+          Alcotest.test_case "metrics match Vmm.totals" `Quick
+            test_metrics_match_vmm_totals ] ) ]
