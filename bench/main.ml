@@ -124,6 +124,14 @@ let experiments ~metrics_dir =
     ("fig14", fun () -> Fig14_moderation.run ());
     ("ablations", fun () -> Ablations.run ());
     ("scaleup", fun () -> Scaleup.run ());
+    ( "fleet",
+      fun () ->
+        (* The fleet sweep always snapshots: BENCH_fleet.json is the
+           artifact CI uploads. *)
+        let metrics_out =
+          Option.value (out "fleet") ~default:"BENCH_fleet.json"
+        in
+        ignore (Scaleout.run ~metrics_out () : Scaleout.result list) );
     ("micro", run_micro) ]
 
 (* "all" runs the fig12/fig13 pair once. *)
@@ -145,13 +153,17 @@ let run_named experiments name =
     Printf.eprintf "unknown experiment %S\n" name;
     false
 
-let main metrics_dir names =
+let main metrics_dir fleet names =
   let experiments = experiments ~metrics_dir in
   let names =
-    match names with
-    | [] | [ "all" ] -> all_keys
-    | [ "quick" ] -> quick_keys
-    | names -> names
+    match (names, fleet) with
+    | [], true -> [ "fleet" ]  (* bench --fleet: just the fleet sweep *)
+    | ([] | [ "all" ]), false -> all_keys
+    | [ "all" ], true -> all_keys @ [ "fleet" ]
+    | [ "quick" ], true -> quick_keys @ [ "fleet" ]
+    | [ "quick" ], false -> quick_keys
+    | names, true when not (List.mem "fleet" names) -> names @ [ "fleet" ]
+    | names, _ -> names
   in
   Printf.printf
     "BMcast evaluation harness - regenerating %d experiment group(s)\n%!"
@@ -170,11 +182,22 @@ let () =
             "Write per-experiment metrics snapshots (BENCH_<name>.json) \
              into $(docv).")
   in
+  let fleet =
+    Arg.(
+      value & flag
+      & info [ "fleet" ]
+          ~doc:
+            "Run the fleet scale-out sweep (machines x storage replicas) \
+             and write BENCH_fleet.json. Alone it runs just the sweep; \
+             with experiment names it is appended to them.")
+  in
   let doc =
     "Regenerate the BMcast paper's tables and figures (fig4-fig14, \
-     ablations, scaleup, micro, or the 'quick' subset; default: all)"
+     ablations, scaleup, fleet, micro, or the 'quick' subset; default: all)"
   in
   let cmd =
-    Cmd.v (Cmd.info "bmcast-bench" ~doc) Term.(const main $ metrics_dir $ names)
+    Cmd.v
+      (Cmd.info "bmcast-bench" ~doc)
+      Term.(const main $ metrics_dir $ fleet $ names)
   in
   exit (Cmd.eval' cmd)

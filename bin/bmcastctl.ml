@@ -289,6 +289,85 @@ let trace_cmd () scenario seed image_mb image_gb output jsonl metrics_out =
   write_obs ~jsonl tracer (Some output) metrics metrics_out;
   0
 
+(* --- fleet: many machines against a replicated storage tier --- *)
+
+module Scaleout = Bmcast_experiments.Scaleout
+module Replica_set = Bmcast_fleet.Replica_set
+module Scheduler = Bmcast_fleet.Scheduler
+
+(* "<ms>:<replica>" -> (span, replica index) *)
+let parse_fault_spec what s =
+  match String.split_on_char ':' s with
+  | [ ms; i ] -> (
+    match (int_of_string_opt ms, int_of_string_opt i) with
+    | Some ms, Some i when ms >= 0 && i >= 0 -> (Time.ms ms, i)
+    | _ ->
+      Logs.err (fun m -> m "bad --%s %S (want <ms>:<replica>)" what s);
+      exit 2)
+  | _ ->
+    Logs.err (fun m -> m "bad --%s %S (want <ms>:<replica>)" what s);
+    exit 2
+
+let fleet_cmd () machines replicas policy sched limit image_mb seed crash
+    restart trace_out metrics_out jsonl =
+  let policy =
+    match Replica_set.policy_of_string policy with
+    | Some p -> p
+    | None ->
+      Logs.err (fun m ->
+          m
+            "unknown policy %S (shard | shard:<sectors> | least-outstanding \
+             | weighted-rtt)"
+            policy);
+      exit 2
+  in
+  let sched =
+    match Scheduler.wave_policy_of_string sched with
+    | Some p -> p
+    | None ->
+      Logs.err (fun m ->
+          m "unknown schedule %S (all | waves:<k> | stagger:<ms>)" sched);
+      exit 2
+  in
+  let crashes = List.map (parse_fault_spec "crash") crash in
+  let restarts = List.map (parse_fault_spec "restart") restart in
+  let tracer = make_tracer trace_out in
+  let metrics = make_metrics metrics_out in
+  Logs.app (fun m ->
+      m
+        "Fleet deployment: %d machine(s), %d storage replica(s), %d MB \
+         image, policy %s, schedule %s"
+        machines replicas image_mb
+        (Replica_set.policy_to_string policy)
+        (Scheduler.wave_policy_to_string sched));
+  let r =
+    Scaleout.deploy_fleet ~seed ~image_mb ~policy ~sched
+      ~limit_per_server:limit ~crashes ~restarts ~trace:tracer ~metrics
+      ~machines ~replicas ()
+  in
+  let show label (s : Scaleout.summary) =
+    Logs.app (fun m ->
+        m "  %-20s p50 %7.2fs  p90 %7.2fs  p99 %7.2fs  mean %7.2fs  max %7.2fs"
+          label s.Scaleout.p50 s.Scaleout.p90 s.Scaleout.p99 s.Scaleout.mean
+          s.Scaleout.max)
+  in
+  show "time-to-first-boot" r.Scaleout.ttfb;
+  show "time-to-devirt" r.Scaleout.ttdv;
+  Logs.app (fun m ->
+      m
+        "  admission: peak queue %d, peak in service %d, per-server leases \
+         [%s]"
+        r.Scaleout.peak_queue r.Scaleout.peak_in_service
+        (Array.to_list r.Scaleout.admitted_per_server
+        |> List.map string_of_int
+        |> String.concat " "));
+  Logs.app (fun m ->
+      m "  storage tier: %.1f MB served, %d failover(s)"
+        (float_of_int r.Scaleout.server_bytes /. 1e6)
+        r.Scaleout.failovers);
+  write_obs ~jsonl tracer trace_out metrics metrics_out;
+  0
+
 (* --- compare: startup-time comparison (Figure 4 on demand) --- *)
 
 let compare_cmd () image_gb =
@@ -431,9 +510,68 @@ let () =
       (Cmd.info "params" ~doc:"print deployment parameters")
       Term.(const params $ verbosity $ const ())
   in
+  let fleet_cmd =
+    let machines =
+      Arg.(
+        value & opt int 16
+        & info [ "machines" ] ~docv:"N" ~doc:"fleet size (deployments)")
+    in
+    let replicas =
+      Arg.(
+        value & opt int 3
+        & info [ "replicas" ] ~docv:"N"
+            ~doc:"storage replicas exporting the golden image")
+    in
+    let policy =
+      Arg.(
+        value
+        & opt string "least-outstanding"
+        & info [ "policy" ] ~docv:"POLICY"
+            ~doc:
+              "replica selection: $(b,shard), $(b,shard:<sectors>), \
+               $(b,least-outstanding) or $(b,weighted-rtt)")
+    in
+    let sched =
+      Arg.(
+        value & opt string "all"
+        & info [ "schedule" ] ~docv:"POLICY"
+            ~doc:
+              "deployment start policy: $(b,all), $(b,waves:<k>) or \
+               $(b,stagger:<ms>)")
+    in
+    let limit =
+      Arg.(
+        value & opt int 4
+        & info [ "limit-per-server" ] ~docv:"N"
+            ~doc:"admission limit: concurrent deployments per storage server")
+    in
+    let crash =
+      Arg.(
+        value & opt_all string []
+        & info [ "crash" ] ~docv:"MS:REPLICA"
+            ~doc:"crash replica $(i,REPLICA) $(i,MS) ms after fleet start \
+                  (repeatable)")
+    in
+    let restart =
+      Arg.(
+        value & opt_all string []
+        & info [ "restart" ] ~docv:"MS:REPLICA"
+            ~doc:"restart replica $(i,REPLICA) $(i,MS) ms after fleet start \
+                  (repeatable)")
+    in
+    Cmd.v
+      (Cmd.info "fleet"
+         ~doc:
+           "deploy a fleet of machines against a replicated storage tier \
+            under admission control")
+      Term.(
+        const fleet_cmd $ verbosity $ machines $ replicas $ policy $ sched
+        $ limit $ image_mb $ seed $ crash $ restart $ trace_out $ metrics_out
+        $ jsonl)
+  in
   let group =
     Cmd.group
       (Cmd.info "bmcastctl" ~doc:"BMcast bare-metal deployment control")
-      [ deploy_cmd; chaos_cmd; trace_cmd; compare_cmd; params_cmd ]
+      [ deploy_cmd; chaos_cmd; trace_cmd; compare_cmd; fleet_cmd; params_cmd ]
   in
   exit (Cmd.eval' group)

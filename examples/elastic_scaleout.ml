@@ -1,70 +1,72 @@
-(* Elastic scale-out: the cloud provider's view. Demand spikes and four
-   fresh bare-metal instances must join the pool NOW. Compare streaming
-   deployment against copying the image first (2's baseline).
+(* Elastic scale-out: the cloud provider's view. Demand spikes and N
+   fresh bare-metal instances must join the pool NOW. Deployments go
+   through the fleet scheduler (admission control, least-outstanding
+   replica routing) against a replicated storage tier; the same fleet on
+   a single storage server shows what the replicas buy.
 
-     dune exec examples/elastic_scaleout.exe *)
+     dune exec examples/elastic_scaleout.exe -- --instances 8 --servers 3 *)
 
-module Sim = Bmcast_engine.Sim
-module Time = Bmcast_engine.Time
-module Signal = Bmcast_engine.Signal
-module Os = Bmcast_guest.Os
-module Image_copy = Bmcast_baselines.Image_copy
-module Stacks = Bmcast_experiments.Stacks
+module Scaleout = Bmcast_experiments.Scaleout
 
-let instances = 4
-let image_gb = 4
-
-let provision_fleet label env provision_one =
-  let ready = ref [] in
-  Stacks.run env (fun () ->
-      let done_count = ref 0 in
-      let all_done = Signal.Latch.create () in
-      for i = 0 to instances - 1 do
-        let m = Stacks.machine env ~name:(Printf.sprintf "%s%d" label i) () in
-        Sim.spawn (fun () ->
-            provision_one env m;
-            let t = Time.to_float_s (Sim.clock ()) in
-            ready := (m.Bmcast_platform.Machine.name, t) :: !ready;
-            Printf.printf "  %-12s serving at t=%7.1f s\n%!"
-              m.Bmcast_platform.Machine.name t;
-            incr done_count;
-            if !done_count = instances then Signal.Latch.set all_done)
-      done;
-      Signal.Latch.wait all_done);
-  List.fold_left (fun acc (_, t) -> Float.max acc t) 0.0 !ready
+let usage () =
+  prerr_endline
+    "usage: elastic_scaleout [--instances N] [--servers N] [--image-mb N]";
+  exit 2
 
 let () =
-  Printf.printf
-    "== Scale-out: %d instances, %d GB image, one storage server ==\n\n"
-    instances image_gb;
-
-  Printf.printf "BMcast streaming deployment:\n";
-  let bmcast_done =
-    provision_fleet "stream"
-      (Stacks.make_env ~image_gb ~vblade_ram_cache:true ())
-      (fun env m ->
-        let rt, _vmm = Stacks.bmcast env m () in
-        Os.boot rt ())
+  let instances = ref 8 and servers = ref 3 and image_mb = ref 64 in
+  let rec parse = function
+    | [] -> ()
+    | "--instances" :: v :: rest -> set instances v rest
+    | "--servers" :: v :: rest -> set servers v rest
+    | "--image-mb" :: v :: rest -> set image_mb v rest
+    | _ -> usage ()
+  and set r v rest =
+    match int_of_string_opt v with
+    | Some n when n > 0 ->
+      r := n;
+      parse rest
+    | _ -> usage ()
   in
-
-  Printf.printf "\nImage copying (installer + full copy + reboot):\n";
-  let copy_done =
-    provision_fleet "copy"
-      (Stacks.make_env ~image_gb ())
-      (fun env m ->
-        let clients =
-          [ Stacks.iscsi_client env ~name:(m.Bmcast_platform.Machine.name ^ "c0");
-            Stacks.iscsi_client env ~name:(m.Bmcast_platform.Machine.name ^ "c1") ]
-        in
-        ignore
-          (Image_copy.deploy m ~servers:clients
-             ~image_sectors:env.Stacks.image_sectors
-            : Image_copy.breakdown);
-        let rt = Stacks.bare env m in
-        Os.boot rt ())
-  in
-
+  parse (List.tl (Array.to_list Sys.argv));
+  let instances = !instances and servers = !servers and image_mb = !image_mb in
   Printf.printf
-    "\nfleet serving after %.1f s with BMcast vs %.1f s with image copying \
-     (%.1fx)\n"
-    bmcast_done copy_done (copy_done /. bmcast_done)
+    "== Elastic scale-out: %d instances, %d storage server(s), %d MB image \
+     ==\n\n"
+    instances servers image_mb;
+  let deploy replicas =
+    Scaleout.deploy_fleet ~image_mb ~machines:instances ~replicas ()
+  in
+  let fleet = deploy servers in
+  Printf.printf
+    "replicated tier (%s routing, schedule %s, admission 4/server):\n"
+    fleet.Scaleout.policy fleet.Scaleout.sched;
+  Printf.printf "  serving (p50/max):        %7.2f / %7.2f s\n"
+    fleet.Scaleout.ttfb.Scaleout.p50 fleet.Scaleout.ttfb.Scaleout.max;
+  Printf.printf "  de-virtualized (p50/max): %7.2f / %7.2f s\n"
+    fleet.Scaleout.ttdv.Scaleout.p50 fleet.Scaleout.ttdv.Scaleout.max;
+  Printf.printf "  leases per server: [%s], peak admission queue %d\n"
+    (Array.to_list fleet.Scaleout.admitted_per_server
+    |> List.map string_of_int
+    |> String.concat " ")
+    fleet.Scaleout.peak_queue;
+  let single = if servers = 1 then fleet else deploy 1 in
+  if servers > 1 then begin
+    Printf.printf "\nsame fleet on one storage server:\n";
+    Printf.printf "  serving (p50/max):        %7.2f / %7.2f s\n"
+      single.Scaleout.ttfb.Scaleout.p50 single.Scaleout.ttfb.Scaleout.max;
+    Printf.printf "  de-virtualized (p50/max): %7.2f / %7.2f s\n"
+      single.Scaleout.ttdv.Scaleout.p50 single.Scaleout.ttdv.Scaleout.max
+  end;
+  Printf.printf
+    "\nfleet fully bare-metal after %.2f s; %d server(s) give a %.2fx \
+     speedup over one (median time-to-devirt)\n"
+    fleet.Scaleout.ttdv.Scaleout.max servers
+    (single.Scaleout.ttdv.Scaleout.p50 /. fleet.Scaleout.ttdv.Scaleout.p50);
+  (* The example doubles as a regression check: a replicated tier must
+     never be slower than the single-server baseline. *)
+  if fleet.Scaleout.ttdv.Scaleout.p50 > single.Scaleout.ttdv.Scaleout.p50
+  then begin
+    prerr_endline "FAIL: replicated tier slower than a single server";
+    exit 1
+  end

@@ -222,9 +222,9 @@ let deployment t =
   Signal.Latch.set t.deployed;
   devirtualize t
 
-let boot machine ~params ~server_port ?(release_memory = false)
-    ?(hide_mgmt_nic = false) ?(nic = `Mgmt) ?(boot_prefetch = [])
-    ?(resume = false) ?(vmxoff = `Resident) () =
+let boot machine ~params ~server_port ?route ?on_aoe_response
+    ?(release_memory = false) ?(hide_mgmt_nic = false) ?(nic = `Mgmt)
+    ?(boot_prefetch = []) ?(resume = false) ?(vmxoff = `Resident) () =
   (* PXE-load the VMM over the management NIC, then initialize. *)
   Firmware.pxe_load machine.Machine.firmware ~bytes_len:vmm_image_bytes;
   Sim.sleep params.Params.vmm_boot_time;
@@ -238,6 +238,7 @@ let boot machine ~params ~server_port ?(release_memory = false)
   let deliver pkt =
     match pkt.Packet.payload with
     | Aoe.Frame f ->
+      Option.iter (fun g -> g f.Aoe.hdr) on_aoe_response;
       Option.iter (fun c -> Aoe_client.on_frame c f) !client_ref;
       true
     | _ -> false
@@ -263,10 +264,13 @@ let boot machine ~params ~server_port ?(release_memory = false)
     | Dedicated d -> Vmm_netdrv.send d ~dst ~size_bytes payload
     | Shared m -> Nic_mediator.vmm_send m ~dst ~size_bytes payload
   in
+  (* Replicated storage tier: [route] picks the target per send (and per
+     retransmission, which is what makes replica failover work). *)
+  let route = Option.value route ~default:(fun _hdr -> server_port) in
   let aoe =
     Aoe_client.create machine.Machine.sim
       ~send:(fun hdr data ->
-        transport_send ~dst:server_port
+        transport_send ~dst:(route hdr)
           ~size_bytes:(Aoe.wire_size ~sectors:(Array.length data))
           (Aoe.Frame { Aoe.hdr; data }))
       ()

@@ -24,6 +24,8 @@ val boot :
   Bmcast_platform.Machine.t ->
   params:Params.t ->
   server_port:int ->
+  ?route:(Bmcast_proto.Aoe.header -> int) ->
+  ?on_aoe_response:(Bmcast_proto.Aoe.header -> unit) ->
   ?release_memory:bool ->
   ?hide_mgmt_nic:bool ->
   ?nic:[ `Mgmt | `Prod | `Shared ] ->
@@ -34,9 +36,16 @@ val boot :
   t
 (** Perform the timed VMM boot (process context): PXE load + VMM init,
     then deployment begins. [server_port] is the AoE target's fabric
-    port. [hide_mgmt_nic] keeps the management NIC's PCI config space
-    hidden from the guest (the §4.3 security option; the VMM then stays
-    resident as a config-space filter, at negligible cost). [nic]
+    port. [route], when given, overrides the destination per request
+    {e send} (it is consulted again on every retransmission) — the hook
+    a {!Bmcast_fleet.Replica_set} uses to fan copy-on-read and
+    background-copy traffic out across replicated storage servers and
+    to fail over when one crashes; [on_aoe_response] observes every AoE
+    response frame the initiator receives (called before the client
+    processes it, e.g. to maintain per-replica RTT / outstanding
+    accounting). [hide_mgmt_nic] keeps the management NIC's PCI config
+    space hidden from the guest (the §4.3 security option; the VMM then
+    stays resident as a config-space filter, at negligible cost). [nic]
     selects the dedicated management NIC (default), exclusive use of
     the production NIC ([`Prod]), or true sharing of the production NIC
     with the guest through the shadow-ring mediator ([`Shared], §6).

@@ -6,7 +6,7 @@ module Vmm = Bmcast_core.Vmm
 
 type point = { interval_label : string; guest_mb_s : float; vmm_mb_s : float }
 
-let intervals =
+let default_intervals =
   [ ("1s", Time.s 1);
     ("100ms", Time.ms 100);
     ("10ms", Time.ms 10);
@@ -64,13 +64,14 @@ let one ~guest_op (interval_label, interval) =
   let guest_mb_s, vmm_mb_s = !out in
   { interval_label; guest_mb_s; vmm_mb_s }
 
-let measure ~guest_op = List.map (one ~guest_op) intervals
+let measure ?(intervals = default_intervals) ~guest_op () =
+  List.map (one ~guest_op) intervals
 
 let run () =
   Report.section "Figure 14: background-copy moderation (VMM write interval)";
   Report.note "(a) guest sequential READ vs VMM writes";
   Report.series_header [ "guest MB/s"; "VMM MB/s"; "sum" ];
-  let reads = measure ~guest_op:`Read in
+  let reads = measure ~guest_op:`Read () in
   List.iter
     (fun p ->
       Report.series_row p.interval_label
@@ -78,7 +79,7 @@ let run () =
     reads;
   Report.note "(b) guest sequential WRITE vs VMM writes";
   Report.series_header [ "guest MB/s"; "VMM MB/s"; "sum" ];
-  let writes = measure ~guest_op:`Write in
+  let writes = measure ~guest_op:`Write () in
   List.iter
     (fun p ->
       Report.series_row p.interval_label

@@ -1,0 +1,83 @@
+(** Fleet-scale deployment experiment: machines × storage replicas.
+
+    The paper's elasticity argument is about provisioning {e fleets};
+    this experiment provisions [machines] concurrent BMcast deployments
+    against a replicated storage tier of [replicas] vblade targets (all
+    exporting the same golden image) and measures, per machine:
+
+    - {e time-to-first-boot} — fleet start to guest-OS-up (the instance
+      is serving, the paper's agility number), and
+    - {e time-to-devirt} — fleet start to de-virtualization (the image
+      is fully local, the VMM is gone).
+
+    Traffic fans out across replicas through a per-client
+    {!Bmcast_fleet.Replica_set}; admission and start pacing go through
+    the {!Bmcast_fleet.Scheduler}. Both distributions land in
+    [Bmcast_obs.Metrics] histograms, and {!run} writes the sweep as
+    [BENCH_fleet.json]. *)
+
+module Replica_set = Bmcast_fleet.Replica_set
+module Scheduler = Bmcast_fleet.Scheduler
+
+type summary = {
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  mean : float;
+  max : float;
+}
+
+type result = {
+  machines : int;
+  replicas : int;
+  policy : string;
+  sched : string;
+  ttfb : summary;  (** time-to-first-boot, seconds since fleet start *)
+  ttdv : summary;  (** time-to-devirt, seconds since fleet start *)
+  failovers : int;
+  peak_queue : int;
+  peak_in_service : int;
+  admitted_per_server : int array;
+  server_bytes : int;  (** aggregate bytes served by the storage tier *)
+}
+
+val deploy_fleet :
+  ?seed:int ->
+  ?image_mb:int ->
+  ?policy:Replica_set.policy ->
+  ?sched:Scheduler.wave_policy ->
+  ?limit_per_server:int ->
+  ?ram_cache:bool ->
+  ?crashes:(Bmcast_engine.Time.span * int) list ->
+  ?restarts:(Bmcast_engine.Time.span * int) list ->
+  ?tweak:(Bmcast_core.Params.t -> Bmcast_core.Params.t) ->
+  ?trace:Bmcast_obs.Trace.t ->
+  ?metrics:Bmcast_obs.Metrics.t ->
+  machines:int ->
+  replicas:int ->
+  unit ->
+  result
+(** Build a fresh simulated testbed (fabric + [replicas] image-filled
+    vblade servers + [machines] machines), deploy the whole fleet, and
+    run to completion. [crashes]/[restarts] schedule
+    {!Bmcast_proto.Vblade.crash}/[restart] of replica [i] at a span
+    after fleet start (a crash with no restart leaves the tier degraded
+    for good — deployments must converge on the survivors). Defaults:
+    seed 42, 256 MB image, least-outstanding routing, all-at-once
+    admission, 4 deployments per server, RAM-cached servers. *)
+
+val write_metrics : string -> image_mb:int -> result list -> unit
+(** Write the sweep snapshot as a JSON document. *)
+
+val run :
+  ?machine_counts:int list ->
+  ?replica_counts:int list ->
+  ?image_mb:int ->
+  ?policy:Replica_set.policy ->
+  ?sched:Scheduler.wave_policy ->
+  ?metrics_out:string ->
+  unit ->
+  result list
+(** The bench sweep (default fleet sizes {1,4,16} × replicas {1,2,4}):
+    prints the report table and, with [metrics_out], writes
+    [BENCH_fleet.json]. *)

@@ -1,0 +1,46 @@
+(* Golden-scalar regression tests: print the key figures of selected
+   experiments at a fixed seed in a stable format. Dune diffs the output
+   against the checked-in .expected files; after an intentional physics
+   change, refresh them with `dune promote` (see test/README.md). *)
+
+module Time = Bmcast_engine.Time
+module Fig04 = Bmcast_experiments.Fig04_startup
+module Fig14 = Bmcast_experiments.Fig14_moderation
+
+let fig04 () =
+  (* Small image so the regression stays fast; the ordering claims the
+     paper makes (BMcast beats everything but bare metal post-firmware)
+     hold at 2 GB too. *)
+  let results = Fig04.measure ~image_gb:2 () in
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s firmware %8.3f  pre_os %8.3f  os_boot %8.3f  post_fw %8.3f\n"
+        r.Fig04.label r.Fig04.firmware r.Fig04.pre_os r.Fig04.os_boot
+        r.Fig04.total_post_firmware)
+    results;
+  let find l = List.find (fun r -> r.Fig04.label = l) results in
+  Printf.printf "speedup_vs_image_copy_post_fw %.4f\n"
+    ((find "Image Copy").Fig04.total_post_firmware
+    /. (find "BMcast").Fig04.total_post_firmware)
+
+let fig14 () =
+  (* Three-point subset of the moderation sweep: the two extremes and a
+     midpoint — enough to pin the moderation physics. *)
+  let intervals = [ ("1s", Time.s 1); ("1ms", Time.ms 1); ("full-speed", 0) ] in
+  List.iter
+    (fun guest_op ->
+      let tag = match guest_op with `Read -> "read" | `Write -> "write" in
+      List.iter
+        (fun p ->
+          Printf.printf "%s %-10s guest %8.2f MB/s  vmm %8.2f MB/s\n" tag
+            p.Fig14.interval_label p.Fig14.guest_mb_s p.Fig14.vmm_mb_s)
+        (Fig14.measure ~intervals ~guest_op ()))
+    [ `Read; `Write ]
+
+let () =
+  match Sys.argv with
+  | [| _; "fig04" |] -> fig04 ()
+  | [| _; "fig14" |] -> fig14 ()
+  | _ ->
+    prerr_endline "usage: golden (fig04|fig14)";
+    exit 2

@@ -153,6 +153,107 @@ let prop_extent_matches_reference =
       done;
       !ok)
 
+(* Shared generator for extent-map op sequences over a 100-LBA domain:
+   (is_set, lba, count, value). *)
+let extent_ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 60)
+      (quad bool (int_range 0 90) (int_range 1 10) (int_range 0 3)))
+
+let apply_extent_ops ops =
+  let m = Extent_map.create () in
+  let reference = Array.make 100 None in
+  List.iter
+    (fun (is_set, lba, count, v) ->
+      let count = min count (100 - lba) in
+      if count > 0 then
+        if is_set then begin
+          Extent_map.set m ~lba ~count v;
+          for i = lba to lba + count - 1 do
+            reference.(i) <- Some v
+          done
+        end
+        else begin
+          Extent_map.clear_range m ~lba ~count;
+          for i = lba to lba + count - 1 do
+            reference.(i) <- None
+          done
+        end)
+    ops;
+  (m, reference)
+
+let prop_extent_insert_query_roundtrip =
+  (* Every set is immediately observable over its whole range, and
+     [covered] tracks the reference exactly after each op. *)
+  QCheck.Test.make ~name:"extent map insert/query round-trip" ~count:200
+    (QCheck.make extent_ops_gen) (fun ops ->
+      let m = Extent_map.create () in
+      let reference = Array.make 100 None in
+      List.for_all
+        (fun (is_set, lba, count, v) ->
+          let count = min count (100 - lba) in
+          count <= 0
+          ||
+          if is_set then begin
+            Extent_map.set m ~lba ~count v;
+            for i = lba to lba + count - 1 do
+              reference.(i) <- Some v
+            done;
+            let ok = ref true in
+            for i = lba to lba + count - 1 do
+              if Extent_map.get m i <> Some v then ok := false
+            done;
+            !ok
+            && Extent_map.covered m
+               = Array.fold_left
+                   (fun acc x -> if x = None then acc else acc + 1)
+                   0 reference
+          end
+          else begin
+            Extent_map.clear_range m ~lba ~count;
+            for i = lba to lba + count - 1 do
+              reference.(i) <- None
+            done;
+            let ok = ref true in
+            for i = lba to lba + count - 1 do
+              if Extent_map.get m i <> None then ok := false
+            done;
+            !ok
+          end)
+        ops)
+
+let prop_extent_coalesced =
+  (* Compactness invariant: the map never stores more extents than the
+     number of maximal equal-value runs (adjacent equal extents always
+     merge, no matter the op order that produced them). *)
+  QCheck.Test.make ~name:"extent map stays maximally coalesced" ~count:200
+    (QCheck.make extent_ops_gen) (fun ops ->
+      let m, reference = apply_extent_ops ops in
+      let runs = ref 0 in
+      for i = 0 to 99 do
+        if reference.(i) <> None && (i = 0 || reference.(i - 1) <> reference.(i))
+        then incr runs
+      done;
+      Extent_map.extent_count m = !runs)
+
+let prop_extent_fold_tiles_exactly =
+  (* [fold_range] visits sub-ranges that tile the query exactly: in
+     ascending order, no overlap, no gap, each uniform and agreeing with
+     the reference; [covered] equals the mapped tiles' total. *)
+  QCheck.Test.make ~name:"extent map fold_range tiles without overlap"
+    ~count:200 (QCheck.make extent_ops_gen) (fun ops ->
+      let m, reference = apply_extent_ops ops in
+      let next = ref 0 and ok = ref true and mapped = ref 0 in
+      Extent_map.fold_range m ~lba:0 ~count:100 ~init:()
+        ~f:(fun () ~lba ~count v ->
+          if lba <> !next || count <= 0 then ok := false;
+          next := lba + count;
+          if v <> None then mapped := !mapped + count;
+          for i = lba to lba + count - 1 do
+            if reference.(i) <> v then ok := false
+          done);
+      !ok && !next = 100 && !mapped = Extent_map.covered m)
+
 (* --- Dma --- *)
 
 let test_dma_alloc_find () =
@@ -618,7 +719,10 @@ let () =
           tc "clear range" `Quick test_extent_clear_range;
           tc "fold range" `Quick test_extent_fold_range;
           QCheck_alcotest.to_alcotest prop_extent_matches_reference;
-          QCheck_alcotest.to_alcotest prop_extent_clear_matches_reference ] );
+          QCheck_alcotest.to_alcotest prop_extent_clear_matches_reference;
+          QCheck_alcotest.to_alcotest prop_extent_insert_query_roundtrip;
+          QCheck_alcotest.to_alcotest prop_extent_coalesced;
+          QCheck_alcotest.to_alcotest prop_extent_fold_tiles_exactly ] );
       ( "dma",
         [ tc "alloc find" `Quick test_dma_alloc_find;
           tc "distinct addresses" `Quick test_dma_distinct_addresses;
