@@ -1,0 +1,204 @@
+(* Engine hot-path benchmark: scheduler churn (binary heap vs timer
+   wheel at fleet-scale pending-event counts) and a full-simulation
+   workload, both reported as events/sec and minor-heap words allocated
+   per event.
+
+   [run] writes the snapshot as BENCH_engine.json (the committed
+   baseline CI diffs against); [check] re-measures and fails when the
+   fresh wheel or whole-simulation throughput regresses more than 25%
+   against the committed snapshot. *)
+
+open Bmcast_experiments
+module Heap = Bmcast_engine.Heap
+module Wheel = Bmcast_engine.Timer_wheel
+module Prng = Bmcast_engine.Prng
+module Sim = Bmcast_engine.Sim
+module Time = Bmcast_engine.Time
+
+type rate = { events_per_sec : float; minor_words_per_event : float }
+
+(* Wall-clock + minor-allocation cost of [f], amortized over [ops]
+   events. [Gc.minor] first so the allocation delta starts from an
+   empty minor heap. *)
+let measure ~ops f =
+  Gc.minor ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let dt = Unix.gettimeofday () -. t0 in
+  let dw = Gc.minor_words () -. w0 in
+  { events_per_sec = (if dt > 0.0 then float_of_int ops /. dt else infinity);
+    minor_words_per_event = dw /. float_of_int ops }
+
+(* Steady-state churn: [pending] timers armed, then [ops] cycles of
+   pop-min / re-arm at a random future offset — the event-queue access
+   pattern of a large fleet where every pop schedules a successor. *)
+let churn_pending = 32_768
+let churn_ops = 2_000_000
+
+let heap_churn () =
+  let h = Heap.create () in
+  let prng = Prng.create 11 in
+  for _ = 1 to churn_pending do
+    Heap.push h (Prng.int prng 1_000_000) ()
+  done;
+  measure ~ops:churn_ops (fun () ->
+      for _ = 1 to churn_ops do
+        match Heap.pop h with
+        | None -> assert false
+        | Some (t, ()) -> Heap.push h (t + 1 + Prng.int prng 1_000_000) ()
+      done)
+
+let wheel_churn () =
+  let w = Wheel.create ~dummy:() () in
+  let prng = Prng.create 11 in
+  for _ = 1 to churn_pending do
+    ignore (Wheel.push w (Prng.int prng 1_000_000) () : Wheel.token)
+  done;
+  measure ~ops:churn_ops (fun () ->
+      for _ = 1 to churn_ops do
+        let t = Wheel.next_time w in
+        Wheel.pop_exn w;
+        ignore (Wheel.push w (t + 1 + Prng.int prng 1_000_000) () : Wheel.token)
+      done)
+
+(* Whole-engine throughput: [procs] concurrent processes, each a chain
+   of [sleeps_per_proc] random sleeps — every event crosses the full
+   effects-handler path (perform, continuation park, wheel, resume). *)
+let sim_procs = 20_000
+let sim_sleeps_per_proc = 100
+
+let sim_workload () =
+  let sim = Sim.create ~seed:5 () in
+  let prng = Prng.create 17 in
+  for i = 0 to sim_procs - 1 do
+    Sim.spawn_at sim
+      ~name:(if i = 0 then "worker" else "w")
+      Time.zero
+      (fun () ->
+        for _ = 1 to sim_sleeps_per_proc do
+          Sim.sleep (Time.us (1 + Prng.int prng 5_000))
+        done)
+  done;
+  let rate = measure ~ops:1 (fun () -> Sim.run sim) in
+  let events = Sim.events_executed sim in
+  let scale = 1.0 /. float_of_int events in
+  ( events,
+    { events_per_sec = rate.events_per_sec /. scale;
+      minor_words_per_event = rate.minor_words_per_event *. scale } )
+
+(* --- report + JSON --- *)
+
+let report label r =
+  Report.row
+    ~label:(Printf.sprintf "%s events/sec" label)
+    ~units:"M/s" (r.events_per_sec /. 1e6);
+  Report.row
+    ~label:(Printf.sprintf "%s minor words/event" label)
+    ~units:"w" r.minor_words_per_event
+
+let rate_json r =
+  Printf.sprintf {|{"events_per_sec":%.0f,"minor_words_per_event":%.2f}|}
+    r.events_per_sec r.minor_words_per_event
+
+let write_json path ~heap ~wheel ~sim_events ~sim =
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{"experiment":"engine",
+  "churn":{"pending":%d,"ops":%d,
+    "heap":%s,
+    "wheel":%s,
+    "wheel_speedup":%.2f},
+  "sim":{"procs":%d,"sleeps_per_proc":%d,"events":%d,
+    "full":%s}}
+|}
+    churn_pending churn_ops (rate_json heap) (rate_json wheel)
+    (wheel.events_per_sec /. heap.events_per_sec)
+    sim_procs sim_sleeps_per_proc sim_events (rate_json sim);
+  close_out oc
+
+let run_all () =
+  Report.section
+    (Printf.sprintf
+       "Engine hot path: scheduler churn (%d pending) and full-sim \
+        throughput"
+       churn_pending);
+  let heap = heap_churn () in
+  let wheel = wheel_churn () in
+  let sim_events, sim = sim_workload () in
+  report "heap churn" heap;
+  report "wheel churn" wheel;
+  Report.row ~label:"wheel vs heap churn" ~units:"x speedup"
+    (wheel.events_per_sec /. heap.events_per_sec);
+  report "full sim" sim;
+  (heap, wheel, sim_events, sim)
+
+let run ~out () =
+  let heap, wheel, sim_events, sim = run_all () in
+  write_json out ~heap ~wheel ~sim_events ~sim;
+  Report.note "wrote %s" out
+
+(* --- regression check against the committed snapshot --- *)
+
+(* Every float that follows an occurrence of ["key":] in [s], in
+   order. BENCH_engine.json is machine-written by [write_json] above,
+   so positional extraction (heap, wheel, sim) is reliable and spares a
+   JSON-parser dependency. *)
+let numbers_after key s =
+  let key = Printf.sprintf "%S:" key in
+  let klen = String.length key and n = String.length s in
+  let is_num = function
+    | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go i acc =
+    if i + klen > n then List.rev acc
+    else if String.sub s i klen = key then begin
+      let stop = ref (i + klen) in
+      while !stop < n && is_num s.[!stop] do incr stop done;
+      match float_of_string_opt (String.sub s (i + klen) (!stop - i - klen)) with
+      | Some v -> go !stop (v :: acc)
+      | None -> go !stop acc
+    end
+    else go (i + 1) acc
+  in
+  go 0 []
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let regression_threshold = 0.75
+
+let check ~committed () =
+  let baseline = read_file committed in
+  let heap, wheel, sim_events, sim = run_all () in
+  let fresh = "BENCH_engine.fresh.json" in
+  write_json fresh ~heap ~wheel ~sim_events ~sim;
+  Report.note "wrote %s" fresh;
+  match numbers_after "events_per_sec" baseline with
+  | [ _heap_base; wheel_base; sim_base ] ->
+    let gate label base now =
+      let ratio = now /. base in
+      Report.row ~label:(Printf.sprintf "%s vs %s" label committed)
+        ~units:"x baseline" ratio;
+      if ratio < regression_threshold then begin
+        Printf.eprintf
+          "engine regression: %s %.0f events/sec < %.0f%% of committed \
+           %.0f\n"
+          label now (100.0 *. regression_threshold) base;
+        false
+      end
+      else true
+    in
+    let ok_wheel = gate "wheel churn" wheel_base wheel.events_per_sec in
+    let ok_sim = gate "full sim" sim_base sim.events_per_sec in
+    ok_wheel && ok_sim
+  | nums ->
+    Printf.eprintf
+      "engine check: expected 3 events_per_sec entries in %s, found %d\n"
+      committed (List.length nums);
+    false

@@ -127,11 +127,30 @@ let experiments ~metrics_dir =
     ( "fleet",
       fun () ->
         (* The fleet sweep always snapshots: BENCH_fleet.json is the
-           artifact CI uploads. *)
+           artifact CI uploads. It covers both regimes: the replica
+           sweep (256 MB images) and the cloud-burst scale sweep
+           (250/1,000 clients, minimal guests). *)
         let metrics_out =
           Option.value (out "fleet") ~default:"BENCH_fleet.json"
         in
-        ignore (Scaleout.run ~metrics_out () : Scaleout.result list) );
+        let std = Scaleout.run () in
+        let scale = Scaleout.run_scale () in
+        Scaleout.write_metrics metrics_out (std @ scale);
+        Report.note "wrote %s" metrics_out );
+    ( "fleet10k",
+      fun () ->
+        (* Opt-in (several minutes): the 10,000-machine burst the
+           engine rework targets. *)
+        ignore
+          (Scaleout.run_scale ~client_counts:[ 10_000 ] ~replicas:64
+             ?metrics_out:(out "fleet10k") ()
+            : Scaleout.result list) );
+    ( "engine",
+      fun () ->
+        let out =
+          Option.value (out "engine") ~default:"BENCH_engine.json"
+        in
+        Engine_bench.run ~out () );
     ("micro", run_micro) ]
 
 (* "all" runs the fig12/fig13 pair once. *)
@@ -153,22 +172,28 @@ let run_named experiments name =
     Printf.eprintf "unknown experiment %S\n" name;
     false
 
-let main metrics_dir fleet names =
-  let experiments = experiments ~metrics_dir in
-  let names =
-    match (names, fleet) with
-    | [], true -> [ "fleet" ]  (* bench --fleet: just the fleet sweep *)
-    | ([] | [ "all" ]), false -> all_keys
-    | [ "all" ], true -> all_keys @ [ "fleet" ]
-    | [ "quick" ], true -> quick_keys @ [ "fleet" ]
-    | [ "quick" ], false -> quick_keys
-    | names, true when not (List.mem "fleet" names) -> names @ [ "fleet" ]
-    | names, _ -> names
-  in
-  Printf.printf
-    "BMcast evaluation harness - regenerating %d experiment group(s)\n%!"
-    (List.length names);
-  if List.for_all (run_named experiments) names then 0 else 1
+let main metrics_dir fleet engine check names =
+  match check with
+  | Some committed ->
+    (* bench --engine --check FILE: regression gate for CI. *)
+    if Engine_bench.check ~committed () then 0 else 1
+  | None ->
+    let experiments = experiments ~metrics_dir in
+    let names =
+      match (names, fleet || engine) with
+      | [], true -> []  (* bench --fleet/--engine: just those sweeps *)
+      | ([] | [ "all" ]), _ -> all_keys
+      | [ "quick" ], _ -> quick_keys
+      | names, _ -> names
+    in
+    let append key wanted names =
+      if wanted && not (List.mem key names) then names @ [ key ] else names
+    in
+    let names = names |> append "fleet" fleet |> append "engine" engine in
+    Printf.printf
+      "BMcast evaluation harness - regenerating %d experiment group(s)\n%!"
+      (List.length names);
+    if List.for_all (run_named experiments) names then 0 else 1
 
 let () =
   let open Cmdliner in
@@ -187,9 +212,31 @@ let () =
       value & flag
       & info [ "fleet" ]
           ~doc:
-            "Run the fleet scale-out sweep (machines x storage replicas) \
-             and write BENCH_fleet.json. Alone it runs just the sweep; \
-             with experiment names it is appended to them.")
+            "Run the fleet scale-out sweep (machines x storage replicas \
+             plus the cloud-burst scale sweep) and write \
+             BENCH_fleet.json. Alone it runs just the sweep; with \
+             experiment names it is appended to them.")
+  in
+  let engine =
+    Arg.(
+      value & flag
+      & info [ "engine" ]
+          ~doc:
+            "Run the engine hot-path benchmark (heap vs timer-wheel \
+             churn, full-simulation events/sec and allocations per \
+             event) and write BENCH_engine.json. Alone it runs just the \
+             benchmark; with experiment names it is appended to them.")
+  in
+  let check =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "check" ] ~docv:"BASELINE"
+          ~doc:
+            "Re-measure the engine benchmark, write \
+             BENCH_engine.fresh.json, and exit non-zero if wheel or \
+             full-simulation events/sec fall below 75% of the committed \
+             $(docv). Overrides every other argument.")
   in
   let doc =
     "Regenerate the BMcast paper's tables and figures (fig4-fig14, \
@@ -198,6 +245,6 @@ let () =
   let cmd =
     Cmd.v
       (Cmd.info "bmcast-bench" ~doc)
-      Term.(const main $ metrics_dir $ fleet $ names)
+      Term.(const main $ metrics_dir $ fleet $ engine $ check $ names)
   in
   exit (Cmd.eval' cmd)

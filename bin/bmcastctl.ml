@@ -59,9 +59,14 @@ let setup_logs quiet verbose =
 
 (* --- observability plumbing shared by the subcommands --- *)
 
-let make_tracer = function
+let make_tracer ?(sample_every = 1) = function
   | None -> Trace.null
-  | Some _ -> Trace.create ~capacity:(1 lsl 22) ()
+  | Some _ ->
+    if sample_every < 1 then begin
+      Logs.err (fun m -> m "--trace-sample must be >= 1 (got %d)" sample_every);
+      exit 2
+    end;
+    Trace.create ~capacity:(1 lsl 22) ~sample_every ()
 
 let make_metrics = function None -> Metrics.null | Some _ -> Metrics.create ()
 
@@ -84,7 +89,7 @@ let write_obs ~jsonl tracer trace_out metrics metrics_out =
 
 (* --- deploy: one instance, streaming deployment, progress timeline --- *)
 
-let deploy () image_gb disk watch trace_out metrics_out jsonl =
+let deploy () image_gb disk watch trace_out metrics_out jsonl trace_sample =
   let disk_kind =
     match disk with
     | "ide" -> Machine.Ide_disk
@@ -93,7 +98,7 @@ let deploy () image_gb disk watch trace_out metrics_out jsonl =
       Logs.err (fun m -> m "unknown disk kind %S (ahci|ide)" other);
       exit 2
   in
-  let tracer = make_tracer trace_out in
+  let tracer = make_tracer ~sample_every:trace_sample trace_out in
   let metrics = make_metrics metrics_out in
   let env = Stacks.make_env ~image_gb ~trace:tracer ~metrics () in
   let m = Stacks.machine env ~name:"instance0" ~disk_kind () in
@@ -206,11 +211,11 @@ let spawn_deployment tb vmm_ref =
 
 (* --- chaos: deploy under a named fault scenario, check invariants --- *)
 
-let chaos () scenario seed image_mb trace_out metrics_out jsonl =
+let chaos () scenario seed image_mb trace_out metrics_out jsonl trace_sample =
   let plan =
     resolve_plan ~seed ~image_sectors:(image_mb * 2048) scenario
   in
-  let tracer = make_tracer trace_out in
+  let tracer = make_tracer ~sample_every:trace_sample trace_out in
   let metrics = make_metrics metrics_out in
   let tb = make_testbed ~seed ~image_mb ~trace:tracer ~metrics in
   Logs.app (fun m ->
@@ -252,11 +257,18 @@ let chaos () scenario seed image_mb trace_out metrics_out jsonl =
 
 (* --- trace: run a deployment purely to produce a trace file --- *)
 
-let trace_cmd () scenario seed image_mb image_gb output jsonl metrics_out =
+let trace_cmd () scenario seed image_mb image_gb output jsonl metrics_out
+    trace_sample =
   let image_mb =
     match image_gb with Some gb -> gb * 1024 | None -> image_mb
   in
-  let tracer = Trace.create ~capacity:(1 lsl 22) () in
+  if trace_sample < 1 then begin
+    Logs.err (fun m -> m "--trace-sample must be >= 1 (got %d)" trace_sample);
+    exit 2
+  end;
+  let tracer =
+    Trace.create ~capacity:(1 lsl 22) ~sample_every:trace_sample ()
+  in
   let metrics = make_metrics metrics_out in
   let tb = make_testbed ~seed ~image_mb ~trace:tracer ~metrics in
   Logs.app (fun m ->
@@ -309,7 +321,7 @@ let parse_fault_spec what s =
     exit 2
 
 let fleet_cmd () machines replicas policy sched limit image_mb seed crash
-    restart trace_out metrics_out jsonl =
+    restart trace_out metrics_out jsonl trace_sample =
   let policy =
     match Replica_set.policy_of_string policy with
     | Some p -> p
@@ -331,7 +343,7 @@ let fleet_cmd () machines replicas policy sched limit image_mb seed crash
   in
   let crashes = List.map (parse_fault_spec "crash") crash in
   let restarts = List.map (parse_fault_spec "restart") restart in
-  let tracer = make_tracer trace_out in
+  let tracer = make_tracer ~sample_every:trace_sample trace_out in
   let metrics = make_metrics metrics_out in
   Logs.app (fun m ->
       m
@@ -438,12 +450,21 @@ let () =
       & info [ "jsonl" ]
           ~doc:"Write the trace as JSON-lines instead of Chrome JSON.")
   in
+  let trace_sample =
+    Arg.(
+      value & opt int 1
+      & info [ "trace-sample" ] ~docv:"N"
+          ~doc:
+            "Record every $(docv)th trace event per category (1 = record \
+             all). Sampling keeps fleet-scale traces within the ring \
+             buffer at a proportional cost in completeness.")
+  in
   let deploy_cmd =
     Cmd.v
       (Cmd.info "deploy" ~doc:"stream-deploy one bare-metal instance")
       Term.(
         const deploy $ verbosity $ image_gb $ disk $ watch $ trace_out
-        $ metrics_out $ jsonl)
+        $ metrics_out $ jsonl $ trace_sample)
   in
   let compare_cmd =
     Cmd.v
@@ -471,7 +492,7 @@ let () =
          ~doc:"deploy under a named fault scenario and check invariants")
       Term.(
         const chaos $ verbosity $ scenario $ seed $ image_mb $ trace_out
-        $ metrics_out $ jsonl)
+        $ metrics_out $ jsonl $ trace_sample)
   in
   let trace_scenario =
     Arg.(
@@ -503,7 +524,7 @@ let () =
             (Chrome/Perfetto format)")
       Term.(
         const trace_cmd $ verbosity $ trace_scenario $ seed $ image_mb
-        $ trace_image_gb $ trace_output $ jsonl $ metrics_out)
+        $ trace_image_gb $ trace_output $ jsonl $ metrics_out $ trace_sample)
   in
   let params_cmd =
     Cmd.v
@@ -567,7 +588,7 @@ let () =
       Term.(
         const fleet_cmd $ verbosity $ machines $ replicas $ policy $ sched
         $ limit $ image_mb $ seed $ crash $ restart $ trace_out $ metrics_out
-        $ jsonl)
+        $ jsonl $ trace_sample)
   in
   let group =
     Cmd.group

@@ -26,6 +26,16 @@ type transport =
   | Dedicated of Vmm_netdrv.t  (* own NIC, polling driver *)
   | Shared of Nic_mediator.t  (* one NIC shared with the guest (6) *)
 
+(* 4.3 residual CPUID exits of a resident (no-VMXOFF) VMM, accounted
+   lazily: keeping a ~90 s exponential timer alive per idle machine
+   forever means a 10,000-guest fleet pays 10,000 eternal scheduler
+   events for accounting nobody reads between samples. Instead the
+   devirtualized VMM remembers the private interarrival PRNG and the
+   next exit time, and catches the exit counters up on demand
+   ([totals]/[shutdown]). The stream comes from the same [Prng.split]
+   draw the eager timer used, so the counts are identical. *)
+type residual = { r_prng : Prng.t; mutable r_next : Time.t }
+
 type t = {
   machine : Machine.t;
   params : Params.t;
@@ -44,6 +54,7 @@ type t = {
   boot_prefetch : (int * int) list;
   resume : bool;
   vmxoff : [ `Resident | `Guest_module ];
+  mutable residual : residual option;
   mutable shut_down : bool;
   mutable events : (Time.t * string) list;  (* phase log, newest first *)
 }
@@ -123,7 +134,20 @@ let devirtualize t =
   med_devirtualize t;
   (match t.transport with
   | Shared m -> Nic_mediator.devirtualize m
-  | Dedicated _ -> ());
+  | Dedicated d ->
+    (* Drain in-flight AoE commands (e.g. a boot prefetch racing the
+       end of the background copy) before parking the polling driver —
+       stopping it with a response outstanding would strand the
+       requester in retransmission. Then stop the poll loop: an idle
+       devirtualized machine must cost the scheduler nothing. *)
+    let rec drain () =
+      if Aoe_client.pending_count t.aoe > 0 then begin
+        Sim.sleep t.params.Params.poll_interval;
+        drain ()
+      end
+    in
+    drain ();
+    Vmm_netdrv.stop d);
   Cpu_model.clear t.cpu_model;
   if t.release_memory then Memmap.release_vmm t.machine.Machine.memmap;
   (if t.hide_mgmt_nic then
@@ -143,16 +167,13 @@ let devirtualize t =
   | `Guest_module -> log_event t "VMXOFF executed (guest module)"
   | `Resident ->
     let prng = Prng.split (Sim.rand t.machine.Machine.sim) in
-    Sim.spawn ~name:"cpuid-residual" (fun () ->
-        let rec loop () =
-          if not t.shut_down then begin
-            Sim.sleep (Time.of_float_s (Prng.exponential prng 90.0));
-            Cpu.record_exit t.machine.Machine.cpu Cpu.Cpuid
-              ~cost:t.params.Params.exit_cost;
-            loop ()
-          end
-        in
-        loop ()));
+    t.residual <-
+      Some
+        { r_prng = prng;
+          r_next =
+            Time.add
+              (Sim.now t.machine.Machine.sim)
+              (Time.of_float_s (Prng.exponential prng 90.0)) });
   (let tr = Sim.trace t.machine.Machine.sim in
    if Trace.on tr ~cat:"vmm" then
      Trace.complete tr ~cat:"vmm" "devirtualize" ~ts:devirt_started);
@@ -309,6 +330,7 @@ let boot machine ~params ~server_port ?route ?on_aoe_response
       boot_prefetch;
       resume;
       vmxoff;
+      residual = None;
       shut_down = false;
       events = [] }
   in
@@ -333,8 +355,22 @@ let boot machine ~params ~server_port ?route ?on_aoe_response
    the local disk" - stop the copy threads, persist the bitmap into the
    protected region, and tear the VMM down cleanly so a later
    [boot ~resume:true] on the same machine picks up where we left. *)
+let sync_residual t =
+  match t.residual with
+  | None -> ()
+  | Some r ->
+    let now = Sim.now t.machine.Machine.sim in
+    while r.r_next <= now do
+      Cpu.record_exit t.machine.Machine.cpu Cpu.Cpuid
+        ~cost:t.params.Params.exit_cost;
+      r.r_next <-
+        Time.add r.r_next (Time.of_float_s (Prng.exponential r.r_prng 90.0))
+    done
+
 let shutdown t =
   if t.shut_down then invalid_arg "Vmm.shutdown: already shut down";
+  sync_residual t;
+  t.residual <- None;
   (match t.background with
   | Some bg -> Background_copy.stop bg
   | None -> ());
@@ -363,6 +399,7 @@ type totals = {
 }
 
 let totals t =
+  sync_residual t;
   let redirects, redirected_sectors, multiplexed, queued =
     match t.mediator with
     | A m ->

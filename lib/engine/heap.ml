@@ -63,6 +63,13 @@ let pop h =
   end
 
 let peek_time h = if h.len = 0 then None else Some (get h 0).time
+
+let peek h =
+  if h.len = 0 then None
+  else begin
+    let top = get h 0 in
+    Some (top.time, top.value)
+  end
 let size h = h.len
 let is_empty h = h.len = 0
 

@@ -16,6 +16,9 @@ val pop : 'a t -> (Time.t * 'a) option
 val peek_time : 'a t -> Time.t option
 (** Timestamp of the earliest event without removing it. *)
 
+val peek : 'a t -> (Time.t * 'a) option
+(** Earliest event without removing it. *)
+
 val size : 'a t -> int
 val is_empty : 'a t -> bool
 val clear : 'a t -> unit

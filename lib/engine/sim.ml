@@ -1,9 +1,22 @@
 module Trace = Bmcast_obs.Trace
 module Metrics = Bmcast_obs.Metrics
 
+(* Queued work, represented without wrapping everything in a closure:
+   resuming a sleeping or suspended process stores its one-shot
+   continuation (and wake value) directly in the event record, so the
+   sleep/wake hot path allocates nothing beyond the continuation the
+   effect handler already holds. [Job_fn] remains for external callbacks
+   ([schedule]) and traced slow paths. *)
+type job =
+  | Job_none
+  | Job_fn of (unit -> unit)
+  | Job_k : (unit, unit) Effect.Deep.continuation -> job
+  | Job_kv : ('a, unit) Effect.Deep.continuation * 'a -> job
+  | Job_proc of string option * (unit -> unit)
+
 type t = {
   mutable clock : Time.t;
-  events : (unit -> unit) Heap.t;
+  events : job Timer_wheel.t;
   prng : Prng.t;
   mutable executed : int;
   mutable failure : (string * exn) option;
@@ -24,7 +37,7 @@ type _ Effect.t +=
 let create ?(seed = 42) ?(trace = Trace.null) ?(metrics = Metrics.null) () =
   let sim =
     { clock = Time.zero;
-      events = Heap.create ();
+      events = Timer_wheel.create ~dummy:Job_none ();
       prng = Prng.create seed;
       executed = 0;
       failure = None;
@@ -38,15 +51,20 @@ let create ?(seed = 42) ?(trace = Trace.null) ?(metrics = Metrics.null) () =
 let now sim = sim.clock
 let rand sim = sim.prng
 let events_executed sim = sim.executed
+let pending sim = Timer_wheel.size sim.events
 let trace sim = sim.trace_
 let metrics sim = sim.metrics_
+
+(* Internal schedule: [at] is >= clock by construction at every call
+   site (clock + nonnegative delay), so skip the past-time check. *)
+let push_job sim at job = ignore (Timer_wheel.push sim.events at job : Timer_wheel.token)
 
 let schedule sim at fn =
   if at < sim.clock then
     invalid_arg
       (Printf.sprintf "Sim.schedule: time %s is in the past (now %s)"
          (Time.to_string at) (Time.to_string sim.clock));
-  Heap.push sim.events at fn
+  push_job sim at (Job_fn fn)
 
 (* Run [f] as a process: execute under a deep handler that maps blocking
    effects onto event-queue operations.  Continuations are one-shot; the
@@ -66,16 +84,16 @@ let rec exec_process sim name f =
           | Sleep d ->
             Some
               (fun (k : (a, unit) continuation) ->
-                let wake =
-                  if Trace.on sim.trace_ ~cat:"sim" then begin
-                    let ts = sim.clock in
-                    fun () ->
-                      Trace.complete sim.trace_ ~cat:"sim" "sleep" ~ts;
-                      continue k ()
-                  end
-                  else fun () -> continue k ()
-                in
-                schedule sim (Time.add sim.clock (max d 0)) wake)
+                let at = Time.add sim.clock (max d 0) in
+                if Trace.sample sim.trace_ ~cat:"sim" then begin
+                  let ts = sim.clock in
+                  push_job sim at
+                    (Job_fn
+                       (fun () ->
+                         Trace.complete sim.trace_ ~cat:"sim" "sleep" ~ts;
+                         continue k ()))
+                end
+                else push_job sim at (Job_k k))
           | Clock -> Some (fun k -> continue k sim.clock)
           | Suspend register ->
             Some
@@ -85,9 +103,9 @@ let rec exec_process sim name f =
                   if !fired then false
                   else begin
                     fired := true;
-                    if Trace.on sim.trace_ ~cat:"sim" then
+                    if Trace.sample sim.trace_ ~cat:"sim" then
                       Trace.instant sim.trace_ ~cat:"sim" "wake";
-                    schedule sim sim.clock (fun () -> continue k v);
+                    push_job sim sim.clock (Job_kv (k, v));
                     true
                   end
                 in
@@ -95,20 +113,31 @@ let rec exec_process sim name f =
           | Spawn (child_name, body) ->
             Some
               (fun k ->
-                if Trace.on sim.trace_ ~cat:"sim" then
+                if Trace.sample sim.trace_ ~cat:"sim" then
                   Trace.instant sim.trace_ ~cat:"sim"
                     ~args:
                       [ ("proc",
                          Trace.Str (Option.value child_name ~default:"?")) ]
                     "spawn";
-                schedule sim sim.clock (fun () ->
-                    exec_process sim child_name body);
+                push_job sim sim.clock (Job_proc (child_name, body));
                 continue k ())
           | Self -> Some (fun k -> continue k sim)
           | _ -> None) }
 
+and run_job sim job =
+  match job with
+  | Job_fn f -> f ()
+  | Job_k k -> Effect.Deep.continue k ()
+  | Job_kv (k, v) -> Effect.Deep.continue k v
+  | Job_proc (name, body) -> exec_process sim name body
+  | Job_none -> assert false
+
 let spawn_at sim ?name at f =
-  schedule sim at (fun () -> exec_process sim name f)
+  if at < sim.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.spawn_at: time %s is in the past (now %s)"
+         (Time.to_string at) (Time.to_string sim.clock));
+  push_job sim at (Job_proc (name, f))
 
 let request_stop sim = sim.stop_requested <- true
 
@@ -122,26 +151,25 @@ let run ?until sim =
     | None -> true
   in
   let rec loop () =
-    if continue_run () && not sim.stop_requested then
-      match Heap.peek_time sim.events with
-      | None -> ()
-      | Some t when (match until with Some u -> t > u | None -> false) ->
-        (* Do not execute past the horizon; park the clock at it. *)
-        sim.clock <- Option.get until
-      | Some _ ->
-        (match Heap.pop sim.events with
-        | None -> ()
-        | Some (t, fn) ->
+    if continue_run () && not sim.stop_requested then begin
+      let t = Timer_wheel.next_time sim.events in
+      if t <> Timer_wheel.no_time then
+        if match until with Some u -> t > u | None -> false then
+          (* Do not execute past the horizon; park the clock at it. *)
+          sim.clock <- Option.get until
+        else begin
           sim.clock <- t;
           sim.executed <- sim.executed + 1;
           if sim.executed land 8191 = 0 && Trace.on sim.trace_ ~cat:"sim" then begin
             Trace.counter sim.trace_ ~cat:"sim" "events_executed"
               (float_of_int sim.executed);
             Trace.counter sim.trace_ ~cat:"sim" "event_queue_depth"
-              (float_of_int (Heap.size sim.events))
+              (float_of_int (Timer_wheel.size sim.events))
           end;
-          fn ();
-          loop ())
+          run_job sim (Timer_wheel.pop_exn sim.events);
+          loop ()
+        end
+    end
   in
   loop ()
 

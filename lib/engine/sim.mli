@@ -51,6 +51,9 @@ val run : ?until:Time.t -> t -> unit
 
 val events_executed : t -> int
 
+val pending : t -> int
+(** Events currently queued (the scheduler's live-event count). *)
+
 val request_stop : t -> unit
 (** Make the current (or next) [run] return after the event in progress;
     pending events stay queued. Callable from anywhere, including inside

@@ -25,6 +25,7 @@ type summary = {
 type result = {
   machines : int;
   replicas : int;
+  image_mb : int;
   policy : string;
   sched : string;
   ttfb : summary;
@@ -34,6 +35,7 @@ type result = {
   peak_in_service : int;
   admitted_per_server : int array;
   server_bytes : int;
+  sim_events : int;
 }
 
 let summarize h =
@@ -47,7 +49,7 @@ let deploy_fleet ?(seed = 42) ?(image_mb = 256)
     ?(policy = Replica_set.Least_outstanding)
     ?(sched = Scheduler.All_at_once) ?(limit_per_server = 4)
     ?(ram_cache = true) ?(crashes = []) ?(restarts = []) ?tweak ?trace
-    ?metrics ~machines ~replicas () =
+    ?metrics ?boot_profile ~machines ~replicas () =
   if machines <= 0 then invalid_arg "Scaleout.deploy_fleet: machines";
   if replicas <= 0 then invalid_arg "Scaleout.deploy_fleet: replicas";
   let sim = Sim.create ~seed ?trace ?metrics () in
@@ -117,7 +119,7 @@ let deploy_fleet ?(seed = 42) ?(image_mb = 256)
                     cpu = Vmm.cpu_model vmm;
                     phase = (fun () -> Vmm.phase vmm) }
                 in
-                Os.boot rt ();
+                Os.boot rt ?profile:boot_profile ();
                 Stats.Histogram.add h_ttfb
                   (Time.to_float_s (Time.diff (Sim.clock ()) start));
                 Vmm.wait_devirtualized vmm;
@@ -138,6 +140,7 @@ let deploy_fleet ?(seed = 42) ?(image_mb = 256)
          (Stats.Histogram.count h_ttdv) machines);
   { machines;
     replicas;
+    image_mb;
     policy = Replica_set.policy_to_string policy;
     sched = Scheduler.wave_policy_to_string sched;
     ttfb = summarize h_ttfb;
@@ -147,7 +150,8 @@ let deploy_fleet ?(seed = 42) ?(image_mb = 256)
     peak_in_service = Scheduler.peak_in_service scheduler;
     admitted_per_server = Scheduler.admitted_per_server scheduler;
     server_bytes =
-      List.fold_left (fun a v -> a + Vblade.bytes_served v) 0 vblades }
+      List.fold_left (fun a v -> a + Vblade.bytes_served v) 0 vblades;
+    sim_events = Sim.events_executed sim }
 
 let summary_json s =
   Printf.sprintf
@@ -156,27 +160,26 @@ let summary_json s =
 
 let result_json r =
   Printf.sprintf
-    {|    {"machines":%d,"replicas":%d,"policy":%S,"sched":%S,
+    {|    {"machines":%d,"replicas":%d,"image_mb":%d,"policy":%S,"sched":%S,
      "time_to_first_boot_s":%s,
      "time_to_devirt_s":%s,
      "failovers":%d,"peak_queue":%d,"peak_in_service":%d,
-     "admitted_per_server":[%s],"server_bytes":%d}|}
-    r.machines r.replicas r.policy r.sched (summary_json r.ttfb)
+     "admitted_per_server":[%s],"server_bytes":%d,"sim_events":%d}|}
+    r.machines r.replicas r.image_mb r.policy r.sched (summary_json r.ttfb)
     (summary_json r.ttdv) r.failovers r.peak_queue r.peak_in_service
     (Array.to_list r.admitted_per_server
     |> List.map string_of_int
     |> String.concat ",")
-    r.server_bytes
+    r.server_bytes r.sim_events
 
-let write_metrics path ~image_mb results =
+let write_metrics path results =
   let oc = open_out path in
   Printf.fprintf oc
-    {|{"experiment":"fleet-scaleout","image_mb":%d,
+    {|{"experiment":"fleet-scaleout",
   "configs":[
 %s
   ]}
 |}
-    image_mb
     (String.concat ",\n" (List.map result_json results));
   close_out oc
 
@@ -216,7 +219,45 @@ let run ?(machine_counts = [ 1; 4; 16 ]) ?(replica_counts = [ 1; 2; 4 ])
   | _ -> ());
   (match metrics_out with
   | Some path ->
-    write_metrics path ~image_mb results;
+    write_metrics path results;
+    Report.note "wrote %s" path
+  | None -> ());
+  results
+
+(* The elasticity regime the paper argues for (and López García et al.
+   evaluate at hundreds of clients): ~1,000 concurrent provisioning
+   requests against a modest replicated tier. Uses a small image and the
+   [Os.cloud_minimal] guest so the run measures deployment physics, and
+   relies on the engine's lazy idle guests — each machine stops costing
+   scheduler events the moment it de-virtualizes. *)
+let run_scale ?(client_counts = [ 250; 1000 ]) ?(replicas = 16)
+    ?(image_mb = 8) ?metrics_out () =
+  Report.section
+    (Printf.sprintf
+       "Fleet scale-out, cloud-burst regime: clients x %d replicas (%d MB \
+        images, minimal guests)"
+       replicas image_mb);
+  let results =
+    List.map
+      (fun machines ->
+        deploy_fleet ~image_mb ~boot_profile:Os.cloud_minimal ~machines
+          ~replicas ())
+      client_counts
+  in
+  Report.series_header
+    [ "ttfb p50(s)"; "ttdv p50(s)"; "ttdv max(s)"; "sim Mevents" ];
+  List.iter
+    (fun r ->
+      Report.series_row
+        (Printf.sprintf "%dx%d (q<=%d)" r.machines r.replicas r.peak_queue)
+        [ r.ttfb.p50;
+          r.ttdv.p50;
+          r.ttdv.max;
+          float_of_int r.sim_events /. 1e6 ])
+    results;
+  (match metrics_out with
+  | Some path ->
+    write_metrics path results;
     Report.note "wrote %s" path
   | None -> ());
   results

@@ -30,6 +30,7 @@ type summary = {
 type result = {
   machines : int;
   replicas : int;
+  image_mb : int;
   policy : string;
   sched : string;
   ttfb : summary;  (** time-to-first-boot, seconds since fleet start *)
@@ -39,6 +40,7 @@ type result = {
   peak_in_service : int;
   admitted_per_server : int array;
   server_bytes : int;  (** aggregate bytes served by the storage tier *)
+  sim_events : int;  (** scheduler events the whole run executed *)
 }
 
 val deploy_fleet :
@@ -53,6 +55,7 @@ val deploy_fleet :
   ?tweak:(Bmcast_core.Params.t -> Bmcast_core.Params.t) ->
   ?trace:Bmcast_obs.Trace.t ->
   ?metrics:Bmcast_obs.Metrics.t ->
+  ?boot_profile:Bmcast_guest.Os.profile ->
   machines:int ->
   replicas:int ->
   unit ->
@@ -64,10 +67,12 @@ val deploy_fleet :
     after fleet start (a crash with no restart leaves the tier degraded
     for good — deployments must converge on the survivors). Defaults:
     seed 42, 256 MB image, least-outstanding routing, all-at-once
-    admission, 4 deployments per server, RAM-cached servers. *)
+    admission, 4 deployments per server, RAM-cached servers,
+    [Os.default_profile] guests ([boot_profile] overrides). *)
 
-val write_metrics : string -> image_mb:int -> result list -> unit
-(** Write the sweep snapshot as a JSON document. *)
+val write_metrics : string -> result list -> unit
+(** Write the sweep snapshot as a JSON document (one entry per config,
+    each carrying its own [image_mb]). *)
 
 val run :
   ?machine_counts:int list ->
@@ -81,3 +86,18 @@ val run :
 (** The bench sweep (default fleet sizes {1,4,16} × replicas {1,2,4}):
     prints the report table and, with [metrics_out], writes
     [BENCH_fleet.json]. *)
+
+val run_scale :
+  ?client_counts:int list ->
+  ?replicas:int ->
+  ?image_mb:int ->
+  ?metrics_out:string ->
+  unit ->
+  result list
+(** The cloud-burst sweep: [client_counts] (default {250, 1000})
+    concurrent deployments against [replicas] (default 16) servers with
+    small images (default 8 MB) and {!Bmcast_guest.Os.cloud_minimal}
+    guests. Exists to exercise the fleet-scale engine path — 250
+    clients complete in seconds, 1,000 in ~half a minute (the cost is
+    the simulated AoE copy traffic, not the scheduler), and 10,000 is
+    feasible (see [bench fleet10k]). *)

@@ -34,6 +34,18 @@ let windows_server_2008 =
     cpu_total = Time.of_float_s 35.0;
     cpu_mem_intensity = 0.3 }
 
+(* A stripped cloud image (small initramfs, no desktop services): the
+   kind of guest a 1,000+-machine elasticity sweep provisions. Small
+   enough that fleet-scale runs are dominated by deployment physics,
+   not by replaying thousands of identical boot traces. *)
+let cloud_minimal =
+  { total_read_bytes = 8 * 1024 * 1024;
+    op_count = 400;
+    sequential_fraction = 0.7;
+    span_bytes = 1024 * 1024 * 1024;
+    cpu_total = Time.of_float_s 2.0;
+    cpu_mem_intensity = 0.2 }
+
 let trace prng p =
   let span_sectors = p.span_bytes / 512 in
   let avg_sectors = max 1 (p.total_read_bytes / 512 / p.op_count) in

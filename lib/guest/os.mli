@@ -28,6 +28,12 @@ val windows_server_2008 : profile
 (** The paper's other guest family: Windows deploys unmodified too
     (§4.3). Larger boot working set (~210 MB), longer boot. *)
 
+val cloud_minimal : profile
+(** A stripped cloud image (~8 MB working set, 2 s CPU): the guest used
+    by the 1,000+-client fleet sweeps, where replaying thousands of
+    72 MB boot traces would swamp the deployment physics being
+    measured. *)
+
 val boot : Bmcast_platform.Runtime.t -> ?profile:profile -> unit -> unit
 (** Run the boot sequence to completion (process context). *)
 

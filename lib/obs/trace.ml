@@ -33,11 +33,13 @@ type t = {
   mutable dropped : int;
   cats : (string, unit) Hashtbl.t option;  (* [None] = every category *)
   mutable now : unit -> int;
+  mutable sample_every : int;  (* record 1 in N sampled hot-path events *)
+  mutable sample_tick : int;
 }
 
 let no_clock () = 0
 
-let make_tracer ~enabled ~capacity ~cats =
+let make_tracer ~enabled ~capacity ~cats ~sample_every =
   { enabled;
     capacity;
     events = [||];
@@ -45,12 +47,16 @@ let make_tracer ~enabled ~capacity ~cats =
     head = 0;
     dropped = 0;
     cats;
-    now = no_clock }
+    now = no_clock;
+    sample_every;
+    sample_tick = 0 }
 
-let null = make_tracer ~enabled:false ~capacity:0 ~cats:None
+let null = make_tracer ~enabled:false ~capacity:0 ~cats:None ~sample_every:1
 
-let create ?(capacity = 1 lsl 20) ?categories () =
+let create ?(capacity = 1 lsl 20) ?categories ?(sample_every = 1) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  if sample_every < 1 then
+    invalid_arg "Trace.create: sample_every must be >= 1";
   let cats =
     Option.map
       (fun names ->
@@ -59,7 +65,7 @@ let create ?(capacity = 1 lsl 20) ?categories () =
         tbl)
       categories
   in
-  make_tracer ~enabled:true ~capacity ~cats
+  make_tracer ~enabled:true ~capacity ~cats ~sample_every
 
 let enabled t = t.enabled
 
@@ -69,6 +75,27 @@ let cat_enabled t cat =
   match t.cats with None -> true | Some tbl -> Hashtbl.mem tbl cat
 
 let on t ~cat = t.enabled && cat_enabled t cat
+
+let sample_every t = t.sample_every
+
+let set_sample_every t n =
+  if n < 1 then invalid_arg "Trace.set_sample_every: must be >= 1";
+  if t.enabled then begin
+    t.sample_every <- n;
+    t.sample_tick <- 0
+  end
+
+(* Counter-based (hence deterministic) downsampling for hot-path call
+   sites: every [sample_every]-th sampled event of an enabled category
+   is recorded. The tick only advances on category hits so that
+   changing the category filter never re-phases unrelated streams. *)
+let sample t ~cat =
+  t.enabled && cat_enabled t cat
+  && begin
+       let hit = t.sample_tick = 0 in
+       t.sample_tick <- (t.sample_tick + 1) mod t.sample_every;
+       hit
+     end
 
 let record t ev =
   if t.len < t.capacity then begin

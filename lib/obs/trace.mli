@@ -23,11 +23,16 @@ val null : t
 (** The disabled tracer: every operation is a no-op. This is the
     tracer a simulation carries unless one is attached explicitly. *)
 
-val create : ?capacity:int -> ?categories:string list -> unit -> t
+val create :
+  ?capacity:int -> ?categories:string list -> ?sample_every:int -> unit -> t
 (** A live tracer. [capacity] bounds the ring (default [2^20] events;
     once full, the oldest events are overwritten and counted in
     {!dropped}). [categories] restricts recording to the listed
-    categories; omitted means record everything. *)
+    categories; omitted means record everything. [sample_every]
+    (default 1 = record everything) downsamples hot-path call sites
+    that guard with {!sample}: only every Nth such event is recorded.
+    Sampling is counter-based, so it is deterministic and exports stay
+    byte-identical across same-seed runs. *)
 
 val enabled : t -> bool
 
@@ -39,6 +44,21 @@ val on : t -> cat:string -> bool
 (** [on t ~cat] is [true] when events of category [cat] would be
     recorded. Hot paths should guard with this before building
     argument lists — the guard itself allocates nothing. *)
+
+val sample : t -> cat:string -> bool
+(** Like {!on}, but additionally downsampled: at most one [true] per
+    [sample_every] calls (for the enabled category). Use on per-event
+    hot paths (scheduler sleeps, per-chunk I/O) so tracing at fleet
+    scale records a deterministic 1-in-N subset instead of drowning
+    the ring. With the default [sample_every = 1] this is exactly
+    {!on}. Each [true] consumes a tick, so call it once per event and
+    reuse the result. *)
+
+val sample_every : t -> int
+
+val set_sample_every : t -> int -> unit
+(** Adjust the sampling factor (resets the phase). No-op on {!null};
+    raises [Invalid_argument] when [n < 1]. *)
 
 val span : t -> cat:string -> ?args:(unit -> args) -> string -> (unit -> 'a) -> 'a
 (** [span t ~cat name f] runs [f] and records a complete span covering

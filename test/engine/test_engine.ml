@@ -2,6 +2,7 @@
 
 module Time = Bmcast_engine.Time
 module Heap = Bmcast_engine.Heap
+module Wheel = Bmcast_engine.Timer_wheel
 module Prng = Bmcast_engine.Prng
 module Sim = Bmcast_engine.Sim
 module Mailbox = Bmcast_engine.Mailbox
@@ -109,6 +110,272 @@ let prop_heap_sorted =
       let out = drain [] in
       out = List.sort compare times)
 
+(* --- Timer_wheel --- *)
+
+let drain_wheel w =
+  let rec go acc =
+    match Wheel.pop w with Some e -> go (e :: acc) | None -> List.rev acc
+  in
+  go []
+
+let test_wheel_order () =
+  let w = Wheel.create ~dummy:"" () in
+  ignore (Wheel.push w 30 "c");
+  ignore (Wheel.push w 10 "a");
+  ignore (Wheel.push w 20 "b");
+  Alcotest.(check (list (pair int string)))
+    "sorted"
+    [ (10, "a"); (20, "b"); (30, "c") ]
+    (drain_wheel w);
+  check_bool "empty" true (Wheel.is_empty w)
+
+let test_wheel_fifo_ties () =
+  let w = Wheel.create ~dummy:(-1) () in
+  for i = 0 to 9 do
+    ignore (Wheel.push w 5 i)
+  done;
+  Alcotest.(check (list int))
+    "fifo among equal times"
+    (List.init 10 Fun.id)
+    (List.map snd (drain_wheel w))
+
+let test_wheel_time_zero () =
+  (* An event at Time.zero is valid and fires first, even when pushed
+     after later events. *)
+  let w = Wheel.create ~dummy:(-1) () in
+  ignore (Wheel.push w (Time.ms 1) 1);
+  ignore (Wheel.push w Time.zero 0);
+  Alcotest.(check (list (pair int int)))
+    "zero first"
+    [ (Time.zero, 0); (Time.ms 1, 1) ]
+    (drain_wheel w)
+
+let test_wheel_tick_boundaries () =
+  (* Times exactly on wheel-tick boundaries (multiples of 256^k) land on
+     level boundaries; order must be unaffected. *)
+  let w = Wheel.create ~dummy:(-1) () in
+  let times = [ 256; 255; 257; 65536; 65535; 65537; 16777216; 0; 16777215 ] in
+  List.iteri (fun i t -> ignore (Wheel.push w t i)) times;
+  Alcotest.(check (list int))
+    "boundary times sorted"
+    (List.sort compare times)
+    (List.map fst (drain_wheel w))
+
+let test_wheel_cascade () =
+  (* A spread of times across byte boundaries forces higher-level slots
+     to cascade down as the cursor advances. *)
+  let w = Wheel.create ~dummy:(-1) () in
+  let prng = Prng.create 11 in
+  let times = List.init 500 (fun _ -> Prng.int prng 5_000_000) in
+  List.iteri (fun i t -> ignore (Wheel.push w t i)) times;
+  let out = drain_wheel w in
+  Alcotest.(check (list int)) "sorted" (List.sort compare times) (List.map fst out);
+  check_bool "cascades happened" true ((Wheel.stats w).Wheel.cascaded > 0)
+
+let test_wheel_overflow_promotion () =
+  (* With a 2-level wheel (horizon 65536 ns) far-future events overflow
+     to the heap tier and get promoted back once the wheel drains. *)
+  let w = Wheel.create ~levels:2 ~dummy:(-1) () in
+  ignore (Wheel.push w 10 0);
+  ignore (Wheel.push w 1_000_000 1);
+  ignore (Wheel.push w 900_000 2);
+  ignore (Wheel.push w 1_000_000 3);
+  check_bool "overflowed" true ((Wheel.stats w).Wheel.far_pushed >= 3);
+  Alcotest.(check (list (pair int int)))
+    "order across tiers"
+    [ (10, 0); (900_000, 2); (1_000_000, 1); (1_000_000, 3) ]
+    (drain_wheel w);
+  check_bool "promoted" true ((Wheel.stats w).Wheel.promoted > 0)
+
+let test_wheel_backlog_after_peek () =
+  (* peek_time on a far-future event advances the internal cursor (the
+     Sim.run ~until park pattern); a later push at an earlier time must
+     still pop first. *)
+  let w = Wheel.create ~levels:2 ~dummy:(-1) () in
+  ignore (Wheel.push w 100_000 1);
+  Alcotest.(check (option int)) "peek far" (Some 100_000) (Wheel.peek_time w);
+  ignore (Wheel.push w 50_000 0);
+  Alcotest.(check (list (pair int int)))
+    "earlier push still first"
+    [ (50_000, 0); (100_000, 1) ]
+    (drain_wheel w)
+
+let test_wheel_cancel () =
+  let w = Wheel.create ~dummy:(-1) () in
+  let t0 = Wheel.push w 10 0 in
+  let t1 = Wheel.push w 20 1 in
+  let t2 = Wheel.push w 10 2 in
+  check_bool "cancel live" true (Wheel.cancel w t1);
+  check_int "size after cancel" 2 (Wheel.size w);
+  check_bool "double cancel" false (Wheel.cancel w t1);
+  Alcotest.(check (list (pair int int)))
+    "cancelled event skipped"
+    [ (10, 0); (10, 2) ]
+    (drain_wheel w);
+  check_bool "cancel after fire" false (Wheel.cancel w t0);
+  check_bool "cancel after fire 2" false (Wheel.cancel w t2)
+
+let test_wheel_cancel_fired_slot () =
+  (* Cancelling a token whose slot already fired must be a no-op even
+     after the pool entry has been recycled by a new push. *)
+  let w = Wheel.create ~dummy:(-1) () in
+  let tok = Wheel.push w 5 0 in
+  Alcotest.(check (option (pair int int))) "fired" (Some (5, 0)) (Wheel.pop w);
+  ignore (Wheel.push w 7 1);
+  check_bool "stale token rejected" false (Wheel.cancel w tok);
+  check_int "recycled event untouched" 1 (Wheel.size w);
+  Alcotest.(check (option (pair int int))) "recycled fires" (Some (7, 1)) (Wheel.pop w)
+
+let test_wheel_next_time_pop_exn () =
+  let w = Wheel.create ~dummy:(-1) () in
+  check_int "empty sentinel" Wheel.no_time (Wheel.next_time w);
+  Alcotest.check_raises "pop_exn empty"
+    (Invalid_argument "Timer_wheel.pop_exn: empty") (fun () ->
+      ignore (Wheel.pop_exn w));
+  ignore (Wheel.push w 9 42);
+  check_int "next_time" 9 (Wheel.next_time w);
+  check_int "pop_exn" 42 (Wheel.pop_exn w);
+  check_int "empty again" Wheel.no_time (Wheel.next_time w)
+
+(* Randomized equivalence against the reference heap: any interleaving
+   of pushes (with same-timestamp bursts, tick boundaries and far-future
+   times), cancels, peeks and pops must produce the identical event
+   stream from both schedulers. *)
+
+type wheel_op = WPush of int | WCancel of int | WAdvance of int | WPeek
+
+let pp_wheel_op = function
+  | WPush d -> Printf.sprintf "push+%d" d
+  | WCancel i -> Printf.sprintf "cancel#%d" i
+  | WAdvance n -> Printf.sprintf "pop*%d" n
+  | WPeek -> "peek"
+
+let gen_wheel_ops =
+  let open QCheck.Gen in
+  let delta =
+    frequency
+      [ (3, return 0);
+        (5, int_bound 1000);
+        (2, map (fun k -> k * 256) (int_bound 600));
+        (2, int_bound 2_000_000);
+        (1, map (fun k -> 70_000 + k) (int_bound 200_000));
+        (1, map (fun k -> 1_000_000_000 + k) (int_bound 3)) ]
+  in
+  let op =
+    frequency
+      [ (6, map (fun d -> WPush d) delta);
+        (2, map (fun i -> WCancel i) (int_bound 60));
+        (2, map (fun n -> WAdvance n) (int_bound 8));
+        (1, return WPeek) ]
+  in
+  QCheck.make
+    ~print:(fun ops -> String.concat " " (List.map pp_wheel_op ops))
+    (list_size (int_range 1 150) op)
+
+let wheel_matches_heap ~levels ops =
+  let w = Wheel.create ~levels ~dummy:(-1) () in
+  let h = Heap.create () in
+  let canceled = Hashtbl.create 16 in
+  let fired = Hashtbl.create 16 in
+  let tokens = ref [||] in
+  let n_pushed = ref 0 in
+  let base = ref 0 in
+  let next_id = ref 0 in
+  let live = ref 0 in
+  let ref_pop () =
+    let rec go () =
+      match Heap.pop h with
+      | None -> None
+      | Some (_, id) when Hashtbl.mem canceled id -> go ()
+      | Some _ as e -> e
+    in
+    go ()
+  in
+  let ok = ref true in
+  let expect b = if not b then ok := false in
+  List.iter
+    (fun op ->
+      if !ok then
+        match op with
+        | WPush d ->
+          let t = !base + d in
+          let id = !next_id in
+          incr next_id;
+          let tok = Wheel.push w t id in
+          Heap.push h t id;
+          tokens := Array.append !tokens [| (id, tok) |];
+          incr n_pushed;
+          incr live;
+          expect (Wheel.size w = !live)
+        | WCancel i ->
+          if !n_pushed > 0 then begin
+            let id, tok = !tokens.(i mod !n_pushed) in
+            let expected =
+              (not (Hashtbl.mem fired id)) && not (Hashtbl.mem canceled id)
+            in
+            let got = Wheel.cancel w tok in
+            expect (got = expected);
+            if expected then begin
+              Hashtbl.replace canceled id ();
+              decr live
+            end;
+            expect (Wheel.size w = !live)
+          end
+        | WAdvance n ->
+          for _ = 1 to n do
+            let got = Wheel.pop w in
+            let want = ref_pop () in
+            expect (got = want);
+            (match want with
+            | Some (t, id) ->
+              Hashtbl.replace fired id ();
+              decr live;
+              base := t
+            | None -> ())
+          done
+        | WPeek ->
+          (* normalize the reference: a cancelled heap top is invisible
+             (ref_pop would skip it), so drop it before comparing *)
+          let rec ref_peek () =
+            match Heap.peek h with
+            | Some (_, id) when Hashtbl.mem canceled id ->
+              ignore (Heap.pop h);
+              ref_peek ()
+            | Some (t, _) -> Some t
+            | None -> None
+          in
+          expect (Wheel.peek_time w = ref_peek ()))
+    ops;
+  (* drain both completely *)
+  let rec drain () =
+    if !ok then begin
+      let got = Wheel.pop w in
+      let want = ref_pop () in
+      expect (got = want);
+      match want with
+      | Some (_, id) ->
+        Hashtbl.replace fired id ();
+        decr live;
+        drain ()
+      | None -> ()
+    end
+  in
+  drain ();
+  if !ok then expect (Wheel.is_empty w);
+  !ok
+
+let prop_wheel_equiv_heap =
+  QCheck.Test.make ~name:"timer wheel ≡ reference heap (6 levels)" ~count:300
+    gen_wheel_ops
+    (wheel_matches_heap ~levels:6)
+
+let prop_wheel_equiv_heap_tiny =
+  (* 2-level wheel: the same workloads constantly overflow/promote
+     through the heap tier. *)
+  QCheck.Test.make ~name:"timer wheel ≡ reference heap (2 levels)" ~count:300
+    gen_wheel_ops
+    (wheel_matches_heap ~levels:2)
+
 (* --- Prng --- *)
 
 let test_prng_determinism () =
@@ -209,13 +476,32 @@ let test_sim_schedule_order () =
   Sim.run sim;
   Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log)
 
+(* The past-time rejection must identify the entry point and both
+   times — it's the error a mis-ordered experiment script sees first. *)
+let expect_past_error label f =
+  match f () with
+  | () -> Alcotest.failf "%s: expected Invalid_argument" label
+  | exception Invalid_argument msg ->
+    check_bool
+      (Printf.sprintf "%s: message names entry point (%s)" label msg)
+      true
+      (String.length msg > String.length label
+      && String.sub msg 0 (String.length label) = label);
+    check_bool (Printf.sprintf "%s: message says 'in the past'" label) true
+      (let sub = "in the past" in
+       let n = String.length msg and m = String.length sub in
+       let rec has i = i + m <= n && (String.sub msg i m = sub || has (i + 1)) in
+       has 0)
+
 let test_sim_schedule_past_rejected () =
   let sim = Sim.create () in
   Sim.schedule sim (Time.ms 10) (fun () ->
-      Alcotest.check_raises "past" (Invalid_argument "x") (fun () ->
-          try Sim.schedule sim (Time.ms 5) ignore
-          with Invalid_argument _ -> raise (Invalid_argument "x")));
-  Sim.run sim
+      expect_past_error "Sim.schedule" (fun () ->
+          Sim.schedule sim (Time.ms 5) ignore);
+      expect_past_error "Sim.spawn_at" (fun () ->
+          Sim.spawn_at sim (Time.ms 5) ignore));
+  Sim.run sim;
+  check_int "clock reached the scheduling point" (Time.ms 10) (Sim.now sim)
 
 let test_sim_until () =
   let sim = Sim.create () in
@@ -568,6 +854,19 @@ let () =
           tc "peek" `Quick test_heap_peek;
           tc "interleaved" `Quick test_heap_interleaved;
           QCheck_alcotest.to_alcotest prop_heap_sorted ] );
+      ( "timer_wheel",
+        [ tc "order" `Quick test_wheel_order;
+          tc "fifo ties" `Quick test_wheel_fifo_ties;
+          tc "time zero" `Quick test_wheel_time_zero;
+          tc "tick boundaries" `Quick test_wheel_tick_boundaries;
+          tc "cascade" `Quick test_wheel_cascade;
+          tc "overflow promotion" `Quick test_wheel_overflow_promotion;
+          tc "backlog after peek" `Quick test_wheel_backlog_after_peek;
+          tc "cancel" `Quick test_wheel_cancel;
+          tc "cancel fired slot" `Quick test_wheel_cancel_fired_slot;
+          tc "next_time/pop_exn" `Quick test_wheel_next_time_pop_exn;
+          QCheck_alcotest.to_alcotest prop_wheel_equiv_heap;
+          QCheck_alcotest.to_alcotest prop_wheel_equiv_heap_tiny ] );
       ( "prng",
         [ tc "determinism" `Quick test_prng_determinism;
           tc "split" `Quick test_prng_split_independent;

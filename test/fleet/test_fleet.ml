@@ -316,6 +316,33 @@ let test_fleet_deterministic_trace () =
     && ra.Scaleout.ttfb = rb.Scaleout.ttfb
     && ra.Scaleout.failovers = rb.Scaleout.failovers)
 
+(* The engine-rework contract at scale: a 1,000-client cloud-burst run
+   (minimal guests, small image, sampled tracer) is bit-for-bit
+   reproducible — same seed gives a byte-identical JSONL trace, the
+   same event count, and the same latency summaries. This is the test
+   that pins the timer wheel's FIFO tie-breaking and the lazy-guest
+   accounting across the whole stack. *)
+let test_fleet_scale_deterministic_trace () =
+  let export () =
+    let tr = Trace.create ~capacity:(1 lsl 20) ~sample_every:64 () in
+    let r =
+      Scaleout.deploy_fleet ~seed:11 ~image_mb:4
+        ~boot_profile:Bmcast_guest.Os.cloud_minimal ~machines:1000
+        ~replicas:16 ~trace:tr ()
+    in
+    (Trace.to_jsonl tr, r)
+  in
+  let jsonl_a, ra = export () in
+  let jsonl_b, rb = export () in
+  check_bool "sampled trace non-trivial" true (String.length jsonl_a > 1000);
+  check_bool "jsonl export byte-identical" true (jsonl_a = jsonl_b);
+  check_int "event counts identical" ra.Scaleout.sim_events
+    rb.Scaleout.sim_events;
+  check_bool "summaries identical" true
+    (ra.Scaleout.ttdv = rb.Scaleout.ttdv
+    && ra.Scaleout.ttfb = rb.Scaleout.ttfb
+    && ra.Scaleout.failovers = rb.Scaleout.failovers)
+
 let test_fleet_replicas_beat_single () =
   (* The tentpole claim at test scale: 8 machines on 1 replica vs 2. *)
   let one =
@@ -349,4 +376,6 @@ let () =
       ( "fleet",
         [ tc "failover converges" `Slow test_fleet_failover_converges;
           tc "deterministic trace" `Slow test_fleet_deterministic_trace;
+          tc "1000-client deterministic trace" `Slow
+            test_fleet_scale_deterministic_trace;
           tc "replicas beat single" `Slow test_fleet_replicas_beat_single ] ) ]
