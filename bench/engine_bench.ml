@@ -173,32 +173,70 @@ let read_file path =
 
 let regression_threshold = 0.75
 
+(* Allocation gate: >25% growth in minor words per event fails. The
+   comparison gets one word of absolute slack because the wheel-churn
+   baseline is ~0 words/event, where a pure ratio test would trip on
+   measurement noise (or divide by zero). *)
+let alloc_threshold = 1.25
+let alloc_slack_words = 1.0
+
 let check ~committed () =
   let baseline = read_file committed in
   let heap, wheel, sim_events, sim = run_all () in
   let fresh = "BENCH_engine.fresh.json" in
   write_json fresh ~heap ~wheel ~sim_events ~sim;
   Report.note "wrote %s" fresh;
-  match numbers_after "events_per_sec" baseline with
-  | [ _heap_base; wheel_base; sim_base ] ->
-    let gate label base now =
-      let ratio = now /. base in
-      Report.row ~label:(Printf.sprintf "%s vs %s" label committed)
-        ~units:"x baseline" ratio;
-      if ratio < regression_threshold then begin
-        Printf.eprintf
-          "engine regression: %s %.0f events/sec < %.0f%% of committed \
-           %.0f\n"
-          label now (100.0 *. regression_threshold) base;
-        false
-      end
-      else true
-    in
-    let ok_wheel = gate "wheel churn" wheel_base wheel.events_per_sec in
-    let ok_sim = gate "full sim" sim_base sim.events_per_sec in
-    ok_wheel && ok_sim
-  | nums ->
-    Printf.eprintf
-      "engine check: expected 3 events_per_sec entries in %s, found %d\n"
-      committed (List.length nums);
-    false
+  let throughput_ok =
+    match numbers_after "events_per_sec" baseline with
+    | [ _heap_base; wheel_base; sim_base ] ->
+      let gate label base now =
+        let ratio = now /. base in
+        Report.row ~label:(Printf.sprintf "%s vs %s" label committed)
+          ~units:"x baseline" ratio;
+        if ratio < regression_threshold then begin
+          Printf.eprintf
+            "engine regression: %s %.0f events/sec < %.0f%% of committed \
+             %.0f\n"
+            label now (100.0 *. regression_threshold) base;
+          false
+        end
+        else true
+      in
+      let ok_wheel = gate "wheel churn" wheel_base wheel.events_per_sec in
+      let ok_sim = gate "full sim" sim_base sim.events_per_sec in
+      ok_wheel && ok_sim
+    | nums ->
+      Printf.eprintf
+        "engine check: expected 3 events_per_sec entries in %s, found %d\n"
+        committed (List.length nums);
+      false
+  in
+  let alloc_ok =
+    match numbers_after "minor_words_per_event" baseline with
+    | [ _heap_base; wheel_base; sim_base ] ->
+      let gate label base now =
+        Report.row
+          ~label:(Printf.sprintf "%s alloc vs %s" label committed)
+          ~units:"w/event vs baseline" (now -. base);
+        if now > (base *. alloc_threshold) +. alloc_slack_words then begin
+          Printf.eprintf
+            "engine allocation regression: %s %.2f minor words/event > \
+             %.0f%% of committed %.2f (+%.1fw slack)\n"
+            label now (100.0 *. alloc_threshold) base alloc_slack_words;
+          false
+        end
+        else true
+      in
+      let ok_wheel =
+        gate "wheel churn" wheel_base wheel.minor_words_per_event
+      in
+      let ok_sim = gate "full sim" sim_base sim.minor_words_per_event in
+      ok_wheel && ok_sim
+    | nums ->
+      Printf.eprintf
+        "engine check: expected 3 minor_words_per_event entries in %s, \
+         found %d\n"
+        committed (List.length nums);
+      false
+  in
+  throughput_ok && alloc_ok

@@ -380,6 +380,56 @@ let fleet_cmd () machines replicas policy sched limit image_mb seed crash
   write_obs ~jsonl tracer trace_out metrics metrics_out;
   0
 
+(* --- report: provisioning analytics + allocation profile --- *)
+
+module Analytics = Bmcast_obs.Analytics
+module Profile = Bmcast_obs.Profile
+module Os_guest = Bmcast_guest.Os
+
+let report_cmd () machines replicas image_mb seed slo_s detailed output =
+  (* The per-operation table needs the op-level spans (AoE commands,
+     copy-on-read redirects, background-copy chunks) in addition to the
+     boot pipeline; record exactly those categories so fleet-scale runs
+     stay inside the ring. *)
+  let categories =
+    if detailed then [ "boot"; "aoe"; "mediator"; "bgcopy" ] else [ "boot" ]
+  in
+  let tracer = Trace.create ~capacity:(1 lsl 22) ~categories () in
+  let profile = Profile.create () in
+  Logs.app (fun m ->
+      m "Fleet report: %d machine(s), %d replica(s), %d MB image, seed %d"
+        machines replicas image_mb seed);
+  let r =
+    Scaleout.deploy_fleet ~seed ~image_mb ~trace:tracer ~profile ~slo_s
+      ~boot_profile:Os_guest.cloud_minimal ~machines ~replicas ()
+  in
+  let a = r.Scaleout.analytics in
+  Logs.app (fun m -> m "%s" (Analytics.to_text a));
+  Logs.app (fun m -> m "%s" (Profile.to_text profile));
+  (match output with
+  | Some path ->
+    (* Same-seed runs are byte-identical in the "deterministic"
+       section; the allocation figures depend on the host runtime and
+       are quarantined under "nondeterministic". *)
+    let oc = open_out_bin path in
+    Printf.fprintf oc
+      {|{"report":"bmcast-fleet","machines":%d,"replicas":%d,"image_mb":%d,"seed":%d,
+"deterministic":%s,
+"nondeterministic":%s}
+|}
+      machines replicas image_mb seed (Analytics.to_json a)
+      (Profile.to_json profile);
+    close_out oc;
+    Logs.app (fun m -> m "report: -> %s" path)
+  | None -> ());
+  if Profile.mismatches profile > 0 then begin
+    Logs.err (fun m ->
+        m "profiler observed %d mismatched scope exits"
+          (Profile.mismatches profile));
+    1
+  end
+  else 0
+
 (* --- compare: startup-time comparison (Figure 4 on demand) --- *)
 
 let compare_cmd () image_gb =
@@ -590,9 +640,66 @@ let () =
         $ limit $ image_mb $ seed $ crash $ restart $ trace_out $ metrics_out
         $ jsonl $ trace_sample)
   in
+  let report_cmd =
+    let machines =
+      Arg.(
+        value & opt int 1000
+        & info [ "machines" ] ~docv:"N" ~doc:"fleet size (deployments)")
+    in
+    let replicas =
+      Arg.(
+        value & opt int 16
+        & info [ "replicas" ] ~docv:"N"
+            ~doc:"storage replicas exporting the golden image")
+    in
+    let report_image_mb =
+      Arg.(
+        value & opt int 8
+        & info [ "image-mb" ] ~docv:"MB" ~doc:"OS image size in MB")
+    in
+    let slo =
+      Arg.(
+        value & opt float 120.0
+        & info [ "slo" ] ~docv:"SECONDS"
+            ~doc:"provisioning-time SLO target evaluated by the report")
+    in
+    let detailed =
+      Arg.(
+        value & flag
+        & info [ "detailed" ]
+            ~doc:
+              "also record per-operation spans (AoE commands, copy-on-read \
+               redirects, copy chunks) for the per-operation latency table")
+    in
+    let output =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "o"; "output" ] ~docv:"FILE"
+            ~doc:
+              "write the report as JSON to $(docv) (deterministic analytics \
+               and non-deterministic allocation figures in separate \
+               sections)")
+    in
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "run a seeded fleet deployment and report boot-stage latency \
+            percentiles, critical-path attribution, SLO compliance and the \
+            top-allocators table")
+      Term.(
+        const report_cmd $ verbosity $ machines $ replicas $ report_image_mb
+        $ seed $ slo $ detailed $ output)
+  in
   let group =
     Cmd.group
       (Cmd.info "bmcastctl" ~doc:"BMcast bare-metal deployment control")
-      [ deploy_cmd; chaos_cmd; trace_cmd; compare_cmd; fleet_cmd; params_cmd ]
+      [ deploy_cmd;
+        chaos_cmd;
+        trace_cmd;
+        compare_cmd;
+        fleet_cmd;
+        report_cmd;
+        params_cmd ]
   in
   exit (Cmd.eval' group)

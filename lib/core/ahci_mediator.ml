@@ -297,7 +297,11 @@ and redirect t slot ct =
   let tr = Sim.trace sim in
   if Trace.on tr ~cat:"mediator" then
     Trace.complete tr ~cat:"mediator"
-      ~args:[ ("lba", Trace.Int lba); ("count", Trace.Int count) ]
+      ~args:
+        [ ("m", Trace.Str t.machine.Machine.name);
+          ("stage", Trace.Str "copy_on_read");
+          ("lba", Trace.Int lba);
+          ("count", Trace.Int count) ]
       "redirect" ~ts:started
 
 (* --- command dispatch (I/O interpretation) --- *)

@@ -20,6 +20,7 @@ type chunk = { lba : int; data : Content.t array }
 type t = {
   sim : Sim.t;
   params : Params.t;
+  owner : string option;  (* machine name, for analytics span tags *)
   bitmap : Bitmap.t;
   ops : ops;
   fifo : chunk Mailbox.t;
@@ -77,6 +78,13 @@ let fetch_backoff t =
   let span = Time.mul base (1 lsl min t.consecutive_fetch_failures 6) in
   min span (Time.s 1)
 
+(* Machine + stage tags route chunk spans into the per-operation table
+   of [Bmcast_obs.Analytics]. *)
+let tagged t args =
+  match t.owner with
+  | Some m -> ("m", Trace.Str m) :: ("stage", Trace.Str "copy") :: args
+  | None -> args
+
 let rec retriever t =
   while t.paused && not t.stopped do
     Sim.sleep t.params.Params.suspend_interval
@@ -111,7 +119,7 @@ let rec retriever t =
       | data ->
         if traced then
           Trace.complete tr ~cat:"bgcopy"
-            ~args:[ ("lba", Trace.Int lba); ("count", Trace.Int count) ]
+            ~args:(tagged t [ ("lba", Trace.Int lba); ("count", Trace.Int count) ])
             "fetch" ~ts:fetch_started;
         t.consecutive_fetch_failures <- 0;
         t.cursor <- lba + count;
@@ -208,8 +216,9 @@ let rec writer t =
     if traced then
       Trace.complete tr ~cat:"bgcopy"
         ~args:
-          [ ("lba", Trace.Int chunk.lba);
-            ("written-sectors", Trace.Int written) ]
+          (tagged t
+             [ ("lba", Trace.Int chunk.lba);
+               ("written-sectors", Trace.Int written) ])
         "write-chunk" ~ts:write_started;
     t.in_flight <-
       List.filter
@@ -220,10 +229,11 @@ let rec writer t =
   end
   else finish t
 
-let start sim ~params ~bitmap ~ops =
+let start sim ~params ~bitmap ~ops ?owner () =
   let t =
     { sim;
       params;
+      owner;
       bitmap;
       ops;
       fifo = Mailbox.create ~capacity:8 ();

@@ -26,8 +26,16 @@ type ops = {
 type t
 
 val start :
-  Bmcast_engine.Sim.t -> params:Params.t -> bitmap:Bitmap.t -> ops:ops -> t
-(** Spawn the retriever and writer threads. *)
+  Bmcast_engine.Sim.t ->
+  params:Params.t ->
+  bitmap:Bitmap.t ->
+  ops:ops ->
+  ?owner:string ->
+  unit ->
+  t
+(** Spawn the retriever and writer threads. [owner] is the owning
+    machine's name; when set, fetch/write-chunk spans carry
+    ["m"]/["stage"] args for [Bmcast_obs.Analytics]. *)
 
 val stop : t -> unit
 (** Ask both threads to exit after their current operation (used by a

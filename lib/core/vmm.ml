@@ -67,6 +67,17 @@ let log_event t what =
   let tr = Sim.trace t.machine.Machine.sim in
   if Trace.on tr ~cat:"vmm" then Trace.instant tr ~cat:"vmm" what
 
+(* Boot-stage pipeline spans (category "boot", tagged with the machine
+   name) — the input of [Bmcast_obs.Analytics]. The stages tile the
+   boot timeline sequentially, so per machine they sum to the boot
+   total; see DESIGN.md §10. *)
+let stage_span sim ~machine stage ~ts =
+  let tr = Sim.trace sim in
+  if Trace.on tr ~cat:"boot" then
+    Trace.complete tr ~cat:"boot"
+      ~args:[ ("m", Trace.Str machine.Machine.name) ]
+      stage ~ts
+
 let events t = List.rev t.events
 
 let netdrv t =
@@ -177,6 +188,8 @@ let devirtualize t =
   (let tr = Sim.trace t.machine.Machine.sim in
    if Trace.on tr ~cat:"vmm" then
      Trace.complete tr ~cat:"vmm" "devirtualize" ~ts:devirt_started);
+  stage_span t.machine.Machine.sim ~machine:t.machine "devirt"
+    ~ts:devirt_started;
   Signal.Latch.set t.devirt_done
 
 (* The bitmap is persisted just past the image, in space no partition
@@ -186,6 +199,7 @@ let save_region t =
     Bitmap.save_sectors ~sectors:t.params.Params.image_sectors )
 
 let deployment t =
+  let discover_started = Sim.now t.machine.Machine.sim in
   (* Discover the target and sanity-check the image fits (AoE
      Query-Config). *)
   let capacity = Aoe_client.query_capacity t.aoe in
@@ -232,20 +246,25 @@ let deployment t =
       redirect_active = (fun () -> med_redirect_active t);
       guest_last_lba = (fun () -> med_guest_last_lba t) }
   in
+  stage_span t.machine.Machine.sim ~machine:t.machine "discover"
+    ~ts:discover_started;
   log_event t "deployment phase: background copy started";
+  let copy_started = Sim.now t.machine.Machine.sim in
   let bg =
     Background_copy.start t.machine.Machine.sim ~params:t.params
-      ~bitmap:t.bitmap ~ops
+      ~bitmap:t.bitmap ~ops ~owner:t.machine.Machine.name ()
   in
   t.background <- Some bg;
   Background_copy.wait_complete bg;
   log_event t "image fully deployed";
+  stage_span t.machine.Machine.sim ~machine:t.machine "copy" ~ts:copy_started;
   Signal.Latch.set t.deployed;
   devirtualize t
 
 let boot machine ~params ~server_port ?route ?on_aoe_response
     ?(release_memory = false) ?(hide_mgmt_nic = false) ?(nic = `Mgmt)
     ?(boot_prefetch = []) ?(resume = false) ?(vmxoff = `Resident) () =
+  let boot_started = Sim.now machine.Machine.sim in
   (* PXE-load the VMM over the management NIC, then initialize. *)
   Firmware.pxe_load machine.Machine.firmware ~bytes_len:vmm_image_bytes;
   Sim.sleep params.Params.vmm_boot_time;
@@ -294,7 +313,7 @@ let boot machine ~params ~server_port ?route ?on_aoe_response
         transport_send ~dst:(route hdr)
           ~size_bytes:(Aoe.wire_size ~sectors:(Array.length data))
           (Aoe.Frame { Aoe.hdr; data }))
-      ()
+      ~owner:machine.Machine.name ()
   in
   client_ref := Some aoe;
   let mediator =
@@ -348,6 +367,7 @@ let boot machine ~params ~server_port ?route ?on_aoe_response
         log_event t "AoE target unresponsive: escalating retries"
       end;
       `Retry);
+  stage_span machine.Machine.sim ~machine "vmm_init" ~ts:boot_started;
   Sim.spawn ~name:"bmcast-deployment" (fun () -> deployment t);
   t
 

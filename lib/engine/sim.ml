@@ -1,5 +1,6 @@
 module Trace = Bmcast_obs.Trace
 module Metrics = Bmcast_obs.Metrics
+module Profile = Bmcast_obs.Profile
 
 (* Queued work, represented without wrapping everything in a closure:
    resuming a sleeping or suspended process stores its one-shot
@@ -23,6 +24,7 @@ type t = {
   mutable stop_requested : bool;
   trace_ : Trace.t;
   metrics_ : Metrics.t;
+  profile_ : Profile.t;
 }
 
 exception Process_failure of string * exn
@@ -34,7 +36,8 @@ type _ Effect.t +=
   | Spawn : string option * (unit -> unit) -> unit Effect.t
   | Self : t Effect.t
 
-let create ?(seed = 42) ?(trace = Trace.null) ?(metrics = Metrics.null) () =
+let create ?(seed = 42) ?(trace = Trace.null) ?(metrics = Metrics.null)
+    ?(profile = Profile.null) () =
   let sim =
     { clock = Time.zero;
       events = Timer_wheel.create ~dummy:Job_none ();
@@ -43,7 +46,8 @@ let create ?(seed = 42) ?(trace = Trace.null) ?(metrics = Metrics.null) () =
       failure = None;
       stop_requested = false;
       trace_ = trace;
-      metrics_ = metrics }
+      metrics_ = metrics;
+      profile_ = profile }
   in
   Trace.set_clock trace (fun () -> sim.clock);
   sim
@@ -54,6 +58,7 @@ let events_executed sim = sim.executed
 let pending sim = Timer_wheel.size sim.events
 let trace sim = sim.trace_
 let metrics sim = sim.metrics_
+let profile sim = sim.profile_
 
 (* Internal schedule: [at] is >= clock by construction at every call
    site (clock + nonnegative delay), so skip the past-time check. *)

@@ -19,6 +19,7 @@ val create :
   ?seed:int ->
   ?trace:Bmcast_obs.Trace.t ->
   ?metrics:Bmcast_obs.Metrics.t ->
+  ?profile:Bmcast_obs.Profile.t ->
   unit ->
   t
 (** Fresh simulation with clock at {!Time.zero}. Default seed is 42.
@@ -26,7 +27,9 @@ val create :
     from instrumented subsystems with virtual-time stamps; the
     simulation installs its clock into it. [metrics] (default
     {!Bmcast_obs.Metrics.null}) is the registry subsystems register
-    instruments into at attach time. *)
+    instruments into at attach time. [profile] (default
+    {!Bmcast_obs.Profile.null}) is the allocation profiler subsystems
+    scope non-blocking hot paths with. *)
 
 val now : t -> Time.t
 val rand : t -> Prng.t
@@ -37,6 +40,11 @@ val trace : t -> Bmcast_obs.Trace.t
     and periodic event-loop counters under category ["sim"]. *)
 
 val metrics : t -> Bmcast_obs.Metrics.t
+
+val profile : t -> Bmcast_obs.Profile.t
+(** The allocation profiler passed at {!create} ([Profile.null]
+    otherwise). Scopes must not cross a scheduling point — see
+    {!Bmcast_obs.Profile}. *)
 
 val schedule : t -> Time.t -> (unit -> unit) -> unit
 (** [schedule sim at fn] runs callback [fn] at absolute time [at] (which

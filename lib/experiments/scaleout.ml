@@ -13,6 +13,8 @@ module Metrics = Bmcast_obs.Metrics
 module Stats = Bmcast_obs.Stats
 module Replica_set = Bmcast_fleet.Replica_set
 module Scheduler = Bmcast_fleet.Scheduler
+module Trace = Bmcast_obs.Trace
+module Analytics = Bmcast_obs.Analytics
 
 type summary = {
   p50 : float;
@@ -36,6 +38,7 @@ type result = {
   admitted_per_server : int array;
   server_bytes : int;
   sim_events : int;
+  analytics : Analytics.t;
 }
 
 let summarize h =
@@ -49,10 +52,20 @@ let deploy_fleet ?(seed = 42) ?(image_mb = 256)
     ?(policy = Replica_set.Least_outstanding)
     ?(sched = Scheduler.All_at_once) ?(limit_per_server = 4)
     ?(ram_cache = true) ?(crashes = []) ?(restarts = []) ?tweak ?trace
-    ?metrics ?boot_profile ~machines ~replicas () =
+    ?metrics ?profile ?boot_profile ?(slo_s = 120.0) ~machines ~replicas () =
   if machines <= 0 then invalid_arg "Scaleout.deploy_fleet: machines";
   if replicas <= 0 then invalid_arg "Scaleout.deploy_fleet: replicas";
-  let sim = Sim.create ~seed ?trace ?metrics () in
+  (* The stage analytics need the boot-pipeline spans. With a
+     caller-supplied tracer they ride along in it; otherwise attach a
+     small boot-category-only ring (~5 spans per machine, and tracing
+     is inert by contract, so attaching it changes nothing else). *)
+  let trace =
+    match trace with
+    | Some tr -> tr
+    | None ->
+      Trace.create ~capacity:((machines * 6) + 64) ~categories:[ "boot" ] ()
+  in
+  let sim = Sim.create ~seed ~trace ?metrics ?profile () in
   let fabric = Fabric.create sim () in
   let image_sectors = image_mb * 2048 in
   let disk_profile = Disk.hdd_constellation2 in
@@ -151,7 +164,8 @@ let deploy_fleet ?(seed = 42) ?(image_mb = 256)
     admitted_per_server = Scheduler.admitted_per_server scheduler;
     server_bytes =
       List.fold_left (fun a v -> a + Vblade.bytes_served v) 0 vblades;
-    sim_events = Sim.events_executed sim }
+    sim_events = Sim.events_executed sim;
+    analytics = Analytics.of_trace ~slo_s trace }
 
 let summary_json s =
   Printf.sprintf
@@ -164,13 +178,15 @@ let result_json r =
      "time_to_first_boot_s":%s,
      "time_to_devirt_s":%s,
      "failovers":%d,"peak_queue":%d,"peak_in_service":%d,
-     "admitted_per_server":[%s],"server_bytes":%d,"sim_events":%d}|}
+     "admitted_per_server":[%s],"server_bytes":%d,"sim_events":%d,
+     "boot":%s}|}
     r.machines r.replicas r.image_mb r.policy r.sched (summary_json r.ttfb)
     (summary_json r.ttdv) r.failovers r.peak_queue r.peak_in_service
     (Array.to_list r.admitted_per_server
     |> List.map string_of_int
     |> String.concat ",")
     r.server_bytes r.sim_events
+    (Analytics.to_json r.analytics)
 
 let write_metrics path results =
   let oc = open_out path in

@@ -41,6 +41,9 @@ type result = {
   admitted_per_server : int array;
   server_bytes : int;  (** aggregate bytes served by the storage tier *)
   sim_events : int;  (** scheduler events the whole run executed *)
+  analytics : Bmcast_obs.Analytics.t;
+      (** boot-stage breakdown, critical-path attribution and SLO
+          evaluation folded from the run's boot-pipeline spans *)
 }
 
 val deploy_fleet :
@@ -55,7 +58,9 @@ val deploy_fleet :
   ?tweak:(Bmcast_core.Params.t -> Bmcast_core.Params.t) ->
   ?trace:Bmcast_obs.Trace.t ->
   ?metrics:Bmcast_obs.Metrics.t ->
+  ?profile:Bmcast_obs.Profile.t ->
   ?boot_profile:Bmcast_guest.Os.profile ->
+  ?slo_s:float ->
   machines:int ->
   replicas:int ->
   unit ->
@@ -68,7 +73,15 @@ val deploy_fleet :
     for good — deployments must converge on the survivors). Defaults:
     seed 42, 256 MB image, least-outstanding routing, all-at-once
     admission, 4 deployments per server, RAM-cached servers,
-    [Os.default_profile] guests ([boot_profile] overrides). *)
+    [Os.default_profile] guests ([boot_profile] overrides).
+
+    Without a caller [trace], a small boot-category-only tracer is
+    attached so [analytics] is always populated; with one, the boot
+    spans ride along in it. [profile] attaches a
+    {!Bmcast_obs.Profile} allocation profiler to the run (its figures
+    are non-deterministic and live outside [result]). [slo_s] (default
+    [120.0]) is the provisioning-time target the [analytics] SLO
+    section evaluates. *)
 
 val write_metrics : string -> result list -> unit
 (** Write the sweep snapshot as a JSON document (one entry per config,

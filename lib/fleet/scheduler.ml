@@ -104,6 +104,14 @@ let run_one t ~name body =
   let started = Sim.clock () in
   let tr = Sim.trace t.sim in
   let traced = Trace.on tr ~cat:"fleet" in
+  (* Boot-pipeline "queue" stage: admission wait, from submission to
+     release. Job names are machine names by convention (Scaleout
+     deploys "node%d" jobs), which is what lets [Analytics] stitch this
+     span onto the same machine's vmm_init/discover/copy/devirt. *)
+  if Trace.on tr ~cat:"boot" then
+    Trace.complete tr ~cat:"boot"
+      ~args:[ ("m", Trace.Str name) ]
+      "queue" ~ts:submitted;
   Fun.protect
     ~finally:(fun () ->
       t.load.(server) <- t.load.(server) - 1;

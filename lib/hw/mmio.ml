@@ -12,9 +12,15 @@ type region = {
   mutable interposer : interposer option;
 }
 
-type t = { mutable regions : region list; mutable trapped : int }
+type t = {
+  mutable regions : region list;
+  mutable trapped : int;
+  mutable profile : Bmcast_obs.Profile.t;
+}
 
-let create () = { regions = []; trapped = 0 }
+let create () = { regions = []; trapped = 0; profile = Bmcast_obs.Profile.null }
+
+let set_profile t p = t.profile <- p
 
 let overlaps a_base a_size b_base b_size =
   a_base < b_base + b_size && b_base < a_base + a_size
@@ -54,11 +60,23 @@ let remove_interposer t ~base =
   let r = find_by_base t base in
   r.interposer <- None
 
+(* Only the non-interposed branch is profiler-scoped: interposers
+   dispatch into mediator handlers whose service paths can suspend the
+   fiber, and a profiler scope must not cross a scheduling point. The
+   direct register path is where the boxed-Int64 traffic the allocation
+   diet targets lives (ROADMAP). *)
 let read t addr =
   let r = find_region t addr in
   let off = addr - r.base in
   match r.interposer with
-  | None -> r.device.read off
+  | None ->
+    if Bmcast_obs.Profile.enabled t.profile then begin
+      Bmcast_obs.Profile.enter t.profile "mmio.read";
+      let v = r.device.read off in
+      Bmcast_obs.Profile.exit t.profile "mmio.read";
+      v
+    end
+    else r.device.read off
   | Some ix ->
     t.trapped <- t.trapped + 1;
     ix.on_read ~next:r.device.read off
@@ -67,7 +85,13 @@ let write t addr v =
   let r = find_region t addr in
   let off = addr - r.base in
   match r.interposer with
-  | None -> r.device.write off v
+  | None ->
+    if Bmcast_obs.Profile.enabled t.profile then begin
+      Bmcast_obs.Profile.enter t.profile "mmio.write";
+      r.device.write off v;
+      Bmcast_obs.Profile.exit t.profile "mmio.write"
+    end
+    else r.device.write off v
   | Some ix ->
     t.trapped <- t.trapped + 1;
     ix.on_write ~next:r.device.write off v

@@ -22,6 +22,13 @@ type interposer = {
 
 val create : unit -> t
 
+val set_profile : t -> Bmcast_obs.Profile.t -> unit
+(** Attach an allocation profiler (done by [Machine.create]). Only
+    non-interposed register accesses are scoped (categories
+    ["mmio.read"]/["mmio.write"]) — interposed accesses dispatch into
+    mediator handlers that may suspend, and profiler scopes must not
+    cross a scheduling point. *)
+
 val map : t -> base:int -> size:int -> handler -> unit
 (** Map a device region. Raises [Invalid_argument] on overlap. *)
 

@@ -178,6 +178,11 @@ let port_id p = p.id
 
 let send p ~dst ~size_bytes payload =
   let t = p.fab in
+  (* Non-blocking enqueue (try_send never suspends), so the frame-record
+     allocation is safe to scope for the allocation profiler. *)
+  let prof = Sim.profile t.sim in
+  let profiled = Bmcast_obs.Profile.enabled prof in
+  if profiled then Bmcast_obs.Profile.enter prof "net.send";
   if size_bytes <= 0 then invalid_arg "Fabric.send: size must be positive";
   if size_bytes > Packet.max_frame ~mtu:t.mtu then
     invalid_arg
@@ -185,7 +190,8 @@ let send p ~dst ~size_bytes payload =
          size_bytes t.mtu);
   t.frames_sent <- t.frames_sent + 1;
   let frame = { Packet.src = p.id; dst; size_bytes; payload } in
-  ignore (Mailbox.try_send p.uplink frame : bool)
+  ignore (Mailbox.try_send p.uplink frame : bool);
+  if profiled then Bmcast_obs.Profile.exit prof "net.send"
 
 (* Like [send], but models a bounded socket buffer: blocks the calling
    process while more than [socket_frames] are already queued. *)

@@ -1,0 +1,206 @@
+(* Span-scoped GC allocation profiler.
+
+   Snapshots the GC allocation counters at scope entry and exit and
+   attributes the delta (minor words, promoted words) to a category,
+   self-time style: a parent's figure excludes everything attributed to
+   its children. The profiler itself allocates (frames, the boxed
+   counter reads), so [create] runs a calibration loop of empty scopes and
+   measures both the allocation that lands {e inside} a scope's own
+   snapshots and the allocation that lands {e outside} (and would
+   otherwise pollute the parent); both are subtracted during
+   attribution.
+
+   Scopes must not cross a simulation scheduling point: the engine's
+   effect handlers suspend the current fiber, and a scope left open
+   across a suspension would charge every interleaved fiber's
+   allocation to it. Call sites therefore scope only non-blocking
+   stretches (codec work, frame dispatch, MMIO register access).
+   Mismatched exits are tolerated — the stack is scanned and
+   force-closed down to the matching frame — and counted in
+   [mismatches] so tests can assert the discipline held. *)
+
+type frame = {
+  cat : string;
+  m0 : float;  (* minor words at entry *)
+  p0 : float;  (* promoted words at entry *)
+  mutable child_minor : float;
+  mutable child_promoted : float;
+}
+
+type acc = {
+  mutable calls : int;
+  mutable minor : float;
+  mutable promoted : float;
+}
+
+type t = {
+  enabled : bool;
+  mutable stack : frame list;
+  cats : (string, acc) Hashtbl.t;
+  mutable mismatches : int;
+  mutable cal_inside : float;  (* per-scope overhead inside the snapshots *)
+  mutable cal_outside : float;  (* full per-scope overhead seen by a parent *)
+}
+
+let make ~enabled =
+  { enabled;
+    stack = [];
+    cats = Hashtbl.create 16;
+    mismatches = 0;
+    cal_inside = 0.0;
+    cal_outside = 0.0 }
+
+let null = make ~enabled:false
+
+let enabled t = t.enabled
+
+(* [Gc.minor_words] reads the allocation pointer and is precise in
+   native code; the minor-words field of [Gc.counters] is refreshed
+   only at minor collections and can lag by a whole minor heap.
+   Promoted words advance only during a minor collection, so for them
+   the counters value is always current. *)
+let minor_now () = Gc.minor_words ()
+
+let promoted_now () =
+  let _, p, _ = Gc.counters () in
+  p
+
+let acc t cat =
+  match Hashtbl.find_opt t.cats cat with
+  | Some a -> a
+  | None ->
+    let a = { calls = 0; minor = 0.0; promoted = 0.0 } in
+    Hashtbl.add t.cats cat a;
+    a
+
+let enter t cat =
+  if t.enabled then begin
+    let m0 = minor_now () and p0 = promoted_now () in
+    t.stack <- { cat; m0; p0; child_minor = 0.0; child_promoted = 0.0 } :: t.stack
+  end
+
+(* [t.stack] must already have been popped past [f]. *)
+let close t f =
+  let m1 = minor_now () and p1 = promoted_now () in
+  let total_minor = m1 -. f.m0 in
+  let total_promoted = p1 -. f.p0 in
+  let a = acc t f.cat in
+  a.calls <- a.calls + 1;
+  a.minor <-
+    a.minor +. Float.max 0.0 (total_minor -. f.child_minor -. t.cal_inside);
+  a.promoted <-
+    a.promoted +. Float.max 0.0 (total_promoted -. f.child_promoted);
+  match t.stack with
+  | parent :: _ ->
+    parent.child_minor <-
+      parent.child_minor +. total_minor +. (t.cal_outside -. t.cal_inside);
+    parent.child_promoted <- parent.child_promoted +. total_promoted
+  | [] -> ()
+
+let rec exit t cat =
+  if t.enabled then
+    match t.stack with
+    | f :: rest when String.equal f.cat cat ->
+      t.stack <- rest;
+      close t f
+    | f :: rest when List.exists (fun g -> String.equal g.cat cat) rest ->
+      (* Unbalanced inner scope (e.g. an exception path skipped an
+         exit): force-close down to the matching frame. *)
+      t.mismatches <- t.mismatches + 1;
+      t.stack <- rest;
+      close t f;
+      exit t cat
+    | _ -> t.mismatches <- t.mismatches + 1
+
+let span t cat f =
+  if not t.enabled then f ()
+  else begin
+    enter t cat;
+    Fun.protect ~finally:(fun () -> exit t cat) f
+  end
+
+let mismatches t = t.mismatches
+
+let clear t =
+  t.stack <- [];
+  Hashtbl.reset t.cats;
+  t.mismatches <- 0
+
+let create () =
+  let t = make ~enabled:true in
+  (* Calibrate: empty scopes, so everything measured is profiler
+     overhead. [cal_outside] is the external per-scope cost (what a
+     parent frame would see beyond the child's own window);
+     [cal_inside] is what an empty scope attributes to itself. *)
+  let rounds = 512 in
+  let m0 = minor_now () in
+  for _ = 1 to rounds do
+    enter t "__calibrate__";
+    exit t "__calibrate__"
+  done;
+  let m1 = minor_now () in
+  let inside =
+    match Hashtbl.find_opt t.cats "__calibrate__" with
+    | Some a -> a.minor /. float_of_int rounds
+    | None -> 0.0
+  in
+  t.cal_outside <- Float.max 0.0 ((m1 -. m0) /. float_of_int rounds);
+  t.cal_inside <- Float.max 0.0 (Float.min inside t.cal_outside);
+  clear t;
+  t
+
+type row = {
+  row_cat : string;
+  calls : int;
+  minor_words : float;
+  promoted_words : float;
+}
+
+let rows t =
+  Hashtbl.fold
+    (fun cat (a : acc) l ->
+      { row_cat = cat; calls = a.calls; minor_words = a.minor;
+        promoted_words = a.promoted }
+      :: l)
+    t.cats []
+  |> List.sort (fun a b ->
+         match Float.compare b.minor_words a.minor_words with
+         | 0 -> String.compare a.row_cat b.row_cat
+         | c -> c)
+
+let per_call r =
+  if r.calls = 0 then 0.0 else r.minor_words /. float_of_int r.calls
+
+let to_text t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "top allocators (minor words, self; non-deterministic)\n";
+  Buffer.add_string b
+    (Printf.sprintf "  %-24s %10s %14s %12s %14s\n" "category" "calls"
+       "minor_words" "minor/call" "promoted");
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-24s %10d %14.0f %12.1f %14.0f\n" r.row_cat r.calls
+           r.minor_words (per_call r) r.promoted_words))
+    (rows t);
+  if t.mismatches > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "  (%d mismatched scope exits)\n" t.mismatches);
+  Buffer.contents b
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"categories\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"cat\":\"%s\",\"calls\":%d,\"minor_words\":%.0f,\"minor_per_call\":%.1f,\"promoted_words\":%.0f}"
+           r.row_cat r.calls r.minor_words (per_call r) r.promoted_words))
+    (rows t);
+  Buffer.add_string b
+    (Printf.sprintf
+       "],\"mismatches\":%d,\"calibration\":{\"inside_words_per_scope\":%.1f,\"outside_words_per_scope\":%.1f}}"
+       t.mismatches t.cal_inside t.cal_outside);
+  Buffer.contents b

@@ -1,0 +1,67 @@
+(** Span-scoped GC allocation profiler.
+
+    Attributes minor words and promoted words to named categories by
+    snapshotting [Gc.minor_words]/[Gc.counters] at scope entry and
+    exit. Attribution is
+    {e self}-style: a parent category's figures exclude everything
+    attributed to scopes nested inside it, and the profiler's own
+    allocation (frames, counter tuples) is subtracted using a
+    calibration loop run by {!create}.
+
+    {b Figures are wall-side, not virtual}: they depend on the host
+    runtime and are {e not} covered by the simulator's determinism
+    contract. Reports must place them in a clearly-separated
+    non-deterministic section.
+
+    {b Scopes must not cross a scheduling point.} The engine suspends
+    fibers via effects; a scope held across [Sim.sleep]/suspension
+    would absorb every interleaved fiber's allocation. Only scope
+    non-blocking stretches (codecs, frame dispatch, register access).
+    Unbalanced exits are tolerated (the stack is force-closed down to
+    the matching frame) and counted in {!mismatches}. *)
+
+type t
+
+val null : t
+(** Disabled profiler: every operation is a no-op, {!span} adds no
+    overhead beyond one branch. *)
+
+val create : unit -> t
+(** Live profiler. Runs a short calibration loop (a few hundred empty
+    scopes) to measure the profiler's own per-scope allocation. *)
+
+val enabled : t -> bool
+
+val enter : t -> string -> unit
+(** Open a scope attributing to the given category. *)
+
+val exit : t -> string -> unit
+(** Close the innermost scope of the given category, force-closing any
+    unbalanced scopes above it. *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t cat f] runs [f] inside a scope (closed on exception
+    too). *)
+
+val mismatches : t -> int
+(** Number of unbalanced scope exits observed — should be zero when
+    the scoping discipline holds. *)
+
+type row = {
+  row_cat : string;
+  calls : int;
+  minor_words : float;  (** self-attributed, calibrated *)
+  promoted_words : float;
+}
+
+val rows : t -> row list
+(** Sorted by minor words, descending (name ascending on ties). *)
+
+val to_text : t -> string
+(** The top-allocators table. *)
+
+val to_json : t -> string
+(** [{"categories":[...],"mismatches":..,"calibration":{...}}] —
+    values are non-deterministic (see module doc). *)
+
+val clear : t -> unit

@@ -25,6 +25,118 @@ module Dynarray = struct
     a
 end
 
+(* Log-bucketed bounded histogram (HDR-style). Buckets grow
+   geometrically by [gamma]; a bucket's representative value is its
+   geometric midpoint, so any sample inside the covered range
+   [range_lo, range_hi) is reported with relative error at most
+   [sqrt gamma - 1] (~1% for gamma = 1.02). Memory is a fixed array of
+   [nbuckets] counts regardless of sample count — the collector for
+   hot-path metrics at 10k-machine scale, where storing every sample is
+   unbounded. Zero/negative/tiny samples land in a dedicated underflow
+   bucket represented by the exact tracked minimum (overflow likewise
+   by the maximum), so boot-latency distributions that touch 0 keep
+   exact edges. *)
+module Bounded = struct
+  let gamma = 1.02
+  let log_gamma = Stdlib.log gamma
+  let range_lo = 1e-9
+  let interior = 2800 (* covers range_lo * gamma^2800 ~ 1.2e15 *)
+  let nbuckets = interior + 2 (* + underflow and overflow *)
+  let range_hi = range_lo *. Stdlib.exp (float_of_int interior *. log_gamma)
+  let max_relative_error = sqrt gamma -. 1.0
+
+  type t = {
+    counts : int array;
+    mutable n : int;
+    mutable sum : float;
+    mutable sumsq : float;
+    mutable minv : float;
+    mutable maxv : float;
+  }
+
+  let create () =
+    { counts = Array.make nbuckets 0;
+      n = 0;
+      sum = 0.0;
+      sumsq = 0.0;
+      minv = infinity;
+      maxv = neg_infinity }
+
+  let index v =
+    if not (v >= range_lo) then 0 (* underflow; also catches NaN *)
+    else if v >= range_hi then nbuckets - 1
+    else
+      let i = 1 + int_of_float (Stdlib.log (v /. range_lo) /. log_gamma) in
+      Stdlib.min (nbuckets - 2) (Stdlib.max 1 i)
+
+  (* Geometric midpoint of an interior bucket. *)
+  let representative t i =
+    if i = 0 then t.minv
+    else if i = nbuckets - 1 then t.maxv
+    else
+      let v =
+        range_lo *. Stdlib.exp ((float_of_int (i - 1) +. 0.5) *. log_gamma)
+      in
+      Stdlib.min t.maxv (Stdlib.max t.minv v)
+
+  let add t v =
+    t.counts.(index v) <- t.counts.(index v) + 1;
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. v;
+    t.sumsq <- t.sumsq +. (v *. v);
+    if v < t.minv then t.minv <- v;
+    if v > t.maxv then t.maxv <- v
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+  let stddev t =
+    if t.n < 2 then 0.0
+    else
+      let m = mean t in
+      sqrt (Float.max 0.0 ((t.sumsq /. float_of_int t.n) -. (m *. m)))
+
+  let min t = t.minv
+  let max t = t.maxv
+
+  (* Value of the 0-based order statistic [k] (bucket representative). *)
+  let value_at t k =
+    let rec walk i seen =
+      if i >= nbuckets then t.maxv
+      else
+        let seen = seen + t.counts.(i) in
+        if k < seen then representative t i else walk (i + 1) seen
+    in
+    walk 0 0
+
+  (* Same rank convention as the exact histogram: linear interpolation
+     between adjacent order statistics, so p=0 is the (exact) minimum
+     and p=100 the (exact) maximum. *)
+  let percentile t p =
+    if t.n = 0 then invalid_arg "Bounded.percentile: empty";
+    if p <= 0.0 then t.minv
+    else if p >= 100.0 then t.maxv
+    else
+      let rank = p /. 100.0 *. float_of_int (t.n - 1) in
+      let lo = int_of_float rank in
+      let hi = Stdlib.min (t.n - 1) (lo + 1) in
+      let frac = rank -. float_of_int lo in
+      let vlo = value_at t lo in
+      let vhi = if hi = lo then vlo else value_at t hi in
+      vlo +. (frac *. (vhi -. vlo))
+
+  let percentile_opt t p = if t.n = 0 then None else Some (percentile t p)
+  let median t = percentile t 50.0
+
+  let clear t =
+    Array.fill t.counts 0 nbuckets 0;
+    t.n <- 0;
+    t.sum <- 0.0;
+    t.sumsq <- 0.0;
+    t.minv <- infinity;
+    t.maxv <- neg_infinity
+end
+
 module Histogram = struct
   type t = {
     samples : Dynarray.t;
@@ -33,36 +145,85 @@ module Histogram = struct
     mutable sumsq : float;
     mutable minv : float;
     mutable maxv : float;
+    exact_limit : int;
+    mutable bucketed : Bounded.t option; (* Some once spilled *)
   }
 
-  let create () =
+  let default_exact_limit = 8192
+
+  let create ?(exact_limit = default_exact_limit) () =
+    if exact_limit < 1 then
+      invalid_arg "Histogram.create: exact_limit must be >= 1";
     { samples = Dynarray.create ();
       sorted = None;
       sum = 0.0;
       sumsq = 0.0;
       minv = infinity;
-      maxv = neg_infinity }
+      maxv = neg_infinity;
+      exact_limit;
+      bucketed = None }
+
+  let is_exact t = t.bucketed = None
+
+  (* Past the exact limit, fold the stored samples (in insertion order,
+     so the scalar accumulators replay bit-identically) into bounded
+     buckets and drop the sample array: memory stops growing with the
+     sample count at the cost of ~1% percentile error. *)
+  let spill t =
+    let b = Bounded.create () in
+    for i = 0 to t.samples.Dynarray.len - 1 do
+      Bounded.add b t.samples.Dynarray.arr.(i)
+    done;
+    t.samples.Dynarray.arr <- Array.make 64 0.0;
+    t.samples.Dynarray.len <- 0;
+    t.sorted <- None;
+    t.bucketed <- Some b
+
+  let add_bucketed t b v =
+    Bounded.add b v;
+    t.minv <- b.Bounded.minv;
+    t.maxv <- b.Bounded.maxv
 
   let add t v =
-    Dynarray.push t.samples v;
-    t.sorted <- None;
-    t.sum <- t.sum +. v;
-    t.sumsq <- t.sumsq +. (v *. v);
-    if v < t.minv then t.minv <- v;
-    if v > t.maxv then t.maxv <- v
+    match t.bucketed with
+    | Some b -> add_bucketed t b v
+    | None ->
+      if t.samples.Dynarray.len >= t.exact_limit then begin
+        spill t;
+        match t.bucketed with
+        | Some b -> add_bucketed t b v
+        | None -> assert false
+      end
+      else begin
+        Dynarray.push t.samples v;
+        t.sorted <- None;
+        t.sum <- t.sum +. v;
+        t.sumsq <- t.sumsq +. (v *. v);
+        if v < t.minv then t.minv <- v;
+        if v > t.maxv then t.maxv <- v
+      end
 
-  let count t = t.samples.Dynarray.len
+  let count t =
+    match t.bucketed with
+    | Some b -> Bounded.count b
+    | None -> t.samples.Dynarray.len
 
   let mean t =
-    let n = count t in
-    if n = 0 then 0.0 else t.sum /. float_of_int n
+    match t.bucketed with
+    | Some b -> Bounded.mean b
+    | None ->
+      let n = count t in
+      if n = 0 then 0.0 else t.sum /. float_of_int n
 
   let stddev t =
-    let n = count t in
-    if n < 2 then 0.0
-    else
-      let m = mean t in
-      sqrt (Float.max 0.0 ((t.sumsq /. float_of_int n) -. (m *. m)))
+    match t.bucketed with
+    | Some b -> Bounded.stddev b
+    | None ->
+      let n = count t in
+      if n < 2 then 0.0
+      else
+        let m = mean t in
+        sqrt (Float.max 0.0 ((t.sumsq /. float_of_int n) -. (m *. m)))
 
   let min t = t.minv
   let max t = t.maxv
@@ -76,17 +237,20 @@ module Histogram = struct
       a
 
   let percentile t p =
-    let a = sorted t in
-    let n = Array.length a in
-    if n = 0 then invalid_arg "Histogram.percentile: empty";
-    if p <= 0.0 then a.(0)
-    else if p >= 100.0 then a.(n - 1)
-    else
-      let rank = p /. 100.0 *. float_of_int (n - 1) in
-      let lo = int_of_float (Float.of_int (int_of_float rank)) in
-      let hi = Stdlib.min (n - 1) (lo + 1) in
-      let frac = rank -. float_of_int lo in
-      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+    match t.bucketed with
+    | Some b -> Bounded.percentile b p
+    | None ->
+      let a = sorted t in
+      let n = Array.length a in
+      if n = 0 then invalid_arg "Histogram.percentile: empty";
+      if p <= 0.0 then a.(0)
+      else if p >= 100.0 then a.(n - 1)
+      else
+        let rank = p /. 100.0 *. float_of_int (n - 1) in
+        let lo = int_of_float (Float.of_int (int_of_float rank)) in
+        let hi = Stdlib.min (n - 1) (lo + 1) in
+        let frac = rank -. float_of_int lo in
+        a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
 
   let percentile_opt t p = if count t = 0 then None else Some (percentile t p)
 
@@ -98,7 +262,8 @@ module Histogram = struct
     t.sum <- 0.0;
     t.sumsq <- 0.0;
     t.minv <- infinity;
-    t.maxv <- neg_infinity
+    t.maxv <- neg_infinity;
+    t.bucketed <- None
 end
 
 module Series = struct

@@ -5,13 +5,75 @@
     virtual time — the representation of [Bmcast_engine.Time.t], which
     re-exports this module as [Bmcast_engine.Stats]. *)
 
-(** Sample accumulator with exact percentiles (stores all samples). *)
-module Histogram : sig
+(** Log-bucketed bounded histogram (HDR-style).
+
+    Fixed memory regardless of sample count: samples are counted in
+    geometrically-spaced buckets (ratio {!gamma}) and percentile queries
+    report a bucket's geometric midpoint, so values inside
+    [\[range_lo, range_hi)] carry relative error at most
+    {!max_relative_error} (~1% for the default [gamma = 1.02]). The
+    tracked minimum and maximum stay exact, and [percentile h 0.] /
+    [percentile h 100.] return them, matching {!Histogram}'s contract.
+    Values below [range_lo] (including zero and negatives) and at or
+    above [range_hi] fall into underflow/overflow buckets represented by
+    the exact min/max. *)
+module Bounded : sig
   type t
+
+  val gamma : float
+  (** Bucket growth ratio. *)
+
+  val max_relative_error : float
+  (** Worst-case relative error for in-range samples:
+      [sqrt gamma - 1.]. *)
+
+  val range_lo : float
+
+  val range_hi : float
+  (** In-range values are [\[range_lo, range_hi)] (roughly
+      [1e-9 .. 1e15]). *)
 
   val create : unit -> t
   val add : t -> float -> unit
   val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+
+  val min : t -> float
+  (** Exact; [infinity] when empty. *)
+
+  val max : t -> float
+  (** Exact; [neg_infinity] when empty. *)
+
+  val percentile : t -> float -> float
+  (** Same rank convention as {!Histogram.percentile}.
+      @raise Invalid_argument if empty. *)
+
+  val percentile_opt : t -> float -> float option
+  val median : t -> float
+  val clear : t -> unit
+end
+
+(** Sample accumulator with exact percentiles for small collections.
+
+    Stores samples verbatim up to [exact_limit]; past that it spills
+    into a {!Bounded} log-bucketed histogram (one-time fold of the
+    stored samples, sample array freed) so hot-path metrics stay
+    memory-bounded at 10k-machine scale. Mean/stddev/min/max remain
+    exact after spilling; percentiles carry the {!Bounded} ~1% relative
+    error. *)
+module Histogram : sig
+  type t
+
+  val create : ?exact_limit:int -> unit -> t
+  (** [exact_limit] defaults to [8192].
+      @raise Invalid_argument if [exact_limit < 1]. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+
+  val is_exact : t -> bool
+  (** [true] until the collector spills into bucketed mode. *)
 
   val mean : t -> float
   (** [0.0] when empty. *)

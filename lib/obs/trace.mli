@@ -17,6 +17,18 @@ type value = Int of int | Float of float | Str of string | Bool of bool
 
 type args = (string * value) list
 
+type phase = P_span | P_instant | P_counter
+
+type event = {
+  phase : phase;
+  cat : string;
+  name : string;
+  ts : int;  (** virtual ns; for spans, the start time *)
+  dur : int;  (** spans only; virtual ns *)
+  value : float;  (** counters only *)
+  args : args;
+}
+
 type t
 
 val null : t
@@ -77,6 +89,11 @@ val counter : t -> cat:string -> string -> float -> unit
 
 val event_count : t -> int
 (** Events currently held in the ring. *)
+
+val iter : t -> (event -> unit) -> unit
+(** Oldest-to-newest iteration over the events currently in the ring —
+    the read side for in-process analysis ({!Analytics}) as opposed to
+    the file exports below. *)
 
 val dropped : t -> int
 (** Events overwritten after the ring filled. *)

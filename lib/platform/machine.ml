@@ -50,6 +50,7 @@ let create sim ~name ?(cores = 12) ?(mem_bytes = 96 * 1024 * 1024 * 1024)
     ?(disk_profile = Disk.hdd_constellation2) ?(disk_kind = Ahci_disk)
     ?(firmware = Firmware.default) ~fabric ?ib () =
   let mmio = Mmio.create () in
+  Mmio.set_profile mmio (Sim.profile sim);
   let pio = Pio.create () in
   let irq = Irq.create sim in
   let dma = Dma.create () in

@@ -3,6 +3,7 @@ module Time = Bmcast_engine.Time
 module Signal = Bmcast_engine.Signal
 module Content = Bmcast_storage.Content
 module Trace = Bmcast_obs.Trace
+module Profile = Bmcast_obs.Profile
 
 exception Timeout of string
 
@@ -22,6 +23,7 @@ type pending = {
 type t = {
   sim : Sim.t;
   send : Aoe.header -> Content.t array -> unit;
+  owner : string option;  (* machine name, for analytics span tags *)
   mtu : int;
   timeout : Time.span;
   max_read_sectors : int;
@@ -37,13 +39,14 @@ type t = {
   mutable completions : int;
 }
 
-let create sim ~send ?(mtu = 9000) ?(timeout = Time.ms 20)
+let create sim ~send ?owner ?(mtu = 9000) ?(timeout = Time.ms 20)
     ?(max_read_sectors = 1024) ?(max_retries = 10) ?(major = 0) ?(minor = 0)
     () =
   if max_read_sectors <= 0 then
     invalid_arg "Aoe_client: max_read_sectors must be positive";
   { sim;
     send;
+    owner;
     mtu;
     timeout;
     max_read_sectors;
@@ -70,7 +73,7 @@ let fresh_tag t =
   t.next_tag <- if tag >= 0xFF_FFFF then 1 else tag + 1;
   tag
 
-let on_frame t frame =
+let on_frame_inner t frame =
   let hdr = frame.Aoe.hdr in
   if hdr.Aoe.is_response then
     match Hashtbl.find_opt t.pending hdr.Aoe.tag with
@@ -106,6 +109,17 @@ let on_frame t frame =
         t.completions <- t.completions + 1;
         Signal.Latch.set p.done_
       end
+
+(* Response reassembly never blocks (latch wake-ups only push jobs), so
+   it is safe to scope for the allocation profiler. *)
+let on_frame t frame =
+  let prof = Sim.profile t.sim in
+  if Profile.enabled prof then begin
+    Profile.enter prof "proto.aoe_rx";
+    on_frame_inner t frame;
+    Profile.exit prof "proto.aoe_rx"
+  end
+  else on_frame_inner t frame
 
 let command_name = function
   | Aoe.Ata_read -> "aoe-read"
@@ -182,15 +196,25 @@ let run_command t request write_data =
     if not woke && not (Signal.Latch.is_set p.done_) then attempt (n + 1)
   in
   attempt 0;
-  if traced then
-    Trace.complete tr ~cat:"aoe"
-      ~args:
-        [ ("tag", Trace.Int request.Aoe.tag);
-          ("lba", Trace.Int request.Aoe.lba);
-          ("count", Trace.Int request.Aoe.count);
-          ("retries", Trace.Int !tries) ]
+  if traced then begin
+    let args =
+      [ ("tag", Trace.Int request.Aoe.tag);
+        ("lba", Trace.Int request.Aoe.lba);
+        ("count", Trace.Int request.Aoe.count);
+        ("retries", Trace.Int !tries) ]
+    in
+    let args =
+      (* Machine + stage tags route the span into the per-operation
+         table of [Bmcast_obs.Analytics]. *)
+      match t.owner with
+      | Some m ->
+        ("m", Trace.Str m) :: ("stage", Trace.Str "transport") :: args
+      | None -> args
+    in
+    Trace.complete tr ~cat:"aoe" ~args
       (command_name request.Aoe.command)
-      ~ts:start;
+      ~ts:start
+  end;
   if p.failed then
     raise
       (Target_error

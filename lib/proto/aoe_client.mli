@@ -14,6 +14,7 @@ type t
 val create :
   Bmcast_engine.Sim.t ->
   send:(Aoe.header -> Bmcast_storage.Content.t array -> unit) ->
+  ?owner:string ->
   ?mtu:int ->
   ?timeout:Bmcast_engine.Time.span ->
   ?max_read_sectors:int ->
@@ -23,7 +24,9 @@ val create :
   unit ->
   t
 (** Defaults: MTU 9000, timeout 20 ms, 1024-sector read commands,
-    10 retries, target 0.0. *)
+    10 retries, target 0.0. [owner] is the owning machine's name; when
+    set, command spans carry ["m"]/["stage"] args so
+    [Bmcast_obs.Analytics] folds them into its per-operation table. *)
 
 val on_frame : t -> Aoe.frame -> unit
 (** Feed a received frame (responses to other tags are ignored, so

@@ -167,11 +167,17 @@ let rec worker_loop t =
   else serve t job;
   worker_loop t
 
+(* Non-blocking dispatch (try_send never suspends), so the work-item
+   allocation is safe to scope for the allocation profiler. *)
 let on_rx t (pkt : Packet.t) =
-  match pkt.Packet.payload with
+  let prof = Sim.profile t.sim in
+  let profiled = Bmcast_obs.Profile.enabled prof in
+  if profiled then Bmcast_obs.Profile.enter prof "proto.vblade_rx";
+  (match pkt.Packet.payload with
   | Aoe.Frame frame when not frame.Aoe.hdr.Aoe.is_response && t.up ->
     ignore (Mailbox.try_send t.work { src = pkt.Packet.src; frame } : bool)
-  | Aoe.Frame _ | _ -> ()
+  | Aoe.Frame _ | _ -> ());
+  if profiled then Bmcast_obs.Profile.exit prof "proto.vblade_rx"
 
 let create sim ~fabric ~name ~disk ?(workers = 8)
     ?(per_request_cpu = Time.us 1500) ?(per_sector_cpu = 400)

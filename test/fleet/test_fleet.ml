@@ -10,6 +10,7 @@ module Fabric = Bmcast_net.Fabric
 module Vblade = Bmcast_proto.Vblade
 module Aoe = Bmcast_proto.Aoe
 module Trace = Bmcast_obs.Trace
+module Analytics = Bmcast_obs.Analytics
 module Replica_set = Bmcast_fleet.Replica_set
 module Scheduler = Bmcast_fleet.Scheduler
 module Scaleout = Bmcast_experiments.Scaleout
@@ -343,6 +344,73 @@ let test_fleet_scale_deterministic_trace () =
     && ra.Scaleout.ttfb = rb.Scaleout.ttfb
     && ra.Scaleout.failovers = rb.Scaleout.failovers)
 
+(* The report determinism contract on a seeded 250-client cloud burst:
+   the analytics section of the report (stage table, critical path,
+   SLO) derives from virtual-time spans only, so two same-seed runs
+   must render byte-identical JSON and text. *)
+let test_fleet_report_deterministic () =
+  let go () =
+    let r =
+      Scaleout.deploy_fleet ~seed:11 ~image_mb:4
+        ~boot_profile:Bmcast_guest.Os.cloud_minimal ~machines:250 ~replicas:16
+        ()
+    in
+    r.Scaleout.analytics
+  in
+  let a = go () and b = go () in
+  check_int "all machines folded" 250 (Analytics.machine_count a);
+  check_int "slo saw every boot" 250 (Analytics.slo a).Analytics.boots;
+  check_bool "json byte-identical" true
+    (String.equal (Analytics.to_json a) (Analytics.to_json b));
+  check_bool "text byte-identical" true
+    (String.equal (Analytics.to_text a) (Analytics.to_text b))
+
+(* Stage-sum = boot-total on a real deployment: per machine, the five
+   pipeline spans (queue, vmm_init, discover, copy, devirt) must tile
+   the boot timeline with no gaps or overlaps, so their durations sum
+   exactly (integer ns) to last-span-end minus first-span-start. *)
+let test_fleet_stage_tiling () =
+  let tr = Trace.create ~capacity:(1 lsl 16) ~categories:[ "boot" ] () in
+  let r =
+    Scaleout.deploy_fleet ~seed:5 ~image_mb:4
+      ~boot_profile:Bmcast_guest.Os.cloud_minimal ~machines:32 ~replicas:4
+      ~trace:tr ()
+  in
+  let per_machine = Hashtbl.create 32 in
+  Trace.iter tr (fun (e : Trace.event) ->
+      match (e.Trace.phase, List.assoc_opt "m" e.Trace.args) with
+      | Trace.P_span, Some (Trace.Str m) ->
+        let spans, first, last, sum =
+          Option.value
+            (Hashtbl.find_opt per_machine m)
+            ~default:(0, max_int, min_int, 0)
+        in
+        Hashtbl.replace per_machine m
+          ( spans + 1,
+            min first e.Trace.ts,
+            max last (e.Trace.ts + e.Trace.dur),
+            sum + e.Trace.dur )
+      | _ -> ());
+  check_int "dropped no boot spans" 0 (Trace.dropped tr);
+  check_int "every machine traced" 32 (Hashtbl.length per_machine);
+  Hashtbl.iter
+    (fun m (spans, first, last, sum) ->
+      check_int (m ^ " has the full pipeline") 5 spans;
+      check_int (m ^ " stages tile the boot") (last - first) sum)
+    per_machine;
+  (* and the analytics fold agrees with the raw spans *)
+  check_int "analytics saw the fleet" 32
+    (Analytics.machine_count r.Scaleout.analytics);
+  List.iter
+    (fun m ->
+      let _, _, _, sum = Hashtbl.find per_machine m in
+      match Analytics.boot_total_ms r.Scaleout.analytics m with
+      | Some total_ms ->
+        check_bool (m ^ " boot total matches trace") true
+          (Float.abs (total_ms -. (float_of_int sum /. 1e6)) < 1e-6)
+      | None -> Alcotest.failf "machine %s missing from analytics" m)
+    (Analytics.machine_names r.Scaleout.analytics)
+
 let test_fleet_replicas_beat_single () =
   (* The tentpole claim at test scale: 8 machines on 1 replica vs 2. *)
   let one =
@@ -378,4 +446,7 @@ let () =
           tc "deterministic trace" `Slow test_fleet_deterministic_trace;
           tc "1000-client deterministic trace" `Slow
             test_fleet_scale_deterministic_trace;
+          tc "250-client deterministic report" `Slow
+            test_fleet_report_deterministic;
+          tc "boot stages tile exactly" `Slow test_fleet_stage_tiling;
           tc "replicas beat single" `Slow test_fleet_replicas_beat_single ] ) ]

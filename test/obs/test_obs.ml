@@ -7,6 +7,8 @@
 module Stats = Bmcast_obs.Stats
 module Trace = Bmcast_obs.Trace
 module Metrics = Bmcast_obs.Metrics
+module Profile = Bmcast_obs.Profile
+module Analytics = Bmcast_obs.Analytics
 module Sim = Bmcast_engine.Sim
 module Time = Bmcast_engine.Time
 module Content = Bmcast_storage.Content
@@ -70,6 +72,88 @@ let test_percentile_interpolation () =
   Alcotest.(check (float 1e-9)) "p0" 0.0 (Stats.Histogram.percentile h 0.0);
   Alcotest.(check (float 1e-9)) "p100" 10.0
     (Stats.Histogram.percentile h 100.0)
+
+let test_percentile_edges () =
+  (* Single sample: every percentile is that sample. *)
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.add h 3.25;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "single sample p%g" p)
+        3.25
+        (Stats.Histogram.percentile h p))
+    [ 0.0; 50.0; 100.0 ];
+  (* p=0 / p=100 pin the exact extremes, and out-of-range p clamps. *)
+  List.iter (Stats.Histogram.add h) [ -2.0; 7.5 ];
+  Alcotest.(check (float 0.0)) "p0 = min" (-2.0)
+    (Stats.Histogram.percentile h 0.0);
+  Alcotest.(check (float 0.0)) "p100 = max" 7.5
+    (Stats.Histogram.percentile h 100.0);
+  Alcotest.(check (float 0.0)) "p<0 clamps to min" (-2.0)
+    (Stats.Histogram.percentile h (-10.0));
+  Alcotest.(check (float 0.0)) "p>100 clamps to max" 7.5
+    (Stats.Histogram.percentile h 250.0)
+
+(* Past [exact_limit] the collector folds its samples into the
+   log-bucketed form: summary moments and the extremes stay exact, the
+   interior percentiles pick up the bounded relative error, and [clear]
+   returns it to exact mode (including being able to accept samples
+   again — the spill frees the sample array). *)
+let test_histogram_spill () =
+  let h = Stats.Histogram.create ~exact_limit:4 () in
+  for i = 1 to 10 do
+    Stats.Histogram.add h (float_of_int i)
+  done;
+  check_bool "spilled" false (Stats.Histogram.is_exact h);
+  check_int "count survives spill" 10 (Stats.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "mean exact after spill" 5.5
+    (Stats.Histogram.mean h);
+  Alcotest.(check (float 0.0)) "min exact" 1.0 (Stats.Histogram.min h);
+  Alcotest.(check (float 0.0)) "max exact" 10.0 (Stats.Histogram.max h);
+  Alcotest.(check (float 0.0)) "p0 exact" 1.0
+    (Stats.Histogram.percentile h 0.0);
+  Alcotest.(check (float 0.0)) "p100 exact" 10.0
+    (Stats.Histogram.percentile h 100.0);
+  let p50 = Stats.Histogram.percentile h 50.0 in
+  check_bool "p50 within bucket error" true
+    (Float.abs (p50 -. 5.5) <= Stats.Bounded.max_relative_error *. 5.5);
+  Stats.Histogram.clear h;
+  check_bool "exact again after clear" true (Stats.Histogram.is_exact h);
+  check_int "empty after clear" 0 (Stats.Histogram.count h);
+  Stats.Histogram.add h 2.0;
+  Alcotest.(check (float 0.0)) "accepts samples after clear" 2.0
+    (Stats.Histogram.percentile h 50.0);
+  expect_invalid_arg "exact_limit 0" (fun () ->
+      Stats.Histogram.create ~exact_limit:0 ())
+
+(* Bucketed percentiles vs ground truth: for positive in-range samples
+   every percentile of the spilled histogram is within
+   [Bounded.max_relative_error] of the exact histogram's answer (both
+   interpolate with the same rank convention, and each order statistic's
+   representative carries at most that relative error). *)
+let prop_bucketed_percentile_error =
+  QCheck.Test.make ~count:400
+    ~name:"bucketed percentile within 1% of exact"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 120) (float_range 1e-3 1e6))
+        (int_range 0 100))
+    (fun (xs, p) ->
+      let exact = Stats.Histogram.create () in
+      let spilled = Stats.Histogram.create ~exact_limit:1 () in
+      List.iter
+        (fun x ->
+          Stats.Histogram.add exact x;
+          Stats.Histogram.add spilled x)
+        xs;
+      (List.length xs < 2 || not (Stats.Histogram.is_exact spilled))
+      &&
+      let p = float_of_int p in
+      let want = Stats.Histogram.percentile exact p in
+      let got = Stats.Histogram.percentile spilled p in
+      Float.abs (got -. want)
+      <= (Stats.Bounded.max_relative_error *. want) +. 1e-12)
 
 let prop_percentile_bounds =
   QCheck.Test.make ~count:500
@@ -286,6 +370,172 @@ let test_metrics_to_json () =
     (ia < String.length json
     && contains (String.sub json 0 (ia + 10)) "a_depth")
 
+(* --- Profile: span-scoped allocation attribution --- *)
+
+let test_profile_null_is_inert () =
+  check_bool "disabled" false (Profile.enabled Profile.null);
+  Profile.enter Profile.null "x";
+  Profile.exit Profile.null "x";
+  check_int "span runs its body" 42 (Profile.span Profile.null "x" (fun () -> 42));
+  check_int "no mismatches" 0 (Profile.mismatches Profile.null);
+  check_bool "no rows" true (Profile.rows Profile.null = [])
+
+let test_profile_attribution () =
+  let p = Profile.create () in
+  check_bool "enabled" true (Profile.enabled p);
+  (* Nested scopes: the inner allocation must not also be charged to
+     the outer category (self-attribution). *)
+  let sink = ref [] in
+  Profile.span p "outer" (fun () ->
+      Profile.span p "inner" (fun () ->
+          for i = 1 to 1000 do
+            sink := [ float_of_int i ]
+          done));
+  ignore (Sys.opaque_identity !sink);
+  check_int "no mismatches" 0 (Profile.mismatches p);
+  let row cat =
+    match List.find_opt (fun r -> r.Profile.row_cat = cat) (Profile.rows p) with
+    | Some r -> r
+    | None -> Alcotest.failf "category %s missing from rows" cat
+  in
+  let inner = row "inner" and outer = row "outer" in
+  check_int "inner calls" 1 inner.Profile.calls;
+  check_int "outer calls" 1 outer.Profile.calls;
+  check_bool "attribution is non-negative" true
+    (inner.Profile.minor_words >= 0.0 && outer.Profile.minor_words >= 0.0);
+  (* 1000 boxed-float list cells land in the inner scope; the outer
+     scope's self cost is only the profiler-adjacent residue. *)
+  check_bool "inner dominates" true
+    (inner.Profile.minor_words > 1000.0
+    && inner.Profile.minor_words > outer.Profile.minor_words);
+  check_contains "text report lists inner" (Profile.to_text p) "inner";
+  check_contains "json has categories" (Profile.to_json p) "\"categories\"";
+  Profile.clear p;
+  check_bool "rows cleared" true (Profile.rows p = [])
+
+let test_profile_mismatch_counted () =
+  let p = Profile.create () in
+  Profile.enter p "a";
+  Profile.exit p "b";
+  (* no scope of category b anywhere on the stack *)
+  check_int "unmatched exit counted" 1 (Profile.mismatches p);
+  Profile.exit p "a";
+  check_int "balanced exit adds nothing" 1 (Profile.mismatches p);
+  (* exit that force-closes an unbalanced scope above it *)
+  Profile.enter p "c";
+  Profile.enter p "d";
+  Profile.exit p "c";
+  check_bool "force-close counted" true (Profile.mismatches p >= 2)
+
+(* --- Analytics: synthetic boot pipelines --- *)
+
+(* Two hand-built boots on a clock-driven tracer. Durations in ms:
+     fast: queue 1, vmm_init 2, discover 3, copy 4, devirt 0.5  (10.5)
+     slow: queue 2, vmm_init 2, discover 1, copy 20, devirt 1   (26)   *)
+let synthetic_trace () =
+  let t = Trace.create () in
+  let now = ref 0 in
+  Trace.set_clock t (fun () -> !now);
+  let ms f = int_of_float (f *. 1e6) in
+  let boot m stages =
+    List.fold_left
+      (fun start (stage, dur_ms) ->
+        let finish = start + ms dur_ms in
+        now := finish;
+        Trace.complete t ~cat:"boot" ~args:[ ("m", Trace.Str m) ] stage
+          ~ts:start;
+        finish)
+      0 stages
+    |> ignore
+  in
+  boot "fast"
+    [ ("queue", 1.0); ("vmm_init", 2.0); ("discover", 3.0); ("copy", 4.0);
+      ("devirt", 0.5) ];
+  boot "slow"
+    [ ("queue", 2.0); ("vmm_init", 2.0); ("discover", 1.0); ("copy", 20.0);
+      ("devirt", 1.0) ];
+  (* An op-level span (other category, "m" + "stage" args) must land in
+     the per-operation table, not the boot pipeline. *)
+  now := ms 1.5;
+  Trace.complete t ~cat:"aoe"
+    ~args:[ ("m", Trace.Str "fast"); ("stage", Trace.Str "transport") ]
+    "aoe-read" ~ts:(ms 0.5);
+  t
+
+let test_analytics_pipeline () =
+  let a = Analytics.of_trace ~slo_s:0.02 (synthetic_trace ()) in
+  check_int "two machines" 2 (Analytics.machine_count a);
+  Alcotest.(check (list string))
+    "machine names sorted" [ "fast"; "slow" ] (Analytics.machine_names a);
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "stages in pipeline order"
+    [ ("queue", 1.0); ("vmm_init", 2.0); ("discover", 3.0); ("copy", 4.0);
+      ("devirt", 0.5) ]
+    (Analytics.stage_ms a "fast");
+  (* stage-sum = boot-total invariant *)
+  List.iter
+    (fun m ->
+      let sum =
+        List.fold_left (fun acc (_, d) -> acc +. d) 0.0 (Analytics.stage_ms a m)
+      in
+      match Analytics.boot_total_ms a m with
+      | Some total -> Alcotest.(check (float 1e-9)) (m ^ " total") sum total
+      | None -> Alcotest.failf "machine %s has no boot total" m)
+    (Analytics.machine_names a);
+  check_bool "unknown machine" true
+    (Analytics.stage_ms a "nope" = [] && Analytics.boot_total_ms a "nope" = None);
+  (* fleet-wide stage table: every stage saw both boots *)
+  let rows = Analytics.stage_rows a in
+  Alcotest.(check (list string))
+    "table in pipeline order" Analytics.stage_order
+    (List.map (fun r -> r.Analytics.stage) rows);
+  List.iter
+    (fun r -> check_int (r.Analytics.stage ^ " count") 2 r.Analytics.count)
+    rows;
+  let copy = List.find (fun r -> r.Analytics.stage = "copy") rows in
+  Alcotest.(check (float 1e-6)) "copy max" 20.0 copy.Analytics.max_ms;
+  Alcotest.(check (float 1e-6)) "copy p50" 12.0 copy.Analytics.p50_ms;
+  (* critical path: copy dominates both boots *)
+  (match Analytics.critical_path a with
+  | ("copy", 2) :: _ -> ()
+  | cp ->
+    Alcotest.failf "unexpected critical path head: %s"
+      (String.concat ","
+         (List.map (fun (s, n) -> Printf.sprintf "%s=%d" s n) cp)));
+  (* SLO at 20 ms: only "slow" (26 ms) violates, wasting 6 ms *)
+  let slo = Analytics.slo a in
+  check_int "boots" 2 slo.Analytics.boots;
+  check_int "violations" 1 slo.Analytics.violations;
+  Alcotest.(check (float 1e-6)) "wasted ms" 6.0 slo.Analytics.wasted_ms;
+  (* op table *)
+  (match Analytics.op_rows a with
+  | [ op ] ->
+    check_string "op key" "aoe.aoe-read" op.Analytics.opname;
+    check_int "op count" 1 op.Analytics.ocount;
+    Alcotest.(check (float 1e-6)) "op total" 1.0 op.Analytics.ototal_ms
+  | ops -> Alcotest.failf "expected 1 op row, got %d" (List.length ops));
+  (* renders are deterministic and carry the headline numbers *)
+  let a2 = Analytics.of_trace ~slo_s:0.02 (synthetic_trace ()) in
+  check_string "to_json stable" (Analytics.to_json a) (Analytics.to_json a2);
+  check_string "to_text stable" (Analytics.to_text a) (Analytics.to_text a2);
+  check_contains "json has slo" (Analytics.to_json a) "\"violations\":1";
+  check_contains "text has stage table" (Analytics.to_text a) "copy"
+
+let test_analytics_ignores_untagged () =
+  let t = Trace.create () in
+  let now = ref 0 in
+  Trace.set_clock t (fun () -> !now);
+  now := 1_000_000;
+  (* boot span without an "m" arg, instants, and foreign spans without
+     a "stage" arg must all be ignored *)
+  Trace.complete t ~cat:"boot" "queue" ~ts:0;
+  Trace.instant t ~cat:"boot" ~args:[ ("m", Trace.Str "x") ] "mark";
+  Trace.complete t ~cat:"net" ~args:[ ("m", Trace.Str "x") ] "send" ~ts:0;
+  let a = Analytics.of_trace t in
+  check_int "nothing folded" 0 (Analytics.machine_count a);
+  check_bool "no ops" true (Analytics.op_rows a = []);
+  check_int "no boots" 0 (Analytics.slo a).Analytics.boots
+
 (* --- End-to-end: traced deployments on the simulated testbed --- *)
 
 let image_mb = 32
@@ -393,6 +643,9 @@ let () =
             test_histogram_empty;
           Alcotest.test_case "percentile interpolation" `Quick
             test_percentile_interpolation;
+          Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
+          Alcotest.test_case "histogram spill" `Quick test_histogram_spill;
+          qt prop_bucketed_percentile_error;
           qt prop_percentile_bounds;
           qt prop_welford_matches_two_pass;
           Alcotest.test_case "bucket_mean skips gaps" `Quick
@@ -416,6 +669,17 @@ let () =
           Alcotest.test_case "null is stateless" `Quick
             test_metrics_null_is_stateless;
           Alcotest.test_case "to_json" `Quick test_metrics_to_json ] );
+      ( "profile",
+        [ Alcotest.test_case "null is inert" `Quick test_profile_null_is_inert;
+          Alcotest.test_case "nested attribution" `Quick
+            test_profile_attribution;
+          Alcotest.test_case "mismatches counted" `Quick
+            test_profile_mismatch_counted ] );
+      ( "analytics",
+        [ Alcotest.test_case "synthetic boot pipeline" `Quick
+            test_analytics_pipeline;
+          Alcotest.test_case "untagged events ignored" `Quick
+            test_analytics_ignores_untagged ] );
       ( "e2e",
         [ Alcotest.test_case "chaos trace is byte-deterministic" `Quick
             test_trace_deterministic_chaos;
