@@ -15,6 +15,8 @@ module Stacks = Bmcast_experiments.Stacks
 module Trace = Bmcast_obs.Trace
 module Metrics = Bmcast_obs.Metrics
 module Fault = Bmcast_faults.Fault
+module Timeseries = Bmcast_obs.Timeseries
+module Watchdog = Bmcast_obs.Watchdog
 module Fabric = Bmcast_net.Fabric
 module Disk = Bmcast_storage.Disk
 module Vblade = Bmcast_proto.Vblade
@@ -70,7 +72,14 @@ let make_tracer ?(sample_every = 1) = function
 
 let make_metrics = function None -> Metrics.null | Some _ -> Metrics.create ()
 
-let write_obs ~jsonl tracer trace_out metrics metrics_out =
+let prefix_filter prefix =
+  Option.map
+    (fun p ->
+      let n = String.length p in
+      fun k -> String.length k >= n && String.sub k 0 n = p)
+    prefix
+
+let write_obs ~jsonl ?filter tracer trace_out metrics metrics_out =
   Option.iter
     (fun path ->
       (if jsonl then Trace.write_jsonl else Trace.write_chrome) tracer path;
@@ -82,14 +91,42 @@ let write_obs ~jsonl tracer trace_out metrics metrics_out =
     trace_out;
   Option.iter
     (fun path ->
-      Metrics.write metrics path;
+      Metrics.write ?filter metrics path;
       Logs.app (fun m ->
           m "metrics: %d instrument(s) -> %s" (Metrics.size metrics) path))
     metrics_out
 
+(* Watchdog outcome, shared by fleet and watch: the alert record plus
+   every fault->alert detection latency the run measured. *)
+let show_watchdog w =
+  Logs.app (fun m ->
+      m "watchdog: %d alert(s), %d detection(s)%s" (Watchdog.alert_count w)
+        (List.length (Watchdog.detections w))
+        (match Watchdog.pending_expectations w with
+        | 0 -> ""
+        | n -> Printf.sprintf ", %d expectation(s) unresolved" n));
+  List.iter
+    (fun a ->
+      Logs.app (fun m ->
+          m "  ! [%7.2fs] %s %s: %s"
+            (float_of_int a.Watchdog.a_at /. 1e9)
+            a.Watchdog.a_rule a.Watchdog.a_key a.Watchdog.a_msg))
+    (Watchdog.alerts w);
+  List.iter
+    (fun d ->
+      Logs.app (fun m ->
+          m "  detected %S via %s (%s) in %.3fs" d.Watchdog.d_label
+            d.Watchdog.d_rule d.Watchdog.d_key
+            (float_of_int (Watchdog.detection_latency_ns d) /. 1e9)))
+    (Watchdog.detections w)
+
+let default_fleet_rules () =
+  [ Watchdog.threshold ~name:"server-down" ~key:"vblade.up" Watchdog.Below 0.5 ]
+
 (* --- deploy: one instance, streaming deployment, progress timeline --- *)
 
-let deploy () image_gb disk watch trace_out metrics_out jsonl trace_sample =
+let deploy () image_gb disk watch trace_out metrics_out filter jsonl
+    trace_sample =
   let disk_kind =
     match disk with
     | "ide" -> Machine.Ide_disk
@@ -149,7 +186,8 @@ let deploy () image_gb disk watch trace_out metrics_out jsonl trace_sample =
         (fun (at, what) ->
           Logs.app (fun l -> l "  [%7.2fs] %s" (secs (Time.diff at t0)) what))
         (Vmm.events vmm));
-  write_obs ~jsonl tracer trace_out metrics metrics_out;
+  write_obs ~jsonl ?filter:(prefix_filter filter) tracer trace_out metrics
+    metrics_out;
   0
 
 (* --- shared single-machine testbed for the chaos and trace commands --- *)
@@ -211,7 +249,8 @@ let spawn_deployment tb vmm_ref =
 
 (* --- chaos: deploy under a named fault scenario, check invariants --- *)
 
-let chaos () scenario seed image_mb trace_out metrics_out jsonl trace_sample =
+let chaos () scenario seed image_mb trace_out metrics_out filter jsonl
+    trace_sample =
   let plan =
     resolve_plan ~seed ~image_sectors:(image_mb * 2048) scenario
   in
@@ -252,13 +291,14 @@ let chaos () scenario seed image_mb trace_out metrics_out jsonl trace_sample =
       ~disk:tb.machine.Machine.disk vmm
   in
   Logs.app (fun m -> m "invariants:\n%s" (Fault.Invariants.report checks));
-  write_obs ~jsonl tracer trace_out metrics metrics_out;
+  write_obs ~jsonl ?filter:(prefix_filter filter) tracer trace_out metrics
+    metrics_out;
   if Fault.Invariants.failures checks = [] then 0 else 1
 
 (* --- trace: run a deployment purely to produce a trace file --- *)
 
 let trace_cmd () scenario seed image_mb image_gb output jsonl metrics_out
-    trace_sample =
+    filter trace_sample =
   let image_mb =
     match image_gb with Some gb -> gb * 1024 | None -> image_mb
   in
@@ -298,7 +338,8 @@ let trace_cmd () scenario seed image_mb image_gb output jsonl metrics_out
   (match Option.bind !vmm_ref Vmm.devirtualized_at with
   | Some at -> Logs.app (fun m -> m "de-virtualized at %.2fs" (secs at))
   | None -> Logs.app (fun m -> m "run ended before de-virtualization"));
-  write_obs ~jsonl tracer (Some output) metrics metrics_out;
+  write_obs ~jsonl ?filter:(prefix_filter filter) tracer (Some output) metrics
+    metrics_out;
   0
 
 (* --- fleet: many machines against a replicated storage tier --- *)
@@ -321,7 +362,7 @@ let parse_fault_spec what s =
     exit 2
 
 let fleet_cmd () machines replicas policy sched limit image_mb seed crash
-    restart trace_out metrics_out jsonl trace_sample =
+    restart trace_out metrics_out filter jsonl trace_sample =
   let policy =
     match Replica_set.policy_of_string policy with
     | Some p -> p
@@ -344,7 +385,12 @@ let fleet_cmd () machines replicas policy sched limit image_mb seed crash
   let crashes = List.map (parse_fault_spec "crash") crash in
   let restarts = List.map (parse_fault_spec "restart") restart in
   let tracer = make_tracer ~sample_every:trace_sample trace_out in
-  let metrics = make_metrics metrics_out in
+  (* The fleet always runs with live telemetry so the watchdog summary
+     below (and any --metrics snapshot) is populated. *)
+  let metrics = Metrics.create () in
+  let timeseries = Timeseries.create metrics in
+  let watchdog = Watchdog.create (default_fleet_rules ()) in
+  Watchdog.attach watchdog timeseries;
   Logs.app (fun m ->
       m
         "Fleet deployment: %d machine(s), %d storage replica(s), %d MB \
@@ -355,7 +401,7 @@ let fleet_cmd () machines replicas policy sched limit image_mb seed crash
   let r =
     Scaleout.deploy_fleet ~seed ~image_mb ~policy ~sched
       ~limit_per_server:limit ~crashes ~restarts ~trace:tracer ~metrics
-      ~machines ~replicas ()
+      ~timeseries ~watchdog ~machines ~replicas ()
   in
   let show label (s : Scaleout.summary) =
     Logs.app (fun m ->
@@ -377,8 +423,167 @@ let fleet_cmd () machines replicas policy sched limit image_mb seed crash
       m "  storage tier: %.1f MB served, %d failover(s)"
         (float_of_int r.Scaleout.server_bytes /. 1e6)
         r.Scaleout.failovers);
-  write_obs ~jsonl tracer trace_out metrics metrics_out;
+  show_watchdog watchdog;
+  write_obs ~jsonl ?filter:(prefix_filter filter) tracer trace_out metrics
+    metrics_out;
   0
+
+(* --- watch: live fleet-health dashboard over a seeded deployment --- *)
+
+let spark_blocks =
+  [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+     "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline samples =
+  match List.map snd samples with
+  | [] -> ""
+  | vs ->
+    let lo = List.fold_left min infinity vs in
+    let hi = List.fold_left max neg_infinity vs in
+    let buf = Buffer.create (3 * List.length vs) in
+    List.iter
+      (fun v ->
+        let i =
+          if hi <= lo then 0
+          else int_of_float (7.999 *. ((v -. lo) /. (hi -. lo)))
+        in
+        Buffer.add_string buf spark_blocks.(max 0 (min 7 i)))
+      vs;
+    Buffer.contents buf
+
+let scalar_value metrics key =
+  match Metrics.find metrics key with
+  | Some v -> Metrics.scalar v
+  | None -> 0.0
+
+(* Keys worth a sparkline when no --filter narrows the view; shown in
+   this order, skipping any not yet tracked. *)
+let default_spark_keys =
+  [ "fleet.sched.queue_depth";
+    "fleet.sched.in_service";
+    "copy.active";
+    "copy.bytes";
+    "net.bytes_delivered";
+    "vblade.inflight|server=vblade0" ]
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let spark_keys ~filtered timeseries =
+  if filtered then take 8 (Timeseries.keys timeseries)
+  else
+    List.filter
+      (fun k -> Timeseries.status timeseries k <> None)
+      default_spark_keys
+
+let render_frame ~metrics ~timeseries ~watchdog ~filtered ~now =
+  let stage s = scalar_value metrics ("fleet.stage|stage=" ^ s) in
+  Logs.app (fun m ->
+      m "-- t=%8.2fs  sweep %-4d keys %-4d alerts %d --"
+        (float_of_int now /. 1e9)
+        (Timeseries.sweeps timeseries)
+        (Timeseries.nkeys timeseries)
+        (Watchdog.alert_count watchdog));
+  Logs.app (fun m ->
+      m
+        "   stages: vmm_init %.0f  discover %.0f  copy %.0f  devirt %.0f  \
+         done %.0f | queue %.0f  in-service %.0f"
+        (stage "vmm_init") (stage "discover") (stage "copy") (stage "devirt")
+        (scalar_value metrics "fleet.devirtualized")
+        (scalar_value metrics "fleet.sched.queue_depth")
+        (scalar_value metrics "fleet.sched.in_service"));
+  List.iter
+    (fun key ->
+      match Timeseries.raw ~n:32 timeseries key with
+      | [] -> ()
+      | samples ->
+        let _, last = List.nth samples (List.length samples - 1) in
+        Logs.app (fun m ->
+            m "   %-32s %s %s" key (sparkline samples)
+              (Timeseries.fmt_float last)))
+    (spark_keys ~filtered timeseries);
+  match Watchdog.firing watchdog with
+  | [] -> ()
+  | f ->
+    Logs.app (fun m ->
+        m "   firing: %s"
+          (String.concat ", " (List.map (fun (r, k) -> r ^ "(" ^ k ^ ")") f)))
+
+let watch_cmd () machines replicas limit image_mb seed crash restart
+    interval_ms refresh filter rules min_alerts ts_out om_out =
+  if interval_ms <= 0 then begin
+    Logs.err (fun m -> m "--interval-ms must be positive (got %d)" interval_ms);
+    exit 2
+  end;
+  if refresh < 1 then begin
+    Logs.err (fun m -> m "--refresh must be >= 1 (got %d)" refresh);
+    exit 2
+  end;
+  let crashes = List.map (parse_fault_spec "crash") crash in
+  let restarts = List.map (parse_fault_spec "restart") restart in
+  let rules =
+    match rules with
+    | [] -> default_fleet_rules ()
+    | specs ->
+      List.map
+        (fun s ->
+          try Watchdog.rule_of_string s
+          with Invalid_argument msg ->
+            Logs.err (fun m -> m "%s" msg);
+            exit 2)
+        specs
+  in
+  let metrics = Metrics.create () in
+  let timeseries =
+    Timeseries.create
+      ~interval_ns:(Time.ms interval_ms)
+      ?filter:(prefix_filter filter) metrics
+  in
+  let watchdog = Watchdog.create rules in
+  (* Wire the watchdog first so each frame reflects the sweep that was
+     just evaluated, then the dashboard subscriber. *)
+  Watchdog.attach watchdog timeseries;
+  let filtered = filter <> None in
+  Timeseries.on_sample timeseries (fun ~now ->
+      if Timeseries.sweeps timeseries mod refresh = 0 then
+        render_frame ~metrics ~timeseries ~watchdog ~filtered ~now);
+  Logs.app (fun m ->
+      m
+        "Watching fleet: %d machine(s), %d replica(s), %d MB image — sample \
+         every %d ms, frame every %d sweep(s)"
+        machines replicas image_mb interval_ms refresh);
+  let r =
+    Scaleout.deploy_fleet ~seed ~image_mb ~limit_per_server:limit ~crashes
+      ~restarts ~metrics ~timeseries ~watchdog ~machines ~replicas ()
+  in
+  Logs.app (fun m ->
+      m
+        "done: ttfb p50 %.2fs max %.2fs | ttdv p50 %.2fs max %.2fs | %d \
+         failover(s), %d sweep(s)"
+        r.Scaleout.ttfb.Scaleout.p50 r.Scaleout.ttfb.Scaleout.max
+        r.Scaleout.ttdv.Scaleout.p50 r.Scaleout.ttdv.Scaleout.max
+        r.Scaleout.failovers (Timeseries.sweeps timeseries));
+  show_watchdog watchdog;
+  Option.iter
+    (fun path ->
+      Timeseries.write_csv timeseries path;
+      Logs.app (fun m ->
+          m "timeseries: %d key(s) -> %s" (Timeseries.nkeys timeseries) path))
+    ts_out;
+  Option.iter
+    (fun path ->
+      Timeseries.write_openmetrics timeseries path;
+      Logs.app (fun m -> m "openmetrics: -> %s" path))
+    om_out;
+  if Watchdog.alert_count watchdog < min_alerts then begin
+    Logs.err (fun m ->
+        m "expected at least %d alert(s), saw %d" min_alerts
+          (Watchdog.alert_count watchdog));
+    1
+  end
+  else 0
 
 (* --- report: provisioning analytics + allocation profile --- *)
 
@@ -500,6 +705,29 @@ let () =
       & info [ "jsonl" ]
           ~doc:"Write the trace as JSON-lines instead of Chrome JSON.")
   in
+  let filter =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "filter" ] ~docv:"PREFIX"
+          ~doc:
+            "Restrict metric output to keys starting with $(docv) \
+             (e.g. $(b,fleet.) or $(b,vblade.)).")
+  in
+  let crash =
+    Arg.(
+      value & opt_all string []
+      & info [ "crash" ] ~docv:"MS:REPLICA"
+          ~doc:"crash replica $(i,REPLICA) $(i,MS) ms after fleet start \
+                (repeatable)")
+  in
+  let restart =
+    Arg.(
+      value & opt_all string []
+      & info [ "restart" ] ~docv:"MS:REPLICA"
+          ~doc:"restart replica $(i,REPLICA) $(i,MS) ms after fleet start \
+                (repeatable)")
+  in
   let trace_sample =
     Arg.(
       value & opt int 1
@@ -514,7 +742,7 @@ let () =
       (Cmd.info "deploy" ~doc:"stream-deploy one bare-metal instance")
       Term.(
         const deploy $ verbosity $ image_gb $ disk $ watch $ trace_out
-        $ metrics_out $ jsonl $ trace_sample)
+        $ metrics_out $ filter $ jsonl $ trace_sample)
   in
   let compare_cmd =
     Cmd.v
@@ -542,7 +770,7 @@ let () =
          ~doc:"deploy under a named fault scenario and check invariants")
       Term.(
         const chaos $ verbosity $ scenario $ seed $ image_mb $ trace_out
-        $ metrics_out $ jsonl $ trace_sample)
+        $ metrics_out $ filter $ jsonl $ trace_sample)
   in
   let trace_scenario =
     Arg.(
@@ -574,7 +802,8 @@ let () =
             (Chrome/Perfetto format)")
       Term.(
         const trace_cmd $ verbosity $ trace_scenario $ seed $ image_mb
-        $ trace_image_gb $ trace_output $ jsonl $ metrics_out $ trace_sample)
+        $ trace_image_gb $ trace_output $ jsonl $ metrics_out $ filter
+        $ trace_sample)
   in
   let params_cmd =
     Cmd.v
@@ -616,20 +845,6 @@ let () =
         & info [ "limit-per-server" ] ~docv:"N"
             ~doc:"admission limit: concurrent deployments per storage server")
     in
-    let crash =
-      Arg.(
-        value & opt_all string []
-        & info [ "crash" ] ~docv:"MS:REPLICA"
-            ~doc:"crash replica $(i,REPLICA) $(i,MS) ms after fleet start \
-                  (repeatable)")
-    in
-    let restart =
-      Arg.(
-        value & opt_all string []
-        & info [ "restart" ] ~docv:"MS:REPLICA"
-            ~doc:"restart replica $(i,REPLICA) $(i,MS) ms after fleet start \
-                  (repeatable)")
-    in
     Cmd.v
       (Cmd.info "fleet"
          ~doc:
@@ -638,7 +853,80 @@ let () =
       Term.(
         const fleet_cmd $ verbosity $ machines $ replicas $ policy $ sched
         $ limit $ image_mb $ seed $ crash $ restart $ trace_out $ metrics_out
-        $ jsonl $ trace_sample)
+        $ filter $ jsonl $ trace_sample)
+  in
+  let watch_cmd =
+    let machines =
+      Arg.(
+        value & opt int 16
+        & info [ "machines" ] ~docv:"N" ~doc:"fleet size (deployments)")
+    in
+    let replicas =
+      Arg.(
+        value & opt int 3
+        & info [ "replicas" ] ~docv:"N"
+            ~doc:"storage replicas exporting the golden image")
+    in
+    let limit =
+      Arg.(
+        value & opt int 4
+        & info [ "limit-per-server" ] ~docv:"N"
+            ~doc:"admission limit: concurrent deployments per storage server")
+    in
+    let interval_ms =
+      Arg.(
+        value & opt int 1000
+        & info [ "interval-ms" ] ~docv:"MS"
+            ~doc:"sampling interval in virtual milliseconds")
+    in
+    let refresh =
+      Arg.(
+        value & opt int 5
+        & info [ "refresh" ] ~docv:"N"
+            ~doc:"render a dashboard frame every $(docv) sweeps")
+    in
+    let rule =
+      Arg.(
+        value & opt_all string []
+        & info [ "rule" ] ~docv:"SPEC"
+            ~doc:
+              "watchdog rule (repeatable): $(b,NAME:KEY>VAL[@HOLD]), \
+               $(b,NAME:KEY<VAL[@HOLD]), $(b,NAME:rate(KEY)>VAL), \
+               $(b,NAME:absent(KEY)@N) or $(b,NAME:stale(KEY)@N). \
+               Default: $(b,server-down:vblade.up<0.5).")
+    in
+    let min_alerts =
+      Arg.(
+        value & opt int 0
+        & info [ "min-alerts" ] ~docv:"N"
+            ~doc:
+              "exit non-zero unless at least $(docv) watchdog alert(s) \
+               fired (CI smoke assertion)")
+    in
+    let ts_out =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "timeseries-out" ] ~docv:"FILE"
+            ~doc:"write the sampled time series as CSV to $(docv)")
+    in
+    let om_out =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "openmetrics-out" ] ~docv:"FILE"
+            ~doc:"write the final sweep as OpenMetrics text to $(docv)")
+    in
+    Cmd.v
+      (Cmd.info "watch"
+         ~doc:
+           "deploy a fleet and render a live fleet-health dashboard (stage \
+            occupancy, sparklines, watchdog alerts) from the in-run \
+            time-series sampler")
+      Term.(
+        const watch_cmd $ verbosity $ machines $ replicas $ limit $ image_mb
+        $ seed $ crash $ restart $ interval_ms $ refresh $ filter $ rule
+        $ min_alerts $ ts_out $ om_out)
   in
   let report_cmd =
     let machines =
@@ -699,6 +987,7 @@ let () =
         trace_cmd;
         compare_cmd;
         fleet_cmd;
+        watch_cmd;
         report_cmd;
         params_cmd ]
   in

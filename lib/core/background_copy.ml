@@ -39,6 +39,8 @@ type t = {
   mutable consecutive_fetch_failures : int;
   mutable completed_at : Time.t option;
   copy_rate : Bmcast_obs.Stats.Rate.t;
+  m_active : float ref;
+  m_done : float ref;
 }
 
 (* The bitmap covers exactly the image region. *)
@@ -158,6 +160,8 @@ let rec retriever t =
 and finish t =
   if t.completed_at = None then begin
     t.completed_at <- Some (Sim.now t.sim);
+    Metrics.incr ~by:(-1.0) t.m_active;
+    Metrics.incr t.m_done;
     Signal.Latch.set t.complete
   end
 
@@ -229,6 +233,11 @@ let rec writer t =
   end
   else finish t
 
+let progress t =
+  Float.min 1.0
+    (float_of_int (Bitmap.filled_count t.bitmap)
+    /. float_of_int t.params.Params.image_sectors)
+
 let start sim ~params ~bitmap ~ops ?owner () =
   let t =
     { sim;
@@ -249,8 +258,20 @@ let start sim ~params ~bitmap ~ops ?owner () =
       fetch_failures = 0;
       consecutive_fetch_failures = 0;
       completed_at = None;
-      copy_rate = Metrics.rate (Sim.metrics sim) "background_copy_bytes" }
+      copy_rate = Metrics.rate (Sim.metrics sim) "copy.bytes";
+      m_active = Metrics.gauge (Sim.metrics sim) "copy.active";
+      m_done = Metrics.counter (Sim.metrics sim) "copy.done" }
   in
+  Metrics.incr t.m_active;
+  (* Per-machine progress fraction for the dashboard/autoscaler, named
+     by owner so fleet runs get one series per deploying machine. *)
+  (match owner with
+  | Some m ->
+    Metrics.derived (Sim.metrics sim)
+      ~labels:[ ("m", m) ]
+      "copy.progress"
+      (fun () -> progress t)
+  | None -> ());
   Sim.spawn_at sim ~name:"bgcopy-retriever" (Sim.now sim) (fun () -> retriever t);
   Sim.spawn_at sim ~name:"bgcopy-writer" (Sim.now sim) (fun () -> writer t);
   t
@@ -266,12 +287,6 @@ let fetch_failures t = t.fetch_failures
 
 let wait_complete t = Signal.Latch.wait t.complete
 let is_complete t = Signal.Latch.is_set t.complete
-
-let progress t =
-  Float.min 1.0
-    (float_of_int (Bitmap.filled_count t.bitmap)
-    /. float_of_int t.params.Params.image_sectors)
-
 let bytes_written t = t.bytes_written
 let chunks_suspended t = t.suspended
 let completed_at t = t.completed_at

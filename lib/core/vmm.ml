@@ -15,6 +15,7 @@ module Cpu_model = Bmcast_platform.Cpu_model
 module Aoe = Bmcast_proto.Aoe
 module Aoe_client = Bmcast_proto.Aoe_client
 module Trace = Bmcast_obs.Trace
+module Metrics = Bmcast_obs.Metrics
 
 (* The VMM binary fetched over PXE ("we minimize the VMM size as much as
    possible", §3.1; BitVisor-based prototype is ~27 KLoC). *)
@@ -71,12 +72,38 @@ let log_event t what =
    name) — the input of [Bmcast_obs.Analytics]. The stages tile the
    boot timeline sequentially, so per machine they sum to the boot
    total; see DESIGN.md §10. *)
+
+let stage_gauge m stage =
+  Metrics.gauge m ~labels:[ ("stage", stage) ] "fleet.stage"
+
+let stage_next = function
+  | "vmm_init" -> Some "discover"
+  | "discover" -> Some "copy"
+  | "copy" -> Some "devirt"
+  | _ -> None
+
+(* Stage-occupancy accounting rides the same transition points as the
+   spans: ending stage S moves the machine into the next stage's gauge
+   (occupancy is how many machines currently sit in each stage), and
+   ending "devirt" counts the machine as fully provisioned. [boot]
+   seeds the pipeline by bumping the "vmm_init" gauge. *)
 let stage_span sim ~machine stage ~ts =
   let tr = Sim.trace sim in
   if Trace.on tr ~cat:"boot" then
     Trace.complete tr ~cat:"boot"
       ~args:[ ("m", Trace.Str machine.Machine.name) ]
-      stage ~ts
+      stage ~ts;
+  let m = Sim.metrics sim in
+  if Metrics.enabled m then begin
+    Metrics.incr ~by:(-1.0) (stage_gauge m stage);
+    match stage_next stage with
+    | Some next -> Metrics.incr (stage_gauge m next)
+    | None -> Metrics.incr (Metrics.counter m "fleet.devirtualized")
+  end
+
+let stage_enter sim stage =
+  let m = Sim.metrics sim in
+  if Metrics.enabled m then Metrics.incr (stage_gauge m stage)
 
 let events t = List.rev t.events
 
@@ -265,6 +292,7 @@ let boot machine ~params ~server_port ?route ?on_aoe_response
     ?(release_memory = false) ?(hide_mgmt_nic = false) ?(nic = `Mgmt)
     ?(boot_prefetch = []) ?(resume = false) ?(vmxoff = `Resident) () =
   let boot_started = Sim.now machine.Machine.sim in
+  stage_enter machine.Machine.sim "vmm_init";
   (* PXE-load the VMM over the management NIC, then initialize. *)
   Firmware.pxe_load machine.Machine.firmware ~bytes_len:vmm_image_bytes;
   Sim.sleep params.Params.vmm_boot_time;

@@ -14,6 +14,7 @@ type job =
   | Job_k : (unit, unit) Effect.Deep.continuation -> job
   | Job_kv : ('a, unit) Effect.Deep.continuation * 'a -> job
   | Job_proc of string option * (unit -> unit)
+  | Job_daemon of (unit -> unit)
 
 type t = {
   mutable clock : Time.t;
@@ -22,6 +23,7 @@ type t = {
   mutable executed : int;
   mutable failure : (string * exn) option;
   mutable stop_requested : bool;
+  mutable daemons : int; (* queued Job_daemon events; see [run] *)
   trace_ : Trace.t;
   metrics_ : Metrics.t;
   profile_ : Profile.t;
@@ -36,7 +38,7 @@ type _ Effect.t +=
   | Spawn : string option * (unit -> unit) -> unit Effect.t
   | Self : t Effect.t
 
-let create ?(seed = 42) ?(trace = Trace.null) ?(metrics = Metrics.null)
+let create_base ?(seed = 42) ?(trace = Trace.null) ?(metrics = Metrics.null)
     ?(profile = Profile.null) () =
   let sim =
     { clock = Time.zero;
@@ -45,11 +47,15 @@ let create ?(seed = 42) ?(trace = Trace.null) ?(metrics = Metrics.null)
       executed = 0;
       failure = None;
       stop_requested = false;
+      daemons = 0;
       trace_ = trace;
       metrics_ = metrics;
       profile_ = profile }
   in
   Trace.set_clock trace (fun () -> sim.clock);
+  Metrics.derived metrics "sim.events" (fun () -> float_of_int sim.executed);
+  Metrics.derived metrics "sim.pending" (fun () ->
+      float_of_int (Timer_wheel.size sim.events));
   sim
 
 let now sim = sim.clock
@@ -70,6 +76,41 @@ let schedule sim at fn =
       (Printf.sprintf "Sim.schedule: time %s is in the past (now %s)"
          (Time.to_string at) (Time.to_string sim.clock));
   push_job sim at (Job_fn fn)
+
+let push_daemon sim at fn =
+  sim.daemons <- sim.daemons + 1;
+  push_job sim at (Job_daemon fn)
+
+(* Recurring callback every [span] of virtual time. Daemon jobs (the
+   default) never keep the simulation alive: [run] stops once only
+   daemon events remain, so a periodic sampler doesn't turn an
+   open-ended [run] into an infinite loop. The returned thunk cancels
+   the recurrence (the already-queued occurrence becomes a no-op). *)
+let every sim ?(daemon = true) ?start span fn =
+  if span <= 0 then invalid_arg "Sim.every: period must be positive";
+  let cancelled = ref false in
+  let push = if daemon then push_daemon else fun sim at fn -> push_job sim at (Job_fn fn) in
+  let rec arm at =
+    push sim at (fun () ->
+        if not !cancelled then begin
+          fn ();
+          arm (Time.add at span)
+        end)
+  in
+  arm (match start with Some at -> at | None -> Time.add sim.clock span);
+  fun () -> cancelled := true
+
+let create ?seed ?trace ?metrics ?profile ?timeseries () =
+  let sim = create_base ?seed ?trace ?metrics ?profile () in
+  (match timeseries with
+  | None -> ()
+  | Some ts ->
+    let interval = Bmcast_obs.Timeseries.interval_ns ts in
+    ignore
+      (every sim interval (fun () ->
+           Bmcast_obs.Timeseries.sample ts ~now:sim.clock)
+        : unit -> unit));
+  sim
 
 (* Run [f] as a process: execute under a deep handler that maps blocking
    effects onto event-queue operations.  Continuations are one-shot; the
@@ -135,6 +176,9 @@ and run_job sim job =
   | Job_k k -> Effect.Deep.continue k ()
   | Job_kv (k, v) -> Effect.Deep.continue k v
   | Job_proc (name, body) -> exec_process sim name body
+  | Job_daemon f ->
+    sim.daemons <- sim.daemons - 1;
+    f ()
   | Job_none -> assert false
 
 let spawn_at sim ?name at f =
@@ -158,7 +202,11 @@ let run ?until sim =
   let rec loop () =
     if continue_run () && not sim.stop_requested then begin
       let t = Timer_wheel.next_time sim.events in
-      if t <> Timer_wheel.no_time then
+      (* Daemon events (recurring samplers) never keep the run alive:
+         once every queued event is a daemon, the simulation's real
+         work is done and the run returns. *)
+      if t <> Timer_wheel.no_time && Timer_wheel.size sim.events > sim.daemons
+      then
         if match until with Some u -> t > u | None -> false then
           (* Do not execute past the horizon; park the clock at it. *)
           sim.clock <- Option.get until

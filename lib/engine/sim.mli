@@ -20,6 +20,7 @@ val create :
   ?trace:Bmcast_obs.Trace.t ->
   ?metrics:Bmcast_obs.Metrics.t ->
   ?profile:Bmcast_obs.Profile.t ->
+  ?timeseries:Bmcast_obs.Timeseries.t ->
   unit ->
   t
 (** Fresh simulation with clock at {!Time.zero}. Default seed is 42.
@@ -29,7 +30,10 @@ val create :
     {!Bmcast_obs.Metrics.null}) is the registry subsystems register
     instruments into at attach time. [profile] (default
     {!Bmcast_obs.Profile.null}) is the allocation profiler subsystems
-    scope non-blocking hot paths with. *)
+    scope non-blocking hot paths with. [timeseries] installs a
+    recurring daemon job (see {!every}) that sweeps the sampler at its
+    configured interval on the virtual clock, starting one interval in
+    — sampling is part of the deterministic event order. *)
 
 val now : t -> Time.t
 val rand : t -> Prng.t
@@ -50,12 +54,23 @@ val schedule : t -> Time.t -> (unit -> unit) -> unit
 (** [schedule sim at fn] runs callback [fn] at absolute time [at] (which
     must not be in the past). *)
 
+val every : t -> ?daemon:bool -> ?start:Time.t -> Time.span -> (unit -> unit) -> unit -> unit
+(** [every sim span fn] runs callback [fn] every [span] of virtual
+    time, first at [start] (default: one [span] from now). Returns a
+    cancel thunk; cancelling turns the already-queued occurrence into a
+    no-op. With [daemon] (the default) the recurrence never keeps
+    {!run} alive — the run returns once only daemon events remain —
+    so periodic samplers are safe in open-ended runs. [~daemon:false]
+    gives an ordinary recurring event (with no [until], cancel it or
+    the run never terminates).
+    @raise Invalid_argument if [span <= 0]. *)
+
 val spawn_at : t -> ?name:string -> Time.t -> (unit -> unit) -> unit
 (** Start an effectful process at the given absolute time. *)
 
 val run : ?until:Time.t -> t -> unit
-(** Execute events until the queue is empty or the clock passes [until].
-    Re-raises process failures as {!Process_failure}. *)
+(** Execute events until no non-daemon events remain or the clock
+    passes [until]. Re-raises process failures as {!Process_failure}. *)
 
 val events_executed : t -> int
 

@@ -39,7 +39,25 @@ type result = {
   server_bytes : int;
   sim_events : int;
   analytics : Analytics.t;
+  alert_count : int;
+  timeline : string;
+  watch : string;
 }
+
+(* Per-machine series ([|m=...] labels) grow with fleet size; the
+   bench-embedded timeline keeps fleet-level keys plus the small
+   per-replica health series so its size is bounded by the replica
+   count, not the client count. *)
+let bench_ts_filter k =
+  match String.index_opt k '|' with
+  | None -> true
+  | Some i ->
+    let p = String.sub k 0 i in
+    p = "vblade.up" || p = "replica.up" || p = "fleet.stage"
+
+let default_rules =
+  [ Bmcast_obs.Watchdog.threshold ~name:"server-down" ~key:"vblade.up"
+      Bmcast_obs.Watchdog.Below 0.5 ]
 
 let summarize h =
   { p50 = Stats.Histogram.percentile h 50.0;
@@ -52,7 +70,8 @@ let deploy_fleet ?(seed = 42) ?(image_mb = 256)
     ?(policy = Replica_set.Least_outstanding)
     ?(sched = Scheduler.All_at_once) ?(limit_per_server = 4)
     ?(ram_cache = true) ?(crashes = []) ?(restarts = []) ?tweak ?trace
-    ?metrics ?profile ?boot_profile ?(slo_s = 120.0) ~machines ~replicas () =
+    ?metrics ?timeseries ?watchdog ?profile ?boot_profile ?(slo_s = 120.0)
+    ~machines ~replicas () =
   if machines <= 0 then invalid_arg "Scaleout.deploy_fleet: machines";
   if replicas <= 0 then invalid_arg "Scaleout.deploy_fleet: replicas";
   (* The stage analytics need the boot-pipeline spans. With a
@@ -65,7 +84,27 @@ let deploy_fleet ?(seed = 42) ?(image_mb = 256)
     | None ->
       Trace.create ~capacity:((machines * 6) + 64) ~categories:[ "boot" ] ()
   in
-  let sim = Sim.create ~seed ~trace ?metrics ?profile () in
+  (* Fleet runs always carry telemetry: a live registry, a sampler over
+     it (bench-filtered unless the caller brings one) and a watchdog, so
+     every deployment's timeline and alert record lands in [result]. *)
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  (* When the caller supplies BOTH the sampler and the watchdog they own
+     the wiring (subscriber order matters for dashboards); otherwise we
+     attach here. *)
+  let caller_wired = timeseries <> None && watchdog <> None in
+  let timeseries =
+    match timeseries with
+    | Some ts -> ts
+    | None -> Bmcast_obs.Timeseries.create ~filter:bench_ts_filter metrics
+  in
+  let watchdog =
+    match watchdog with
+    | Some w -> w
+    | None -> Bmcast_obs.Watchdog.create default_rules
+  in
+  if not caller_wired then Bmcast_obs.Watchdog.attach watchdog timeseries;
+  Bmcast_obs.Watchdog.set_trace watchdog trace;
+  let sim = Sim.create ~seed ~trace ~metrics ~timeseries ?profile () in
   let fabric = Fabric.create sim () in
   let image_sectors = image_mb * 2048 in
   let disk_profile = Disk.hdd_constellation2 in
@@ -93,7 +132,14 @@ let deploy_fleet ?(seed = 42) ?(image_mb = 256)
     Sim.schedule sim (Time.add (Sim.now sim) span) f
   in
   List.iter
-    (fun (span, i) -> at span (fun () -> Vblade.crash (List.nth vblades i)))
+    (fun (span, i) ->
+      at span (fun () ->
+          Vblade.crash (List.nth vblades i);
+          (* Ground truth for detection latency: the watchdog's next
+             alert resolves this into a measured fault→alert span. *)
+          Bmcast_obs.Watchdog.expect watchdog
+            ~label:(Printf.sprintf "crash vblade%d" i)
+            ~now:(Sim.now sim)))
     crashes;
   List.iter
     (fun (span, i) -> at span (fun () -> Vblade.restart (List.nth vblades i)))
@@ -165,7 +211,10 @@ let deploy_fleet ?(seed = 42) ?(image_mb = 256)
     server_bytes =
       List.fold_left (fun a v -> a + Vblade.bytes_served v) 0 vblades;
     sim_events = Sim.events_executed sim;
-    analytics = Analytics.of_trace ~slo_s trace }
+    analytics = Analytics.of_trace ~slo_s trace;
+    alert_count = Bmcast_obs.Watchdog.alert_count watchdog;
+    timeline = Bmcast_obs.Timeseries.timeline_json ~max_points:60 timeseries;
+    watch = Bmcast_obs.Watchdog.alerts_json watchdog }
 
 let summary_json s =
   Printf.sprintf
@@ -179,7 +228,9 @@ let result_json r =
      "time_to_devirt_s":%s,
      "failovers":%d,"peak_queue":%d,"peak_in_service":%d,
      "admitted_per_server":[%s],"server_bytes":%d,"sim_events":%d,
-     "boot":%s}|}
+     "boot":%s,
+     "timeline":%s,
+     "watch":%s}|}
     r.machines r.replicas r.image_mb r.policy r.sched (summary_json r.ttfb)
     (summary_json r.ttdv) r.failovers r.peak_queue r.peak_in_service
     (Array.to_list r.admitted_per_server
@@ -187,6 +238,7 @@ let result_json r =
     |> String.concat ",")
     r.server_bytes r.sim_events
     (Analytics.to_json r.analytics)
+    r.timeline r.watch
 
 let write_metrics path results =
   let oc = open_out path in

@@ -44,6 +44,14 @@ type result = {
   analytics : Bmcast_obs.Analytics.t;
       (** boot-stage breakdown, critical-path attribution and SLO
           evaluation folded from the run's boot-pipeline spans *)
+  alert_count : int;  (** watchdog alerts fired during the run *)
+  timeline : string;
+      (** {!Bmcast_obs.Timeseries.timeline_json} of the run's sampler —
+          fleet-level series (plus per-replica health) over virtual
+          time, embedded verbatim in [BENCH_fleet.json] *)
+  watch : string;
+      (** {!Bmcast_obs.Watchdog.alerts_json}: alerts and
+          fault→alert detection latencies *)
 }
 
 val deploy_fleet :
@@ -58,6 +66,8 @@ val deploy_fleet :
   ?tweak:(Bmcast_core.Params.t -> Bmcast_core.Params.t) ->
   ?trace:Bmcast_obs.Trace.t ->
   ?metrics:Bmcast_obs.Metrics.t ->
+  ?timeseries:Bmcast_obs.Timeseries.t ->
+  ?watchdog:Bmcast_obs.Watchdog.t ->
   ?profile:Bmcast_obs.Profile.t ->
   ?boot_profile:Bmcast_guest.Os.profile ->
   ?slo_s:float ->
@@ -77,7 +87,16 @@ val deploy_fleet :
 
     Without a caller [trace], a small boot-category-only tracer is
     attached so [analytics] is always populated; with one, the boot
-    spans ride along in it. [profile] attaches a
+    spans ride along in it. Every run carries live telemetry: a
+    {!Bmcast_obs.Metrics} registry (fresh unless [metrics] is given), a
+    {!Bmcast_obs.Timeseries} sampler over it (default: 1 s virtual
+    interval, bench-filtered to fleet-level plus per-replica series)
+    and a {!Bmcast_obs.Watchdog} (default rule:
+    [server-down: vblade.up < 0.5]). deploy_fleet attaches the watchdog
+    to the sampler unless the caller supplied {e both} — then the
+    caller owns the wiring (subscriber order matters for dashboards).
+    Each scheduled crash arms a watchdog expectation, so [watch]
+    reports measured detection latencies. [profile] attaches a
     {!Bmcast_obs.Profile} allocation profiler to the run (its figures
     are non-deterministic and live outside [result]). [slo_s] (default
     [120.0]) is the provisioning-time target the [analytics] SLO

@@ -51,10 +51,18 @@ val describe : action -> string
     records what it did. *)
 type injector
 
-val inject : rig -> plan -> injector
+val inject : ?watchdog:Bmcast_obs.Watchdog.t -> rig -> plan -> injector
 (** Spawn the injector process; events fire at [inject-time + after] in
     ascending order (stable for equal times). Callable from outside or
-    inside process context. *)
+    inside process context. With [watchdog], every applied outage
+    (crash, link down) arms a detection-latency expectation
+    ({!Bmcast_obs.Watchdog.expect}) at its injection time, so "fault →
+    alert" latency is measured automatically. *)
+
+val is_outage : action -> bool
+(** Actions that remove capacity (crash, link down) — the ones a health
+    watchdog is expected to detect and {!inject} arms expectations
+    for. *)
 
 val trace : injector -> (Bmcast_engine.Time.t * string) list
 (** Applied events, oldest first: the deterministic signature of a

@@ -38,6 +38,7 @@ type replica = {
   mutable ewma_rtt_ns : float;  (* 0.0 until the first sample *)
   mutable suspect_until : Time.t;
   m_routed : float ref;
+  m_rtt : float ref;
 }
 
 (* One tracked command: enough state to re-route retransmissions and to
@@ -69,6 +70,12 @@ let create sim ?(policy = Least_outstanding) ?(cooldown = Time.ms 500) vblades =
     Array.of_list
       (List.mapi
          (fun i v ->
+           let labels = [ ("replica", string_of_int i) ] in
+           (* Health as the autoscaler will read it: liveness straight
+              from the vblade (pull-only, evaluated at sample time) and
+              the smoothed RTT the router steers by. *)
+           Metrics.derived metrics ~labels "replica.up" (fun () ->
+               if Vblade.is_up v then 1.0 else 0.0);
            { vblade = v;
              port = Vblade.port_id v;
              outstanding = 0;
@@ -76,9 +83,8 @@ let create sim ?(policy = Least_outstanding) ?(cooldown = Time.ms 500) vblades =
              ewma_rtt_ns = 0.0;
              suspect_until = Time.zero;
              m_routed =
-               Metrics.counter metrics
-                 ~labels:[ ("replica", string_of_int i) ]
-                 "fleet_requests_routed" })
+               Metrics.counter metrics ~labels "fleet.requests_routed";
+             m_rtt = Metrics.gauge metrics ~labels "replica.rtt_ms" })
          vblades)
   in
   { sim;
@@ -88,7 +94,7 @@ let create sim ?(policy = Least_outstanding) ?(cooldown = Time.ms 500) vblades =
     prng = Prng.split (Sim.rand sim);
     flights = Hashtbl.create 64;
     failovers = 0;
-    m_failovers = Metrics.counter metrics "fleet_failovers" }
+    m_failovers = Metrics.counter metrics "fleet.failovers" }
 
 let size t = Array.length t.replicas
 let port_of t i = t.replicas.(i).port
@@ -229,7 +235,8 @@ let observe t (hdr : Aoe.header) =
         in
         r.ewma_rtt_ns <-
           (if r.ewma_rtt_ns <= 0.0 then sample
-           else ((1.0 -. ewma_alpha) *. r.ewma_rtt_ns) +. (ewma_alpha *. sample))
+           else ((1.0 -. ewma_alpha) *. r.ewma_rtt_ns) +. (ewma_alpha *. sample));
+        Metrics.set r.m_rtt (r.ewma_rtt_ns /. 1e6)
       end;
       if hdr.Aoe.error then complete t hdr.Aoe.tag f
       else (

@@ -54,6 +54,8 @@ type t = {
   admitted : int array;
   mutable ran : bool;
   m_queue : float ref;
+  m_in_service : float ref;
+  m_admitted : float ref;
 }
 
 let create sim ~servers ?(limit_per_server = 4) ?(policy = All_at_once) () =
@@ -72,7 +74,9 @@ let create sim ~servers ?(limit_per_server = 4) ?(policy = All_at_once) () =
     peak_in_service = 0;
     admitted = Array.make servers 0;
     ran = false;
-    m_queue = Metrics.gauge (Sim.metrics sim) "fleet_sched_queue_depth" }
+    m_queue = Metrics.gauge (Sim.metrics sim) "fleet.sched.queue_depth";
+    m_in_service = Metrics.gauge (Sim.metrics sim) "fleet.sched.in_service";
+    m_admitted = Metrics.counter (Sim.metrics sim) "fleet.sched.admitted" }
 
 let peak_queue t = t.peak_queue
 let peak_in_service t = t.peak_in_service
@@ -101,6 +105,8 @@ let run_one t ~name body =
   let server = lease t in
   t.in_service <- t.in_service + 1;
   t.peak_in_service <- max t.peak_in_service t.in_service;
+  Metrics.incr t.m_admitted;
+  Metrics.set t.m_in_service (float_of_int t.in_service);
   let started = Sim.clock () in
   let tr = Sim.trace t.sim in
   let traced = Trace.on tr ~cat:"fleet" in
@@ -116,6 +122,7 @@ let run_one t ~name body =
     ~finally:(fun () ->
       t.load.(server) <- t.load.(server) - 1;
       t.in_service <- t.in_service - 1;
+      Metrics.set t.m_in_service (float_of_int t.in_service);
       Semaphore.release t.slots)
     (fun () -> body server);
   let finished = Sim.clock () in

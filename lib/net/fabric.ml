@@ -3,6 +3,7 @@ module Time = Bmcast_engine.Time
 module Prng = Bmcast_engine.Prng
 module Mailbox = Bmcast_engine.Mailbox
 module Trace = Bmcast_obs.Trace
+module Metrics = Bmcast_obs.Metrics
 
 (* Frame loss is either memoryless or a two-state Gilbert-Elliott chain
    (good/bad), which produces the bursty losses real switches exhibit
@@ -41,6 +42,7 @@ and port = {
   egress : Packet.t Mailbox.t;  (* switch -> endpoint *)
   tx_drain : Bmcast_engine.Signal.Pulse.t;
   mutable bytes_out : int;
+  mutable busy_ns : int;  (* cumulative uplink serialization time *)
   mutable link_up : bool;
   mutable stalled_until : Time.t;  (* NIC fault: DMA engine frozen *)
 }
@@ -49,18 +51,31 @@ let transmit_span t size = Time.of_float_s (float_of_int size /. t.rate)
 
 let create sim ?(port_rate_bytes_per_s = 125e6) ?(latency = Time.us 20)
     ?(mtu = 9000) ?(loss_rate = 0.0) () =
-  { sim;
-    rate = port_rate_bytes_per_s;
-    latency;
-    mtu;
-    loss = Uniform loss_rate;
-    loss_in_bad = false;
-    prng = Prng.split (Sim.rand sim);
-    ports = [||];
-    frames_sent = 0;
-    frames_dropped = 0;
-    link_drops = 0;
-    bytes_delivered = 0 }
+  let t =
+    { sim;
+      rate = port_rate_bytes_per_s;
+      latency;
+      mtu;
+      loss = Uniform loss_rate;
+      loss_in_bad = false;
+      prng = Prng.split (Sim.rand sim);
+      ports = [||];
+      frames_sent = 0;
+      frames_dropped = 0;
+      link_drops = 0;
+      bytes_delivered = 0 }
+  in
+  (* Fabric-wide health for the sampler: pull-only derived gauges, so
+     the forwarding hot path carries no metrics cost. *)
+  let m = Sim.metrics sim in
+  Metrics.derived m "net.frames_sent" (fun () -> float_of_int t.frames_sent);
+  Metrics.derived m "net.frames_dropped" (fun () ->
+      float_of_int t.frames_dropped);
+  Metrics.derived m "net.link_drops" (fun () -> float_of_int t.link_drops);
+  Metrics.derived m "net.bytes_delivered" (fun () ->
+      float_of_int t.bytes_delivered);
+  Metrics.derived m "net.port_rate_bytes_per_s" (fun () -> t.rate);
+  t
 
 let mtu t = t.mtu
 let set_loss_rate t r = t.loss <- Uniform r
@@ -110,8 +125,10 @@ let rec uplink_loop t port =
   let traced = Trace.on tr ~cat:"net" in
   let ts = Sim.now t.sim in
   stall_wait port;
-  Sim.sleep (transmit_span t frame.Packet.size_bytes);
+  let span = transmit_span t frame.Packet.size_bytes in
+  Sim.sleep span;
   port.bytes_out <- port.bytes_out + frame.Packet.size_bytes;
+  port.busy_ns <- port.busy_ns + span;
   Bmcast_engine.Signal.Pulse.pulse port.tx_drain;
   (* Propagation + switch forwarding. *)
   Sim.sleep t.latency;
@@ -164,6 +181,7 @@ let attach t ~name rx =
       egress = Mailbox.create ();
       tx_drain = Bmcast_engine.Signal.Pulse.create ();
       bytes_out = 0;
+      busy_ns = 0;
       link_up = true;
       stalled_until = Time.zero }
   in
@@ -215,4 +233,6 @@ let frames_dropped t = t.frames_dropped
 let link_drops t = t.link_drops
 let bytes_delivered t = t.bytes_delivered
 let port_bytes_out p = p.bytes_out
+let port_busy_ns p = p.busy_ns
 let port_queue_depth p = Mailbox.length p.uplink
+let rate_bytes_per_s t = t.rate

@@ -38,7 +38,10 @@ val create :
   unit ->
   t
 (** Defaults: 1 GbE (125e6 B/s), 20 us one-way latency, MTU 9000, no
-    loss. *)
+    loss. Registers fabric-wide derived gauges ([net.frames_sent],
+    [net.frames_dropped], [net.link_drops], [net.bytes_delivered],
+    [net.port_rate_bytes_per_s]) into the simulation's metrics
+    registry — pull-only, evaluated at sample time. *)
 
 val attach : t -> name:string -> (Packet.t -> unit) -> port
 (** Attach an endpoint; the callback receives delivered frames (called
@@ -100,4 +103,15 @@ val link_drops : t -> int
 
 val bytes_delivered : t -> int
 val port_bytes_out : port -> int
+
+val port_busy_ns : port -> int
+(** Cumulative virtual time the port's uplink spent serializing frames.
+    The derivative of this against wall (virtual) time is the uplink's
+    utilization fraction: the timeseries layer samples it via
+    [vblade.uplink_busy_s] and a rate-of-change watchdog rule on that
+    key is a saturation detector. *)
+
 val port_queue_depth : port -> int
+
+val rate_bytes_per_s : t -> float
+(** The configured per-port line rate. *)

@@ -9,6 +9,7 @@
 type instrument =
   | Counter of float ref
   | Gauge of float ref
+  | Derived of (unit -> float)
   | Histogram of Stats.Histogram.t
   | Rate of Stats.Rate.t
 
@@ -33,6 +34,7 @@ let key name labels =
 let kind_name = function
   | Counter _ -> "counter"
   | Gauge _ -> "gauge"
+  | Derived _ -> "derived"
   | Histogram _ -> "histogram"
   | Rate _ -> "rate"
 
@@ -77,10 +79,67 @@ let rate ?(labels = []) t name =
     ~make:(fun () -> Rate (Stats.Rate.create ()))
     ~extract:(function Rate r -> Some r | _ -> None)
 
+(* Derived gauges are pull-only: the closure is evaluated when a
+   snapshot consumer visits the key, never on the hot path. First
+   registration wins so shared subsystems can re-register the same key
+   without clobbering an earlier closure. *)
+let derived ?(labels = []) t name f =
+  if t.enabled then begin
+    let k = key name labels in
+    match Hashtbl.find_opt t.tbl k with
+    | Some (Derived _) -> ()
+    | Some existing ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S already registered as a %s" k
+           (kind_name existing))
+    | None -> Hashtbl.replace t.tbl k (Derived f)
+  end
+
 let incr ?(by = 1.0) r = r := !r +. by
 let set r v = r := v
 
 let size t = Hashtbl.length t.tbl
+
+(* --- typed snapshots --- *)
+
+type view =
+  | V_counter of float
+  | V_gauge of float
+  | V_histogram of Stats.Histogram.t
+  | V_rate of Stats.Rate.t
+
+let view_of_instrument = function
+  | Counter r -> V_counter !r
+  | Gauge r -> V_gauge !r
+  | Derived f -> V_gauge (f ())
+  | Histogram h -> V_histogram h
+  | Rate r -> V_rate r
+
+let scalar = function
+  | V_counter v | V_gauge v -> v
+  | V_histogram h -> float_of_int (Stats.Histogram.count h)
+  | V_rate r -> Stats.Rate.total r
+
+let sorted_keys ?filter t =
+  let keep = match filter with None -> fun _ -> true | Some f -> f in
+  let keys =
+    Hashtbl.fold (fun k _ acc -> if keep k then k :: acc else acc) t.tbl []
+  in
+  List.sort compare keys
+
+let iter ?filter t f =
+  List.iter
+    (fun k -> f k (view_of_instrument (Hashtbl.find t.tbl k)))
+    (sorted_keys ?filter t)
+
+let fold ?filter t f init =
+  List.fold_left
+    (fun acc k -> f k (view_of_instrument (Hashtbl.find t.tbl k)) acc)
+    init
+    (sorted_keys ?filter t)
+
+let find t k =
+  Option.map view_of_instrument (Hashtbl.find_opt t.tbl k)
 
 (* --- export --- *)
 
@@ -114,9 +173,9 @@ let buf_add_field b ~first k v =
 
 let one_second_ns = 1_000_000_000
 
-let buf_add_instrument b = function
-  | Counter r | Gauge r -> buf_add_float b !r
-  | Histogram h ->
+let buf_add_view b = function
+  | V_counter v | V_gauge v -> buf_add_float b v
+  | V_histogram h ->
     let open Stats.Histogram in
     Buffer.add_char b '{';
     buf_add_field b ~first:true "count" (float_of_int (count h));
@@ -130,7 +189,7 @@ let buf_add_instrument b = function
       buf_add_field b ~first:false "p99" (percentile h 99.0)
     end;
     Buffer.add_char b '}'
-  | Rate r ->
+  | V_rate r ->
     Buffer.add_char b '{';
     buf_add_field b ~first:true "total" (Stats.Rate.total r);
     buf_add_field b ~first:false "events"
@@ -147,24 +206,22 @@ let buf_add_instrument b = function
       (Stats.Rate.per_window r ~width:one_second_ns);
     Buffer.add_string b "]}"
 
-let to_json t =
-  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] in
-  let keys = List.sort compare keys in
+let to_json ?filter t =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{";
-  List.iteri
-    (fun i k ->
-      if i > 0 then Buffer.add_char b ',';
+  let first = ref true in
+  iter ?filter t (fun k view ->
+      if not !first then Buffer.add_char b ',';
+      first := false;
       Buffer.add_char b '\n';
       buf_add_json_string b k;
       Buffer.add_string b ": ";
-      buf_add_instrument b (Hashtbl.find t.tbl k))
-    keys;
+      buf_add_view b view);
   Buffer.add_string b "\n}\n";
   Buffer.contents b
 
-let write t path =
+let write ?filter t path =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_json t))
+    (fun () -> output_string oc (to_json ?filter t))

@@ -30,6 +30,14 @@ val histogram : ?labels:(string * string) list -> t -> string -> Stats.Histogram
 val rate : ?labels:(string * string) list -> t -> string -> Stats.Rate.t
 (** Time-weighted rate; feed with [Stats.Rate.add r now weight]. *)
 
+val derived : ?labels:(string * string) list -> t -> string -> (unit -> float) -> unit
+(** Pull-only gauge: [f] is evaluated each time a snapshot consumer
+    ({!iter}, {!to_json}, the timeseries sampler) visits the key, and
+    never otherwise — zero hot-path cost. First registration of a key
+    wins; re-registering an existing derived key is a no-op, and
+    registering over a different instrument kind raises
+    [Invalid_argument]. No-op on {!null}. *)
+
 val incr : ?by:float -> float ref -> unit
 val set : float ref -> float -> unit
 
@@ -40,13 +48,45 @@ val key : string -> (string * string) list -> string
 (** The registry key for a name + labels ([name|k=v|...], labels
     sorted). Exposed for tests and snapshot consumers. *)
 
-val to_json : t -> string
+(** Typed snapshot of one instrument. Counters/gauges surface their
+    current value (derived gauges are evaluated at snapshot time);
+    histograms and rates expose the live instrument for richer reads. *)
+type view =
+  | V_counter of float
+  | V_gauge of float
+  | V_histogram of Stats.Histogram.t
+  | V_rate of Stats.Rate.t
+
+val scalar : view -> float
+(** Collapse a view to one number: counter/gauge value, histogram
+    observation count, rate running total. This is what the timeseries
+    sampler records per key. *)
+
+val iter : ?filter:(string -> bool) -> t -> (string -> view -> unit) -> unit
+(** Visit instruments in ascending key order (byte-stable across runs).
+    [filter] prunes by key {e before} derived closures are evaluated. *)
+
+val fold : ?filter:(string -> bool) -> t -> (string -> view -> 'a -> 'a) -> 'a -> 'a
+(** {!iter} with an accumulator; same ordering and filter contract. *)
+
+val find : t -> string -> view option
+(** Look up one instrument by its full registry key. *)
+
+val to_json : ?filter:(string -> bool) -> t -> string
 (** Snapshot of every instrument as a JSON object keyed by metric key:
     counters/gauges as numbers, histograms as
     [{count,mean,stddev,min,max,p50,p90,p99}] (just [{count:0}] when
     empty), rates as [{total,events,windows}] where [windows] is
     [[seconds, weight-per-second], ...] over consecutive 1-second
-    windows. Safe to call mid-run. *)
+    windows. Built on {!iter}, so [filter] restricts the snapshot to
+    matching keys. Safe to call mid-run. *)
 
-val write : t -> string -> unit
+val write : ?filter:(string -> bool) -> t -> string -> unit
 (** [write t path] dumps {!to_json} to [path]. *)
+
+(**/**)
+
+(* Export plumbing shared with the rest of lib/obs so every JSON writer
+   formats strings and floats identically (byte-stable exports). *)
+val buf_add_json_string : Buffer.t -> string -> unit
+val buf_add_float : Buffer.t -> float -> unit

@@ -5,6 +5,14 @@
 
 let ns_to_s x = float_of_int x /. 1e9
 
+(* Window attribution is half-open: timestamp [ts] belongs to window
+   [floor(ts / width)], i.e. [k*width, (k+1)*width). An event landing
+   exactly on a window edge [k*width] opens window [k] — it is never
+   counted in window [k-1]. Floor (not truncating) division keeps that
+   contract for timestamps before the epoch too. *)
+let window_index ts ~width =
+  if ts >= 0 then ts / width else ((ts + 1) / width) - 1
+
 module Dynarray = struct
   type t = { mutable arr : float array; mutable len : int }
 
@@ -300,7 +308,7 @@ module Series = struct
     if width <= 0 then invalid_arg "Series.bucket_mean: width must be positive";
     let tbl = Hashtbl.create 64 in
     for i = 0 to t.len - 1 do
-      let b = t.times.(i) / width in
+      let b = window_index t.times.(i) ~width in
       let sum, n = Option.value (Hashtbl.find_opt tbl b) ~default:(0.0, 0) in
       Hashtbl.replace tbl b (sum +. t.values.(i), n + 1)
     done;
@@ -340,9 +348,9 @@ module Rate = struct
     if t.events.Series.len = 0 then []
     else begin
       let tbl = Hashtbl.create 64 in
-      let first = ref max_int and last = ref 0 in
+      let first = ref max_int and last = ref min_int in
       for i = 0 to t.events.Series.len - 1 do
-        let b = t.events.Series.times.(i) / width in
+        let b = window_index t.events.Series.times.(i) ~width in
         if b < !first then first := b;
         if b > !last then last := b;
         let sum = Option.value (Hashtbl.find_opt tbl b) ~default:0.0 in

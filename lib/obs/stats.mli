@@ -119,6 +119,8 @@ module Series : sig
   (** Average value per time bucket of the given width; buckets with no
       samples are {e skipped} (no zero-filling — contrast with
       {!Rate.per_window}). Bucket timestamps are bucket start times.
+      Buckets are half-open [\[k*width, (k+1)*width)]: a sample exactly
+      on a bucket edge opens bucket [k], never closes bucket [k-1].
 
       @raise Invalid_argument if [width <= 0]. *)
 end
@@ -151,6 +153,11 @@ module Rate : sig
       last: windows with no events in between are present with rate
       [0.0], so the result has no time gaps. [\[\]] when no events were
       recorded.
+
+      Windows are half-open [\[k*width, (k+1)*width)] under floor
+      division: an event at exactly [k*width] is attributed to window
+      [k] (the one it opens), deterministically, including for negative
+      timestamps.
 
       @raise Invalid_argument if [width <= 0]. *)
 end

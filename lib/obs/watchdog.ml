@@ -1,0 +1,365 @@
+(* Declarative fleet-health watchdogs over sampled metrics.
+
+   Rules are evaluated after every Timeseries sweep (the watchdog
+   subscribes via [attach]) against the latest per-key status — never
+   against wall-clock time — so alerts fire at deterministic virtual
+   times under a fixed seed. A rule matches every tracked key sharing
+   its prefix, holds per-(rule, key) state, and fires once per breach
+   episode: the alert is emitted on the sample that completes the
+   breach condition and re-arms only after the condition clears.
+
+   Detection latency is measured by pairing alerts with ground-truth
+   incidents: fault injectors call [expect] when they apply a
+   disruptive action, and the next alert resolves every pending
+   expectation into a [detection] carrying (alert time - fault time).
+   That makes "server crash -> watchdog alert" a first-class measured
+   quantity instead of something read off a trace by hand. *)
+
+type cmp = Above | Below
+
+type kind =
+  | Threshold of { cmp : cmp; bound : float; hold : int }
+  | Rate_of_change of { cmp : cmp; per_s : float }
+  | Absent of { after : int }
+  | Stale of { after : int }
+
+type rule = { r_name : string; r_prefix : string; r_kind : kind }
+
+let threshold ?(hold = 1) ~name ~key cmp bound =
+  if hold < 1 then invalid_arg "Watchdog.threshold: hold must be >= 1";
+  { r_name = name; r_prefix = key; r_kind = Threshold { cmp; bound; hold } }
+
+let rate_of_change ~name ~key cmp per_s =
+  { r_name = name; r_prefix = key; r_kind = Rate_of_change { cmp; per_s } }
+
+let absent ?(after = 3) ~name ~key () =
+  if after < 1 then invalid_arg "Watchdog.absent: after must be >= 1";
+  { r_name = name; r_prefix = key; r_kind = Absent { after } }
+
+let stale ?(after = 3) ~name ~key () =
+  if after < 2 then invalid_arg "Watchdog.stale: after must be >= 2";
+  { r_name = name; r_prefix = key; r_kind = Stale { after } }
+
+let rule_name r = r.r_name
+
+type alert = {
+  a_rule : string;
+  a_key : string;
+  a_at : int;
+  a_value : float;
+  a_msg : string;
+}
+
+type detection = {
+  d_label : string;
+  d_rule : string;
+  d_key : string;
+  d_fault_at : int;
+  d_alert_at : int;
+}
+
+let detection_latency_ns d = d.d_alert_at - d.d_fault_at
+
+type state = { mutable run : int; mutable firing : bool }
+
+type t = {
+  rules : rule array;
+  states : (string * string, state) Hashtbl.t; (* (rule name, key) *)
+  mutable alerts_rev : alert list;
+  mutable nalerts : int;
+  mutable pending_rev : (string * int) list; (* expectations: label, at *)
+  mutable detections_rev : detection list;
+  mutable trace : Trace.t;
+}
+
+let create rules =
+  { rules = Array.of_list rules;
+    states = Hashtbl.create 64;
+    alerts_rev = [];
+    nalerts = 0;
+    pending_rev = [];
+    detections_rev = [];
+    trace = Trace.null }
+
+let set_trace t tr = t.trace <- tr
+
+let alerts t = List.rev t.alerts_rev
+let alert_count t = t.nalerts
+let detections t = List.rev t.detections_rev
+let pending_expectations t = List.length t.pending_rev
+
+let firing t =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun (rule, key) st -> if st.firing then acc := (rule, key) :: !acc)
+    t.states;
+  List.sort compare !acc
+
+let expect t ~label ~now = t.pending_rev <- (label, now) :: t.pending_rev
+
+let state_of t rule key =
+  let k = (rule.r_name, key) in
+  match Hashtbl.find_opt t.states k with
+  | Some st -> st
+  | None ->
+    let st = { run = 0; firing = false } in
+    Hashtbl.replace t.states k st;
+    st
+
+let fire t rule key ~now ~value msg =
+  let a =
+    { a_rule = rule.r_name; a_key = key; a_at = now; a_value = value;
+      a_msg = msg }
+  in
+  t.alerts_rev <- a :: t.alerts_rev;
+  t.nalerts <- t.nalerts + 1;
+  if Trace.on t.trace ~cat:"watchdog" then
+    Trace.instant t.trace ~cat:"watchdog"
+      ~args:
+        [ ("rule", Trace.Str rule.r_name);
+          ("key", Trace.Str key);
+          ("value", Trace.Float value);
+          ("msg", Trace.Str msg) ]
+      "alert";
+  (* Resolve every armed expectation whose incident precedes this
+     alert: the watchdog detected *something* after the incident, and
+     the pairing is deterministic because expectations and alerts both
+     live on the virtual clock. *)
+  let resolved, still =
+    List.partition (fun (_, at) -> at <= now) t.pending_rev
+  in
+  List.iter
+    (fun (label, at) ->
+      t.detections_rev <-
+        { d_label = label;
+          d_rule = rule.r_name;
+          d_key = key;
+          d_fault_at = at;
+          d_alert_at = now }
+        :: t.detections_rev)
+    (List.rev resolved);
+  t.pending_rev <- still
+
+let cmp_ok cmp bound v =
+  match cmp with Above -> v > bound | Below -> v < bound
+
+let cmp_str = function Above -> ">" | Below -> "<"
+
+(* A rule key matches its exact metric name and that name under any
+   labels ([name|k=v]); it is a free prefix only when it ends with '.'
+   or '|' — so ["vblade.up"] matches [vblade.up|server=x] but not
+   [vblade.uplink_bytes|server=x], while ["vblade."] matches both. *)
+let key_matches ~pat k =
+  String.starts_with ~prefix:pat k
+  &&
+  let n = String.length pat in
+  n = String.length k
+  || k.[n] = '|'
+  || (n > 0 && (pat.[n - 1] = '.' || pat.[n - 1] = '|'))
+
+let matching_keys ts pat =
+  List.filter (fun k -> key_matches ~pat k) (Timeseries.keys ts)
+
+let eval_rule t ts rule ~now =
+  let keys = matching_keys ts rule.r_prefix in
+  (match rule.r_kind with
+  | Absent { after } ->
+    (* Key-space rule: fires when no tracked key matches the prefix
+       for [after] consecutive sweeps. *)
+    let st = state_of t rule "" in
+    if keys = [] then begin
+      st.run <- st.run + 1;
+      if st.run >= after && not st.firing then begin
+        st.firing <- true;
+        fire t rule rule.r_prefix ~now ~value:Float.nan
+          (Printf.sprintf "no metric matching %S for %d samples"
+             rule.r_prefix st.run)
+      end
+    end
+    else begin
+      st.run <- 0;
+      st.firing <- false
+    end
+  | _ -> ());
+  List.iter
+    (fun key ->
+      match Timeseries.status ts key with
+      | None -> ()
+      | Some s -> (
+        let _, v = s.Timeseries.s_last in
+        match rule.r_kind with
+        | Absent _ -> ()
+        | Threshold { cmp; bound; hold } ->
+          let st = state_of t rule key in
+          if cmp_ok cmp bound v then begin
+            st.run <- st.run + 1;
+            if st.run >= hold && not st.firing then begin
+              st.firing <- true;
+              fire t rule key ~now ~value:v
+                (Printf.sprintf "%s = %s %s %s for %d sample%s" key
+                   (Timeseries.fmt_float v) (cmp_str cmp)
+                   (Timeseries.fmt_float bound) st.run
+                   (if st.run > 1 then "s" else ""))
+            end
+          end
+          else begin
+            st.run <- 0;
+            st.firing <- false
+          end
+        | Rate_of_change { cmp; per_s } -> (
+          match s.Timeseries.s_prev with
+          | None -> ()
+          | Some (pt, pv) ->
+            let lt, _ = s.Timeseries.s_last in
+            let dt_s = float_of_int (lt - pt) /. 1e9 in
+            if dt_s > 0.0 then begin
+              let dv = (v -. pv) /. dt_s in
+              let st = state_of t rule key in
+              if cmp_ok cmp per_s dv then begin
+                if not st.firing then begin
+                  st.firing <- true;
+                  fire t rule key ~now ~value:dv
+                    (Printf.sprintf "d(%s)/dt = %s/s %s %s/s" key
+                       (Timeseries.fmt_float dv) (cmp_str cmp)
+                       (Timeseries.fmt_float per_s))
+                end
+              end
+              else st.firing <- false
+            end)
+        | Stale { after } ->
+          let st = state_of t rule key in
+          if s.Timeseries.s_count >= after
+             && s.Timeseries.s_same_run >= after
+          then begin
+            if not st.firing then begin
+              st.firing <- true;
+              fire t rule key ~now ~value:v
+                (Printf.sprintf "%s stuck at %s for %d samples" key
+                   (Timeseries.fmt_float v) s.Timeseries.s_same_run)
+            end
+          end
+          else st.firing <- false))
+    keys
+
+let evaluate t ts ~now =
+  Array.iter (fun rule -> eval_rule t ts rule ~now) t.rules
+
+let attach t ts = Timeseries.on_sample ts (fun ~now -> evaluate t ts ~now)
+
+(* --- rule parsing (bmcastctl --rule) --- *)
+
+let strip s = String.trim s
+
+let parse_error spec reason =
+  invalid_arg (Printf.sprintf "Watchdog.rule_of_string: %S: %s" spec reason)
+
+let float_of spec s =
+  match float_of_string_opt (strip s) with
+  | Some v -> v
+  | None -> parse_error spec "expected a number"
+
+let int_of spec s =
+  match int_of_string_opt (strip s) with
+  | Some v -> v
+  | None -> parse_error spec "expected an integer"
+
+(* Grammar (see the .mli):
+     [NAME:]KEY<VAL | [NAME:]KEY>VAL        threshold (@H holds H samples)
+     [NAME:]rate(KEY)<VAL | ...>VAL         rate-of-change per second
+     [NAME:]absent(KEY)@N                   no matching key for N sweeps
+     [NAME:]stale(KEY)@N                    value unchanged for N sweeps *)
+let rule_of_string spec =
+  let body, name =
+    match String.index_opt spec ':' with
+    | Some i
+      when not (String.contains (String.sub spec 0 i) '(')
+           && not (String.contains (String.sub spec 0 i) '<')
+           && not (String.contains (String.sub spec 0 i) '>') ->
+      ( strip (String.sub spec (i + 1) (String.length spec - i - 1)),
+        strip (String.sub spec 0 i) )
+    | _ -> (strip spec, strip spec)
+  in
+  let fn_arg prefix =
+    (* "fn(KEY)REST" -> Some (KEY, REST) *)
+    let plen = String.length prefix in
+    if String.length body > plen && String.sub body 0 plen = prefix then
+      match String.index_opt body ')' with
+      | Some j when j > plen ->
+        Some
+          ( strip (String.sub body plen (j - plen)),
+            strip (String.sub body (j + 1) (String.length body - j - 1)) )
+      | _ -> parse_error spec "missing ')'"
+    else None
+  in
+  let after rest =
+    match String.index_opt rest '@' with
+    | Some 0 -> int_of spec (String.sub rest 1 (String.length rest - 1))
+    | _ -> parse_error spec "expected @N"
+  in
+  match fn_arg "absent(" with
+  | Some (key, rest) -> absent ~after:(after rest) ~name ~key ()
+  | None -> (
+    match fn_arg "stale(" with
+    | Some (key, rest) -> stale ~after:(after rest) ~name ~key ()
+    | None ->
+      let split_cmp s =
+        match (String.index_opt s '<', String.index_opt s '>') with
+        | Some i, None -> (Below, i)
+        | None, Some i -> (Above, i)
+        | Some i, Some j -> ((if i < j then Below else Above), min i j)
+        | None, None -> parse_error spec "expected '<', '>', absent() or stale()"
+      in
+      (match fn_arg "rate(" with
+      | Some (key, rest) ->
+        let cmp, i = split_cmp rest in
+        let v = float_of spec (String.sub rest (i + 1) (String.length rest - i - 1)) in
+        rate_of_change ~name ~key cmp v
+      | None ->
+        let cmp, i = split_cmp body in
+        let key = strip (String.sub body 0 i) in
+        let rest = String.sub body (i + 1) (String.length body - i - 1) in
+        let value, hold =
+          match String.index_opt rest '@' with
+          | None -> (float_of spec rest, 1)
+          | Some j ->
+            ( float_of spec (String.sub rest 0 j),
+              int_of spec (String.sub rest (j + 1) (String.length rest - j - 1))
+            )
+        in
+        if key = "" then parse_error spec "empty key";
+        threshold ~hold ~name ~key cmp value))
+
+(* --- export --- *)
+
+let alerts_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"alerts\":[";
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n{\"rule\":";
+      Metrics.buf_add_json_string b a.a_rule;
+      Buffer.add_string b ",\"key\":";
+      Metrics.buf_add_json_string b a.a_key;
+      Buffer.add_string b (Printf.sprintf ",\"t_ns\":%d,\"value\":" a.a_at);
+      Metrics.buf_add_float b a.a_value;
+      Buffer.add_string b ",\"msg\":";
+      Metrics.buf_add_json_string b a.a_msg;
+      Buffer.add_char b '}')
+    (alerts t);
+  Buffer.add_string b "],\n\"detections\":[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n{\"label\":";
+      Metrics.buf_add_json_string b d.d_label;
+      Buffer.add_string b ",\"rule\":";
+      Metrics.buf_add_json_string b d.d_rule;
+      Buffer.add_string b ",\"key\":";
+      Metrics.buf_add_json_string b d.d_key;
+      Buffer.add_string b
+        (Printf.sprintf ",\"fault_t_ns\":%d,\"alert_t_ns\":%d,\"latency_ns\":%d}"
+           d.d_fault_at d.d_alert_at (detection_latency_ns d)))
+    (detections t);
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -7,6 +7,7 @@ module Disk = Bmcast_storage.Disk
 module Fabric = Bmcast_net.Fabric
 module Packet = Bmcast_net.Packet
 module Trace = Bmcast_obs.Trace
+module Metrics = Bmcast_obs.Metrics
 
 type job = { src : int; frame : Aoe.frame }
 
@@ -20,6 +21,7 @@ type t = {
   ram_cache : bool;
   work : job Mailbox.t;
   disk_lock : Semaphore.t;
+  mutable in_service : int;  (* jobs currently held by workers *)
   mutable requests_served : int;
   mutable bytes_served : int;
   mutable up : bool;
@@ -152,19 +154,21 @@ let serve t job =
 
 let rec worker_loop t =
   let job = Mailbox.recv t.work in
+  t.in_service <- t.in_service + 1;
   let tr = Sim.trace t.sim in
-  if Trace.on tr ~cat:"server" then begin
-    let hdr = job.frame.Aoe.hdr in
-    let ts = Sim.now t.sim in
-    serve t job;
-    Trace.complete tr ~cat:"server"
-      ~args:
-        [ ("tag", Trace.Int hdr.Aoe.tag);
-          ("lba", Trace.Int hdr.Aoe.lba);
-          ("count", Trace.Int hdr.Aoe.count) ]
-      "serve" ~ts
-  end
-  else serve t job;
+  (if Trace.on tr ~cat:"server" then begin
+     let hdr = job.frame.Aoe.hdr in
+     let ts = Sim.now t.sim in
+     serve t job;
+     Trace.complete tr ~cat:"server"
+       ~args:
+         [ ("tag", Trace.Int hdr.Aoe.tag);
+           ("lba", Trace.Int hdr.Aoe.lba);
+           ("count", Trace.Int hdr.Aoe.count) ]
+       "serve" ~ts
+   end
+   else serve t job);
+  t.in_service <- t.in_service - 1;
   worker_loop t
 
 (* Non-blocking dispatch (try_send never suspends), so the work-item
@@ -193,6 +197,7 @@ let create sim ~fabric ~name ~disk ?(workers = 8)
       ram_cache;
       work = Mailbox.create ();
       disk_lock = Semaphore.create 1;
+      in_service = 0;
       requests_served = 0;
       bytes_served = 0;
       up = true;
@@ -200,7 +205,29 @@ let create sim ~fabric ~name ~disk ?(workers = 8)
       crashes = 0;
       disk_error_retries = 0 }
   in
-  t.fabric_port <- Some (Fabric.attach fabric ~name (on_rx t));
+  let fabric_port = Fabric.attach fabric ~name (on_rx t) in
+  t.fabric_port <- Some fabric_port;
+  (* Per-server health, pull-only: evaluated by the timeseries sampler
+     (or a JSON snapshot), free on the request path. [vblade.up] is the
+     signal the crash watchdog thresholds on; [vblade.uplink_busy_s]'s
+     derivative is the uplink utilization fraction. *)
+  let m = Sim.metrics sim in
+  let labels = [ ("server", name) ] in
+  Metrics.derived m ~labels "vblade.up" (fun () -> if t.up then 1.0 else 0.0);
+  Metrics.derived m ~labels "vblade.queue" (fun () ->
+      float_of_int (Mailbox.length t.work));
+  Metrics.derived m ~labels "vblade.inflight" (fun () ->
+      float_of_int (Mailbox.length t.work + t.in_service));
+  Metrics.derived m ~labels "vblade.requests" (fun () ->
+      float_of_int t.requests_served);
+  Metrics.derived m ~labels "vblade.bytes" (fun () ->
+      float_of_int t.bytes_served);
+  Metrics.derived m ~labels "vblade.crashes" (fun () ->
+      float_of_int t.crashes);
+  Metrics.derived m ~labels "vblade.uplink_bytes" (fun () ->
+      float_of_int (Fabric.port_bytes_out fabric_port));
+  Metrics.derived m ~labels "vblade.uplink_busy_s" (fun () ->
+      float_of_int (Fabric.port_busy_ns fabric_port) /. 1e9);
   for i = 1 to workers do
     Sim.spawn_at sim
       ~name:(Printf.sprintf "%s-worker%d" name i)

@@ -594,6 +594,61 @@ let test_sim_wait_until () =
       check_int "no travel back" (Time.ms 7) (Sim.clock ()));
   Sim.run sim
 
+(* Recurring daemon jobs never keep [run] alive: the loop stops once
+   only daemon events remain, so a sampler can tick forever without
+   turning an open-ended run into an infinite loop. *)
+let test_sim_every_daemon () =
+  let sim = Sim.create () in
+  let ticks = ref 0 in
+  let cancel = Sim.every sim (Time.ms 10) (fun () -> incr ticks) in
+  Sim.schedule sim (Time.ms 95) (fun () -> ());
+  Sim.run sim;
+  check_bool "run terminated at the last real event" true
+    (Sim.now sim <= Time.ms 100);
+  check_int "ticked every period up to the last event" 9 !ticks;
+  cancel ();
+  Sim.run sim;
+  check_int "cancelled recurrence stops" 9 !ticks;
+  (try
+     let (_cancel : unit -> unit) = Sim.every sim 0 (fun () -> ()) in
+     Alcotest.fail "every 0: expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_sim_every_non_daemon () =
+  let sim = Sim.create () in
+  let ticks = ref 0 in
+  let cancel = Sim.every sim ~daemon:false (Time.ms 10) (fun () -> incr ticks) in
+  (* a non-daemon recurrence keeps the run alive up to the horizon *)
+  Sim.run ~until:(Time.ms 55) sim;
+  check_int "runs to the horizon" 5 !ticks;
+  check_int "clock parked at horizon" (Time.ms 55) (Sim.now sim);
+  cancel ();
+  Sim.run ~until:(Time.ms 200) sim;
+  check_int "at most the armed occurrence after cancel" 5 !ticks
+
+let test_sim_create_with_timeseries () =
+  let module Metrics = Bmcast_obs.Metrics in
+  let module Timeseries = Bmcast_obs.Timeseries in
+  let metrics = Metrics.create () in
+  let g = Metrics.gauge metrics "g" in
+  let ts = Timeseries.create ~interval_ns:(Time.ms 1) metrics in
+  let sim = Sim.create ~metrics ~timeseries:ts () in
+  Sim.spawn_at sim Time.zero (fun () ->
+      Metrics.set g 2.0;
+      Sim.sleep (Time.ms 10));
+  Sim.run sim;
+  (* sampler swept at 1..9 ms; at 10 ms the wake runs, after which only
+     the daemon remains and the run ends instead of hanging — the final
+     instant is intentionally not sampled *)
+  check_int "one sweep per interval" 9 (Timeseries.sweeps ts);
+  check_int "last sweep before the final event" (Time.ms 9)
+    (Timeseries.last_sweep_at ts);
+  (match Timeseries.status ts "g" with
+  | Some st ->
+    check_int "samples recorded" 9 st.Timeseries.s_count;
+    check_bool "sampled the gauge" true (snd st.Timeseries.s_last = 2.0)
+  | None -> Alcotest.fail "gauge was not sampled")
+
 (* --- Mailbox --- *)
 
 let test_mailbox_fifo () =
@@ -887,7 +942,10 @@ let () =
           tc "suspend waker once" `Quick test_sim_suspend_waker;
           tc "determinism" `Quick test_sim_determinism;
           tc "yield interleave" `Quick test_sim_yield_interleave;
-          tc "wait_until" `Quick test_sim_wait_until ] );
+          tc "wait_until" `Quick test_sim_wait_until;
+          tc "every daemon job" `Quick test_sim_every_daemon;
+          tc "every non-daemon job" `Quick test_sim_every_non_daemon;
+          tc "create with timeseries" `Quick test_sim_create_with_timeseries ] );
       ( "mailbox",
         [ tc "fifo" `Quick test_mailbox_fifo;
           tc "blocking recv" `Quick test_mailbox_blocking_recv;

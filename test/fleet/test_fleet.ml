@@ -11,6 +11,9 @@ module Vblade = Bmcast_proto.Vblade
 module Aoe = Bmcast_proto.Aoe
 module Trace = Bmcast_obs.Trace
 module Analytics = Bmcast_obs.Analytics
+module Metrics = Bmcast_obs.Metrics
+module Timeseries = Bmcast_obs.Timeseries
+module Watchdog = Bmcast_obs.Watchdog
 module Replica_set = Bmcast_fleet.Replica_set
 module Scheduler = Bmcast_fleet.Scheduler
 module Scaleout = Bmcast_experiments.Scaleout
@@ -411,6 +414,63 @@ let test_fleet_stage_tiling () =
       | None -> Alcotest.failf "machine %s missing from analytics" m)
     (Analytics.machine_names r.Scaleout.analytics)
 
+(* The telemetry determinism contract on a seeded 250-client cloud
+   burst: the sampler sweeps on virtual time and reads only
+   deterministic registry state, so two same-seed runs with the same
+   sampling config must export byte-identical CSV and OpenMetrics. *)
+let test_fleet_timeseries_deterministic () =
+  let go () =
+    let metrics = Metrics.create () in
+    let ts = Timeseries.create ~interval_ns:(Time.ms 500) metrics in
+    let (_ : Scaleout.result) =
+      Scaleout.deploy_fleet ~seed:11 ~image_mb:4
+        ~boot_profile:Bmcast_guest.Os.cloud_minimal ~machines:250 ~replicas:16
+        ~metrics ~timeseries:ts ()
+    in
+    (Timeseries.to_csv ts, Timeseries.to_openmetrics ts, Timeseries.sweeps ts)
+  in
+  let csv_a, om_a, sweeps_a = go () in
+  let csv_b, om_b, sweeps_b = go () in
+  check_bool "sampler swept" true (sweeps_a > 10);
+  check_int "sweep counts identical" sweeps_a sweeps_b;
+  check_bool "csv non-trivial" true (String.length csv_a > 1000);
+  check_bool "csv byte-identical" true (String.equal csv_a csv_b);
+  check_bool "openmetrics byte-identical" true (String.equal om_a om_b)
+
+(* Watchdog detection latency against an injected server crash: replica
+   0 dies at 4.2 s into a run sampled every 500 ms, so the server-down
+   rule must fire on the next sweep after the fault — latency strictly
+   positive (the crash is not sweep-aligned) and bounded by the
+   sampling interval. *)
+let test_fleet_watchdog_detects_crash () =
+  let interval = Time.ms 500 in
+  let metrics = Metrics.create () in
+  let ts = Timeseries.create ~interval_ns:interval metrics in
+  let wd =
+    Watchdog.create
+      [ Watchdog.threshold ~name:"server-down" ~key:"vblade.up" Watchdog.Below
+          0.5 ]
+  in
+  (* Supplying both sampler and watchdog means we own the wiring. *)
+  Watchdog.attach wd ts;
+  let r =
+    Scaleout.deploy_fleet ~seed:7 ~image_mb:32 ~machines:16 ~replicas:3
+      ~crashes:[ (Time.ms 4200, 0) ]
+      ~metrics ~timeseries:ts ~watchdog:wd ()
+  in
+  check_bool "watchdog alerted" true (Watchdog.alert_count wd >= 1);
+  check_int "result mirrors alert count" (Watchdog.alert_count wd)
+    r.Scaleout.alert_count;
+  check_int "crash expectation resolved" 0 (Watchdog.pending_expectations wd);
+  match Watchdog.detections wd with
+  | [] -> Alcotest.fail "no detection recorded"
+  | d :: _ ->
+    check_bool "detection labelled" true
+      (String.length d.Watchdog.d_label > 0);
+    let lat = Watchdog.detection_latency_ns d in
+    check_bool "latency positive" true (lat > 0);
+    check_bool "latency bounded by sampling interval" true (lat <= interval)
+
 let test_fleet_replicas_beat_single () =
   (* The tentpole claim at test scale: 8 machines on 1 replica vs 2. *)
   let one =
@@ -449,4 +509,8 @@ let () =
           tc "250-client deterministic report" `Slow
             test_fleet_report_deterministic;
           tc "boot stages tile exactly" `Slow test_fleet_stage_tiling;
+          tc "250-client deterministic telemetry" `Slow
+            test_fleet_timeseries_deterministic;
+          tc "watchdog detects injected crash" `Slow
+            test_fleet_watchdog_detects_crash;
           tc "replicas beat single" `Slow test_fleet_replicas_beat_single ] ) ]

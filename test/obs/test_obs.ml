@@ -9,6 +9,8 @@ module Trace = Bmcast_obs.Trace
 module Metrics = Bmcast_obs.Metrics
 module Profile = Bmcast_obs.Profile
 module Analytics = Bmcast_obs.Analytics
+module Timeseries = Bmcast_obs.Timeseries
+module Watchdog = Bmcast_obs.Watchdog
 module Sim = Bmcast_engine.Sim
 module Time = Bmcast_engine.Time
 module Content = Bmcast_storage.Content
@@ -220,6 +222,40 @@ let test_per_window_zero_fills_gaps () =
   Alcotest.(check (float 1e-9)) "total" 12.0 (Stats.Rate.total r);
   check_int "events" 2 (Stats.Rate.count r);
   expect_invalid_arg "width -1" (fun () -> Stats.Rate.per_window r ~width:(-1))
+
+(* Windows are half-open [k*width, (k+1)*width): a sample exactly on a
+   boundary opens the next window, and negative timestamps land in
+   floor-division windows (no double-width bucket straddling zero). *)
+let test_window_boundaries () =
+  let r = Stats.Rate.create () in
+  Stats.Rate.add r 999 1.0;
+  Stats.Rate.add r 1000 2.0;
+  Alcotest.(check (list (pair int (float 1e-3))))
+    "boundary sample opens the next window"
+    [ (0, 1e6); (1000, 2e6) ]
+    (Stats.Rate.per_window r ~width:1000);
+  let s = Stats.Series.create () in
+  Stats.Series.add s 1000 5.0;
+  Stats.Series.add s 1999 7.0;
+  Stats.Series.add s 2000 9.0;
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "bucket_mean half-open edges"
+    [ (1000, 6.0); (2000, 9.0) ]
+    (Stats.Series.bucket_mean s ~width:1000);
+  let neg = Stats.Series.create () in
+  Stats.Series.add neg (-1) 4.0;
+  Stats.Series.add neg (-1000) 2.0;
+  Stats.Series.add neg 0 6.0;
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "negative timestamps use floor windows"
+    [ (-1000, 3.0); (0, 6.0) ]
+    (Stats.Series.bucket_mean neg ~width:1000);
+  let rneg = Stats.Rate.create () in
+  Stats.Rate.add rneg (-1) 1.0;
+  Alcotest.(check (list (pair int (float 1e-3))))
+    "negative-only rate emits its own window"
+    [ (-1000, 1e6) ]
+    (Stats.Rate.per_window rneg ~width:1000)
 
 (* --- Trace: recording semantics --- *)
 
@@ -624,7 +660,7 @@ let test_metrics_match_vmm_totals () =
   check_int "one histogram sample per redirect" totals.Vmm.redirects
     (Stats.Histogram.count h);
   check_bool "redirects happened" true (totals.Vmm.redirects > 0);
-  let r = Metrics.rate metrics "background_copy_bytes" in
+  let r = Metrics.rate metrics "copy.bytes" in
   Alcotest.(check (float 0.0))
     "rate total equals background bytes"
     (float_of_int totals.Vmm.background_bytes)
@@ -634,6 +670,395 @@ let test_metrics_match_vmm_totals () =
   let metrics2, _ = run () in
   check_string "snapshot deterministic" (Metrics.to_json metrics)
     (Metrics.to_json metrics2)
+
+(* --- Metrics: typed snapshot API (iter / fold / find / derived) --- *)
+
+let test_metrics_typed_snapshot () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "a.count" in
+  Metrics.incr ~by:3.0 c;
+  let g = Metrics.gauge m ~labels:[ ("x", "1") ] "b.gauge" in
+  Metrics.set g 2.5;
+  let h = Metrics.histogram m "c.hist" in
+  Stats.Histogram.add h 1.0;
+  Stats.Histogram.add h 2.0;
+  let r = Metrics.rate m "d.rate" in
+  Stats.Rate.add r 0 5.0;
+  let calls = ref 0 in
+  Metrics.derived m "e.derived" (fun () ->
+      incr calls;
+      42.0);
+  Alcotest.(check (list string))
+    "fold visits sorted keys"
+    [ "a.count"; "b.gauge|x=1"; "c.hist"; "d.rate"; "e.derived" ]
+    (List.rev (Metrics.fold m (fun k _ acc -> k :: acc) []));
+  let scalar_of k =
+    match Metrics.find m k with
+    | Some v -> Metrics.scalar v
+    | None -> Alcotest.failf "key %S not found" k
+  in
+  Alcotest.(check (float 0.0)) "counter scalar" 3.0 (scalar_of "a.count");
+  Alcotest.(check (float 0.0)) "gauge scalar" 2.5 (scalar_of "b.gauge|x=1");
+  Alcotest.(check (float 0.0)) "histogram scalar is count" 2.0
+    (scalar_of "c.hist");
+  Alcotest.(check (float 0.0)) "rate scalar is total" 5.0 (scalar_of "d.rate");
+  Alcotest.(check (float 0.0)) "derived scalar" 42.0 (scalar_of "e.derived");
+  (* the filter prunes before derived closures run *)
+  let before = !calls in
+  Metrics.iter ~filter:(fun k -> k = "a.count") m (fun _ _ -> ());
+  check_int "filtered-out derived not evaluated" before !calls;
+  Metrics.iter m (fun _ _ -> ());
+  check_int "unfiltered iter evaluates derived" (before + 1) !calls;
+  (* first registration wins; kind mismatch still raises *)
+  Metrics.derived m "e.derived" (fun () -> 0.0);
+  Alcotest.(check (float 0.0))
+    "derived re-registration is a no-op" 42.0 (scalar_of "e.derived");
+  expect_invalid_arg "derived over a counter" (fun () ->
+      Metrics.derived m "a.count" (fun () -> 0.0));
+  (* to_json filter restricts the snapshot *)
+  let j = Metrics.to_json ~filter:(String.starts_with ~prefix:"a.") m in
+  check_contains "filtered json keeps match" j "\"a.count\"";
+  check_bool "filtered json drops rest" false (contains j "b.gauge");
+  (* null registry: derived is a no-op and snapshots stay empty *)
+  Metrics.derived Metrics.null "z" (fun () -> 1.0);
+  check_string "null to_json empty" "{\n}\n" (Metrics.to_json Metrics.null)
+
+(* --- Timeseries: sampling, status, rings, rollups, exports --- *)
+
+let test_timeseries_status_and_raw () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "g" in
+  let ts = Timeseries.create ~interval_ns:1000 m in
+  check_int "interval" 1000 (Timeseries.interval_ns ts);
+  check_int "no sweeps yet" 0 (Timeseries.sweeps ts);
+  Alcotest.(check (option reject)) "untracked key" None (Timeseries.status ts "g");
+  Metrics.set g 1.0;
+  Timeseries.sample ts ~now:1000;
+  Timeseries.sample ts ~now:2000;
+  Metrics.set g 5.0;
+  Timeseries.sample ts ~now:3000;
+  check_int "sweeps" 3 (Timeseries.sweeps ts);
+  check_int "last sweep time" 3000 (Timeseries.last_sweep_at ts);
+  Alcotest.(check (list string)) "keys" [ "g" ] (Timeseries.keys ts);
+  (match Timeseries.status ts "g" with
+  | None -> Alcotest.fail "status missing"
+  | Some st ->
+    check_int "count" 3 st.Timeseries.s_count;
+    Alcotest.(check (pair int (float 0.0)))
+      "last" (3000, 5.0) st.Timeseries.s_last;
+    Alcotest.(check (option (pair int (float 0.0))))
+      "prev" (Some (2000, 1.0)) st.Timeseries.s_prev;
+    check_int "same_run resets on change" 1 st.Timeseries.s_same_run);
+  Alcotest.(check (list (pair int (float 0.0))))
+    "raw tail" [ (2000, 1.0); (3000, 5.0) ]
+    (Timeseries.raw ~n:2 ts "g");
+  (* a sweep-time filter hides keys entirely *)
+  let ts2 = Timeseries.create ~interval_ns:1000 ~filter:(fun k -> k <> "g") m in
+  Timeseries.sample ts2 ~now:1000;
+  check_int "filtered sampler tracks nothing" 0 (Timeseries.nkeys ts2);
+  expect_invalid_arg "zero interval" (fun () ->
+      Timeseries.create ~interval_ns:0 m);
+  expect_invalid_arg "tiny capacity" (fun () ->
+      Timeseries.create ~capacity:2 m)
+
+let test_timeseries_max_keys () =
+  let m = Metrics.create () in
+  for i = 0 to 9 do
+    Metrics.set (Metrics.gauge m (Printf.sprintf "k%02d" i)) (float_of_int i)
+  done;
+  let ts = Timeseries.create ~interval_ns:1000 ~max_keys:4 m in
+  Timeseries.sample ts ~now:1000;
+  check_int "tracked capped" 4 (Timeseries.nkeys ts);
+  check_int "overflow counted" 6 (Timeseries.dropped_keys ts);
+  Alcotest.(check (list string))
+    "first keys in sorted order win"
+    [ "k00"; "k01"; "k02"; "k03" ]
+    (Timeseries.keys ts)
+
+(* Parse the CSV export back into rows; the header line is pinned
+   here so format drift fails loudly. *)
+let csv_rows ts =
+  let lines = String.split_on_char '\n' (Timeseries.to_csv ts) in
+  match lines with
+  | meta :: header :: rest ->
+    check_bool "metadata line" true (String.starts_with ~prefix:"# bmcast-timeseries v1 " meta);
+    check_string "csv header" "key,tier,t_ns,count,min,mean,max" header;
+    List.filter_map
+      (fun l ->
+        if l = "" then None
+        else
+          match String.split_on_char ',' l with
+          | [ key; tier; t; n; lo; mean; hi ] ->
+            Some
+              ( key,
+                int_of_string tier,
+                int_of_string t,
+                int_of_string n,
+                float_of_string lo,
+                float_of_string mean,
+                float_of_string hi )
+          | _ -> Alcotest.failf "bad csv row %S" l)
+      rest
+  | _ -> Alcotest.fail "csv too short"
+
+let test_timeseries_eviction_and_rollup () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "g" in
+  let ts = Timeseries.create ~interval_ns:1000 ~capacity:10 ~tiers:2 m in
+  for i = 1 to 105 do
+    Metrics.set g (float_of_int i);
+    Timeseries.sample ts ~now:(i * 1000)
+  done;
+  let rows = csv_rows ts in
+  let tier0 = List.filter (fun (_, t, _, _, _, _, _) -> t = 0) rows in
+  let tier1 = List.filter (fun (_, t, _, _, _, _, _) -> t = 1) rows in
+  (* the raw ring wrapped: only the 10 newest samples remain *)
+  check_int "raw ring holds capacity" 10 (List.length tier0);
+  (match tier0 with
+  | (_, _, t, _, _, _, _) :: _ -> check_int "oldest raw sample" 96_000 t
+  | [] -> Alcotest.fail "no tier0 rows");
+  (* 105 samples = 10 complete x10 buckets (the 5-sample accumulator is
+     not exported) *)
+  check_int "complete rollup buckets" 10 (List.length tier1);
+  List.iter
+    (fun (_, _, t, n, lo, mean, hi) ->
+      check_int "bucket count" 10 n;
+      let first = float_of_int (t / 1000) in
+      Alcotest.(check (float 1e-9)) "bucket min" first lo;
+      Alcotest.(check (float 1e-9)) "bucket max" (first +. 9.0) hi;
+      Alcotest.(check (float 1e-6)) "bucket mean" (first +. 4.5) mean)
+    tier1
+
+(* Rollup conservation: every complete tier-1 bucket must agree with
+   the 10 raw samples it aggregates on count, min, max and sum. *)
+let prop_rollup_conservation =
+  QCheck.Test.make ~name:"rollup buckets conserve count/min/mean/max"
+    ~count:50
+    QCheck.(list_of_size Gen.(int_range 10 150) (int_range (-1000) 1000))
+    (fun ints ->
+      let values = List.map float_of_int ints in
+      let m = Metrics.create () in
+      let g = Metrics.gauge m "v" in
+      let ts =
+        Timeseries.create ~interval_ns:1000
+          ~capacity:(max 10 (List.length values))
+          ~tiers:2 m
+      in
+      List.iteri
+        (fun i v ->
+          Metrics.set g v;
+          Timeseries.sample ts ~now:((i + 1) * 1000))
+        values;
+      let rows = csv_rows ts in
+      let tier0 = List.filter (fun (_, t, _, _, _, _, _) -> t = 0) rows in
+      let tier1 = List.filter (fun (_, t, _, _, _, _, _) -> t = 1) rows in
+      if List.length tier0 <> List.length values then
+        QCheck.Test.fail_reportf "raw ring lost samples";
+      if List.length tier1 <> List.length values / Timeseries.rollup_factor
+      then QCheck.Test.fail_reportf "unexpected rollup bucket count";
+      List.iteri
+        (fun bi (_, _, bt, n, lo, mean, hi) ->
+          let children =
+            List.filteri
+              (fun i _ ->
+                i >= bi * Timeseries.rollup_factor
+                && i < (bi + 1) * Timeseries.rollup_factor)
+              values
+          in
+          let cmin = List.fold_left min infinity children in
+          let cmax = List.fold_left max neg_infinity children in
+          let csum = List.fold_left ( +. ) 0.0 children in
+          (match List.nth_opt values (bi * Timeseries.rollup_factor) with
+          | Some _ when bt <> (bi * Timeseries.rollup_factor + 1) * 1000 ->
+            QCheck.Test.fail_reportf "bucket %d at wrong time %d" bi bt
+          | _ -> ());
+          if n <> Timeseries.rollup_factor then
+            QCheck.Test.fail_reportf "bucket %d count %d" bi n;
+          if lo <> cmin || hi <> cmax then
+            QCheck.Test.fail_reportf "bucket %d min/max mismatch" bi;
+          if Float.abs ((mean *. float_of_int n) -. csum) > 1e-6 *. (1.0 +. Float.abs csum)
+          then QCheck.Test.fail_reportf "bucket %d sum not conserved" bi)
+        tier1;
+      true)
+
+let test_timeseries_exports () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m ~labels:[ ("server", "s-1") ] "vblade.up" in
+  let c = Metrics.counter m "plain" in
+  let ts = Timeseries.create ~interval_ns:1_000_000_000 m in
+  Metrics.set g 1.0;
+  Metrics.incr ~by:2.0 c;
+  Timeseries.sample ts ~now:1_000_000_000;
+  Timeseries.sample ts ~now:2_000_000_000;
+  let om = Timeseries.to_openmetrics ts in
+  check_contains "om type line" om "# TYPE bmcast_plain gauge";
+  check_contains "om sample" om "bmcast_plain 2 2.000000000";
+  check_contains "om label recovery" om
+    {|bmcast_vblade_up{server="s-1"} 1 2.000000000|};
+  check_bool "om terminator" true
+    (String.ends_with ~suffix:"# EOF\n" om);
+  let tj = Timeseries.timeline_json ts in
+  check_contains "timeline interval" tj "\"interval_ns\":1000000000";
+  check_contains "timeline points" tj "[1000000000,";
+  (* same inputs -> byte-identical exports *)
+  let again () =
+    let m2 = Metrics.create () in
+    let g2 = Metrics.gauge m2 ~labels:[ ("server", "s-1") ] "vblade.up" in
+    let c2 = Metrics.counter m2 "plain" in
+    let ts2 = Timeseries.create ~interval_ns:1_000_000_000 m2 in
+    Metrics.set g2 1.0;
+    Metrics.incr ~by:2.0 c2;
+    Timeseries.sample ts2 ~now:1_000_000_000;
+    Timeseries.sample ts2 ~now:2_000_000_000;
+    ts2
+  in
+  let ts2 = again () in
+  check_string "csv deterministic" (Timeseries.to_csv ts)
+    (Timeseries.to_csv ts2);
+  check_string "openmetrics deterministic" om (Timeseries.to_openmetrics ts2)
+
+(* --- Watchdog: rules, episodes, detection latency --- *)
+
+(* Drive a sampler by hand: set the gauge then sweep at 1 ms steps. *)
+let drive ts g values =
+  List.iteri
+    (fun i v ->
+      Metrics.set g v;
+      Timeseries.sample ts ~now:((i + 1) * 1000))
+    values
+
+let test_watchdog_threshold_episodes () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "up" in
+  let ts = Timeseries.create ~interval_ns:1000 m in
+  let w =
+    Watchdog.create
+      [ Watchdog.threshold ~hold:2 ~name:"down" ~key:"up" Watchdog.Below 0.5 ]
+  in
+  Watchdog.attach w ts;
+  drive ts g [ 1.0; 1.0; 0.0; 0.0; 0.0; 1.0; 0.0; 0.0 ];
+  check_int "one alert per breach episode" 2 (Watchdog.alert_count w);
+  (match Watchdog.alerts w with
+  | [ a1; a2 ] ->
+    check_int "fires when hold completes" 4000 a1.Watchdog.a_at;
+    check_int "re-arms after recovery" 8000 a2.Watchdog.a_at;
+    check_string "rule name" "down" a1.Watchdog.a_rule
+  | _ -> Alcotest.fail "expected exactly two alerts");
+  Alcotest.(check (list (pair string string)))
+    "still firing at end"
+    [ ("down", "up") ]
+    (Watchdog.firing w)
+
+let test_watchdog_rate_absent_stale () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "q" in
+  let ts = Timeseries.create ~interval_ns:1000 m in
+  let w =
+    Watchdog.create
+      [ Watchdog.rate_of_change ~name:"spike" ~key:"q" Watchdog.Above 1e6;
+        Watchdog.absent ~after:2 ~name:"gone" ~key:"nope" ();
+        Watchdog.stale ~after:3 ~name:"stuck" ~key:"q" () ]
+  in
+  Watchdog.attach w ts;
+  (* interval 1000 ns = 1e-6 s, so +10 in one step = 1e7/s > 1e6 *)
+  drive ts g [ 0.0; 10.0; 10.0; 10.0; 10.0 ];
+  let by_rule name =
+    List.filter (fun a -> a.Watchdog.a_rule = name) (Watchdog.alerts w)
+  in
+  (match by_rule "spike" with
+  | [ a ] -> check_int "rate alert on second sample" 2000 a.Watchdog.a_at
+  | l -> Alcotest.failf "spike alerts: %d" (List.length l));
+  (match by_rule "gone" with
+  | [ a ] ->
+    check_int "absent fires after N sweeps" 2000 a.Watchdog.a_at;
+    check_string "absent key is the pattern" "nope" a.Watchdog.a_key
+  | l -> Alcotest.failf "gone alerts: %d" (List.length l));
+  (match by_rule "stuck" with
+  | [ a ] ->
+    (* 10,10,10 is the first 3-sample run of equal values *)
+    check_int "stale fires after run of equals" 4000 a.Watchdog.a_at
+  | l -> Alcotest.failf "stuck alerts: %d" (List.length l))
+
+let test_watchdog_key_matching () =
+  let m = Metrics.create () in
+  let up = Metrics.gauge m ~labels:[ ("server", "s0") ] "vblade.up" in
+  let bytes = Metrics.gauge m ~labels:[ ("server", "s0") ] "vblade.uplink_bytes" in
+  let ts = Timeseries.create ~interval_ns:1000 m in
+  let w =
+    Watchdog.create
+      [ Watchdog.threshold ~name:"down" ~key:"vblade.up" Watchdog.Below 0.5 ]
+  in
+  Watchdog.attach w ts;
+  Metrics.set up 0.0;
+  Metrics.set bytes 0.0;
+  Timeseries.sample ts ~now:1000;
+  check_int "only the exact metric name matches" 1 (Watchdog.alert_count w);
+  (match Watchdog.alerts w with
+  | [ a ] -> check_string "labelled key" "vblade.up|server=s0" a.Watchdog.a_key
+  | _ -> Alcotest.fail "expected one alert");
+  (* a trailing '.' opts into free prefix matching *)
+  let w2 =
+    Watchdog.create
+      [ Watchdog.threshold ~name:"any" ~key:"vblade." Watchdog.Below 0.5 ]
+  in
+  let ts2 = Timeseries.create ~interval_ns:1000 m in
+  Watchdog.attach w2 ts2;
+  Timeseries.sample ts2 ~now:1000;
+  check_int "prefix pattern matches both" 2 (Watchdog.alert_count w2)
+
+let test_watchdog_detection_latency () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "up" in
+  let ts = Timeseries.create ~interval_ns:1000 m in
+  let w =
+    Watchdog.create
+      [ Watchdog.threshold ~name:"down" ~key:"up" Watchdog.Below 0.5 ]
+  in
+  Watchdog.attach w ts;
+  Metrics.set g 1.0;
+  Timeseries.sample ts ~now:1000;
+  (* fault lands between sweeps; the next sweep's alert resolves it *)
+  Watchdog.expect w ~label:"crash" ~now:1400;
+  check_int "expectation armed" 1 (Watchdog.pending_expectations w);
+  Metrics.set g 0.0;
+  Timeseries.sample ts ~now:2000;
+  check_int "expectation resolved" 0 (Watchdog.pending_expectations w);
+  (match Watchdog.detections w with
+  | [ d ] ->
+    check_string "label" "crash" d.Watchdog.d_label;
+    check_int "latency = alert - fault" 600 (Watchdog.detection_latency_ns d);
+    check_bool "latency bounded by interval" true
+      (Watchdog.detection_latency_ns d <= Timeseries.interval_ns ts)
+  | _ -> Alcotest.fail "expected one detection");
+  let aj = Watchdog.alerts_json w in
+  check_contains "alerts_json has detections" aj {|"detections":[|};
+  check_contains "alerts_json detection entry" aj
+    {|{"label":"crash","rule":"down","key":"up","fault_t_ns":1400,"alert_t_ns":2000,"latency_ns":600}|}
+
+let test_watchdog_rule_of_string () =
+  List.iter
+    (fun (spec, name) ->
+      check_string spec name (Watchdog.rule_name (Watchdog.rule_of_string spec)))
+    [ ("server-down:vblade.up<0.5", "server-down");
+      ("q>3@2", "q>3@2");
+      ("spike:rate(net.bytes_delivered)>1e9", "spike");
+      ("gone:absent(vblade.up)@4", "gone");
+      ("stuck:stale(copy.bytes)@3", "stuck") ];
+  List.iter
+    (fun spec ->
+      expect_invalid_arg spec (fun () -> Watchdog.rule_of_string spec))
+    [ ""; "novalue>"; "x<notafloat"; "rate(x)"; "absent(x)@0"; "stale(x)@1" ];
+  (* parsed rules behave like constructed ones *)
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "q" in
+  let ts = Timeseries.create ~interval_ns:1000 m in
+  let w = Watchdog.create [ Watchdog.rule_of_string "hot:q>5@2" ] in
+  Watchdog.attach w ts;
+  drive ts g [ 6.0; 6.0; 1.0 ];
+  check_int "parsed hold honoured" 1 (Watchdog.alert_count w);
+  (match Watchdog.alerts w with
+  | [ a ] -> check_int "fires at second breach" 2000 a.Watchdog.a_at
+  | _ -> Alcotest.fail "expected one alert")
 
 let () =
   let qt = QCheck_alcotest.to_alcotest in
@@ -651,7 +1076,9 @@ let () =
           Alcotest.test_case "bucket_mean skips gaps" `Quick
             test_bucket_mean_skips_gaps;
           Alcotest.test_case "per_window zero-fills gaps" `Quick
-            test_per_window_zero_fills_gaps ] );
+            test_per_window_zero_fills_gaps;
+          Alcotest.test_case "window boundaries are half-open" `Quick
+            test_window_boundaries ] );
       ( "trace",
         [ Alcotest.test_case "null tracer records nothing" `Quick
             test_null_tracer;
@@ -668,7 +1095,27 @@ let () =
           Alcotest.test_case "kind mismatch" `Quick test_metrics_kind_mismatch;
           Alcotest.test_case "null is stateless" `Quick
             test_metrics_null_is_stateless;
-          Alcotest.test_case "to_json" `Quick test_metrics_to_json ] );
+          Alcotest.test_case "to_json" `Quick test_metrics_to_json;
+          Alcotest.test_case "typed snapshot" `Quick
+            test_metrics_typed_snapshot ] );
+      ( "timeseries",
+        [ Alcotest.test_case "status and raw ring" `Quick
+            test_timeseries_status_and_raw;
+          Alcotest.test_case "max_keys cap" `Quick test_timeseries_max_keys;
+          Alcotest.test_case "eviction and rollup" `Quick
+            test_timeseries_eviction_and_rollup;
+          qt prop_rollup_conservation;
+          Alcotest.test_case "exports" `Quick test_timeseries_exports ] );
+      ( "watchdog",
+        [ Alcotest.test_case "threshold episodes" `Quick
+            test_watchdog_threshold_episodes;
+          Alcotest.test_case "rate / absent / stale" `Quick
+            test_watchdog_rate_absent_stale;
+          Alcotest.test_case "key matching" `Quick test_watchdog_key_matching;
+          Alcotest.test_case "detection latency" `Quick
+            test_watchdog_detection_latency;
+          Alcotest.test_case "rule_of_string" `Quick
+            test_watchdog_rule_of_string ] );
       ( "profile",
         [ Alcotest.test_case "null is inert" `Quick test_profile_null_is_inert;
           Alcotest.test_case "nested attribution" `Quick
