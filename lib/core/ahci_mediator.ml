@@ -24,7 +24,7 @@ type stats = {
    allocate upward from 0, so the top slot stays free. *)
 let vmm_slot = 31
 
-let vmm_slot_bit = Int64.shift_left 1L vmm_slot
+let vmm_slot_bit = 1 lsl vmm_slot
 
 type t = {
   machine : Machine.t;
@@ -35,8 +35,8 @@ type t = {
   params : Params.t;
   dummy_buf : Dma.buf;
   (* guest-view emulation *)
-  mutable ghost_ci : int64;  (* bits the guest believes are on the device *)
-  mutable guest_ie : int64;
+  mutable ghost_ci : int;  (* bits the guest believes are on the device *)
+  mutable guest_ie : int;
   mutable emulate_idle : bool;  (* a VMM command occupies the device *)
   queued : int Queue.t;
   vmm_lock : Semaphore.t;
@@ -91,7 +91,7 @@ let guest_io_rate t =
   in
   in_window /. Time.to_float_s rate_window
 
-let current_clb t = Int64.to_int (t.raw.Mmio.read Ahci.Regs.px_clb)
+let current_clb t = t.raw.Mmio.read Ahci.Regs.px_clb
 
 (* The bitmap covers only the deployed image; guest I/O beyond it (fresh
    data regions) needs no mediation. *)
@@ -111,8 +111,8 @@ let fill_in_image t ~lba ~count =
     ignore (Bitmap.fill_range t.bitmap ~lba ~count:(min count (limit - lba)) : int)
 
 let forward_issue t slot =
-  t.ghost_ci <- Int64.logand t.ghost_ci (Int64.lognot (Int64.shift_left 1L slot));
-  t.raw.Mmio.write Ahci.Regs.px_ci (Int64.shift_left 1L slot)
+  t.ghost_ci <- t.ghost_ci land lnot (1 lsl slot);
+  t.raw.Mmio.write Ahci.Regs.px_ci (1 lsl slot)
 
 (* --- multiplexed VMM commands (§3.2 I/O multiplexing) --- *)
 
@@ -136,15 +136,13 @@ and with_device t f =
         (* The check-then-claim is atomic: no simulation time passes
            between the last poll and setting [emulate_idle]. *)
         while
-          Int64.logand (t.raw.Mmio.read Ahci.Regs.px_ci)
-            (Int64.lognot vmm_slot_bit)
-            <> 0L
-          || t.raw.Mmio.read Ahci.Regs.px_is <> 0L
+          t.raw.Mmio.read Ahci.Regs.px_ci land lnot vmm_slot_bit <> 0
+          || t.raw.Mmio.read Ahci.Regs.px_is <> 0
         do
           Sim.sleep t.params.Params.poll_interval
         done;
         t.emulate_idle <- true;
-        t.raw.Mmio.write Ahci.Regs.px_ie 0L;
+        t.raw.Mmio.write Ahci.Regs.px_ie 0;
       f ();
       t.raw.Mmio.write Ahci.Regs.px_ie t.guest_ie;
       t.emulate_idle <- false);
@@ -162,7 +160,7 @@ and issue_vmm t fis prdt =
      then fall back to fine-grained polls. *)
   if t.cmd_time_ewma > t.params.Params.poll_interval then
     Sim.sleep (Time.mul (Time.div t.cmd_time_ewma 10) 8);
-  while Int64.logand (t.raw.Mmio.read Ahci.Regs.px_ci) vmm_slot_bit <> 0L do
+  while t.raw.Mmio.read Ahci.Regs.px_ci land vmm_slot_bit <> 0 do
     Sim.sleep t.params.Params.poll_interval
   done;
   let took = Time.diff (Sim.now t.machine.Machine.sim) issued_at in
@@ -170,7 +168,7 @@ and issue_vmm t fis prdt =
     (if t.cmd_time_ewma = 0 then took
      else Time.div (Time.add (Time.mul t.cmd_time_ewma 7) took) 8);
   (* Acknowledge our completion. *)
-  t.raw.Mmio.write Ahci.Regs.px_is 1L;
+  t.raw.Mmio.write Ahci.Regs.px_is 1;
   t.stats.multiplexed_ops <- t.stats.multiplexed_ops + 1;
   let tr = Sim.trace t.machine.Machine.sim in
   if Trace.on tr ~cat:"mediator" then
@@ -286,7 +284,7 @@ and redirect t slot ct =
   ct.Ahci.fis <- { Ahci.Fis.op = Ahci.Fis.Read; lba = t.cached_lba; count = 1 };
   ct.Ahci.prdt <- [ { Ahci.buf_addr = t.dummy_buf.Dma.addr; sectors = 1 } ];
   Semaphore.with_permit t.vmm_lock (fun () ->
-      while t.raw.Mmio.read Ahci.Regs.px_is <> 0L do
+      while t.raw.Mmio.read Ahci.Regs.px_is <> 0 do
         Sim.sleep t.params.Params.poll_interval
       done;
       t.inflight_redirects <- t.inflight_redirects - 1;
@@ -315,7 +313,7 @@ and dispatch t slot =
   if op = Ahci.Fis.Read then t.last_guest_lba <- Some (lba + count);
   if t.emulate_idle then begin
     (* A VMM command occupies the device: intercept and queue. *)
-    t.ghost_ci <- Int64.logor t.ghost_ci (Int64.shift_left 1L slot);
+    t.ghost_ci <- t.ghost_ci lor (1 lsl slot);
     Queue.add slot t.queued;
     t.stats.queued_commands <- t.stats.queued_commands + 1;
     let tr = Sim.trace t.machine.Machine.sim in
@@ -347,7 +345,7 @@ and dispatch t slot =
         forward_issue t slot
       end
       else begin
-        t.ghost_ci <- Int64.logor t.ghost_ci (Int64.shift_left 1L slot);
+        t.ghost_ci <- t.ghost_ci lor (1 lsl slot);
         Sim.spawn ~name:"ahci-redirect" (fun () -> redirect t slot ct)
       end
 
@@ -356,10 +354,10 @@ and dispatch t slot =
 let on_write t ~next off v =
   charge_exit t;
   if off = Ahci.Regs.px_ci then begin
-    let known = Int64.logor (t.raw.Mmio.read Ahci.Regs.px_ci) t.ghost_ci in
+    let known = t.raw.Mmio.read Ahci.Regs.px_ci lor t.ghost_ci in
     for slot = 0 to 31 do
-      let bit = Int64.shift_left 1L slot in
-      if Int64.logand v bit <> 0L && Int64.logand known bit = 0L then begin
+      let bit = 1 lsl slot in
+      if v land bit <> 0 && known land bit = 0 then begin
         note_guest_io t;
         dispatch t slot
       end
@@ -370,7 +368,7 @@ let on_write t ~next off v =
     if not t.emulate_idle then next off v
   end
   else begin
-    (if off = Ahci.Regs.px_cmd && Int64.logand v 1L <> 0L then
+    (if off = Ahci.Regs.px_cmd && v land 1 <> 0 then
        Signal.Latch.set t.device_ready);
     next off v
   end
@@ -379,13 +377,13 @@ let on_read t ~next off =
   charge_exit t;
   if off = Ahci.Regs.px_ci then
     if t.emulate_idle then t.ghost_ci
-    else Int64.logor (next off) t.ghost_ci
+    else next off lor t.ghost_ci
   else if off = Ahci.Regs.px_tfd then begin
-    if t.emulate_idle then if t.ghost_ci <> 0L then Ahci.tfd_bsy else 0L
-    else if t.ghost_ci <> 0L then Int64.logor (next off) Ahci.tfd_bsy
+    if t.emulate_idle then if t.ghost_ci <> 0 then Ahci.tfd_bsy else 0
+    else if t.ghost_ci <> 0 then next off lor Ahci.tfd_bsy
     else next off
   end
-  else if off = Ahci.Regs.px_is && t.emulate_idle then 0L
+  else if off = Ahci.Regs.px_is && t.emulate_idle then 0
   else if off = Ahci.Regs.px_ie then t.guest_ie
   else next off
 
@@ -403,8 +401,8 @@ let attach machine ~aoe ~bitmap ~params =
       bitmap;
       params;
       dummy_buf = Dma.alloc machine.Machine.dma ~sectors:1;
-      ghost_ci = 0L;
-      guest_ie = 0L;
+      ghost_ci = 0;
+      guest_ie = 0;
       emulate_idle = false;
       queued = Queue.create ();
       vmm_lock = Semaphore.create 1;
@@ -446,7 +444,7 @@ let devirtualize t =
      VMM not holding the device. *)
   let quiet () =
     t.inflight_redirects = 0 && Queue.is_empty t.queued && not t.emulate_idle
-    && t.ghost_ci = 0L
+    && t.ghost_ci = 0
   in
   while not (quiet ()) do
     Sim.sleep t.params.Params.poll_interval

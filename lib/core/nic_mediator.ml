@@ -50,7 +50,7 @@ let shadow_transmit t ~dst ~size_bytes payload =
   Nic.set_tx_desc t.nic ~ring:t.shadow_tx ~idx:t.shadow_tx_tail ~dst
     ~size_bytes payload;
   t.shadow_tx_tail <- (t.shadow_tx_tail + 1) mod Nic.ring_size;
-  t.raw.Mmio.write Nic.Regs.tdt (Int64.of_int t.shadow_tx_tail)
+  t.raw.Mmio.write Nic.Regs.tdt t.shadow_tx_tail
 
 let vmm_send t ~dst ~size_bytes payload =
   t.vmm_tx_frames <- t.vmm_tx_frames + 1;
@@ -85,17 +85,21 @@ let relay_to_guest t frame =
 
 let rec poll_loop t backoff =
   if t.running then begin
-    let rdh = Int64.to_int (t.raw.Mmio.read Nic.Regs.rdh) in
+    let rdh = t.raw.Mmio.read Nic.Regs.rdh in
     let saw = t.shadow_rx_head <> rdh in
     while t.shadow_rx_head <> rdh do
       (match Nic.rx_desc t.nic ~ring:t.shadow_rx ~idx:t.shadow_rx_head with
       | Some frame ->
         Nic.clear_rx_desc t.nic ~ring:t.shadow_rx ~idx:t.shadow_rx_head;
-        if not (t.vmm_rx frame) then relay_to_guest t frame
+        if t.vmm_rx frame then
+          (* Consumed by the VMM here and now: recycle the record. A
+             relayed frame instead stays live in the guest's RX ring. *)
+          Fabric.release_frame (Nic.fabric t.nic) frame
+        else relay_to_guest t frame
       | None -> ());
       t.shadow_rx_head <- (t.shadow_rx_head + 1) mod Nic.ring_size;
       t.shadow_rdt <- (t.shadow_rdt + 1) mod Nic.ring_size;
-      t.raw.Mmio.write Nic.Regs.rdt (Int64.of_int t.shadow_rdt)
+      t.raw.Mmio.write Nic.Regs.rdt t.shadow_rdt
     done;
     let backoff = if saw then 1 else min 64 (backoff * 2) in
     Sim.sleep (t.poll_interval * backoff);
@@ -105,18 +109,17 @@ let rec poll_loop t backoff =
 (* The interposer: virtualize head/tail/enable; ring bases are recorded
    but never forwarded (the device keeps pointing at the shadows). *)
 let on_read t ~next off =
-  if off = Nic.Regs.tdh then Int64.of_int t.g_tdh
-  else if off = Nic.Regs.tdt then Int64.of_int t.g_tdt
-  else if off = Nic.Regs.rdh then Int64.of_int t.g_rdh
-  else if off = Nic.Regs.rdt then Int64.of_int t.g_rdt
-  else if off = Nic.Regs.ie then Int64.of_int t.g_ie
-  else if off = Nic.Regs.tdba then Int64.of_int t.g_tx_ring
-  else if off = Nic.Regs.rdba then Int64.of_int t.g_rx_ring
+  if off = Nic.Regs.tdh then t.g_tdh
+  else if off = Nic.Regs.tdt then t.g_tdt
+  else if off = Nic.Regs.rdh then t.g_rdh
+  else if off = Nic.Regs.rdt then t.g_rdt
+  else if off = Nic.Regs.ie then t.g_ie
+  else if off = Nic.Regs.tdba then t.g_tx_ring
+  else if off = Nic.Regs.rdba then t.g_rx_ring
   else next off
 
-let on_write t ~next off v =
+let on_write t ~next off vi =
   ignore next;
-  let vi = Int64.to_int v in
   if off = Nic.Regs.tdt then on_guest_tdt t vi
   else if off = Nic.Regs.rdt then t.g_rdt <- vi
   else if off = Nic.Regs.ie then t.g_ie <- vi
@@ -164,10 +167,10 @@ let attach machine ~poll_interval =
   in
   (* Retarget the device at the shadows, keep its interrupts off (the
      mediator polls), publish all shadow RX buffers. *)
-  raw.Mmio.write Nic.Regs.ie 0L;
-  raw.Mmio.write Nic.Regs.tdba (Int64.of_int shadow_tx);
-  raw.Mmio.write Nic.Regs.rdba (Int64.of_int shadow_rx);
-  raw.Mmio.write Nic.Regs.rdt (Int64.of_int t.shadow_rdt);
+  raw.Mmio.write Nic.Regs.ie 0;
+  raw.Mmio.write Nic.Regs.tdba shadow_tx;
+  raw.Mmio.write Nic.Regs.rdba shadow_rx;
+  raw.Mmio.write Nic.Regs.rdt t.shadow_rdt;
   Mmio.interpose machine.Machine.mmio ~base:Machine.prod_nic_base
     { Mmio.on_read = (fun ~next off -> on_read t ~next off);
       on_write = (fun ~next off v -> on_write t ~next off v) };
@@ -180,7 +183,7 @@ let devirtualize t =
      to drain. *)
   while
     t.g_tdh <> t.g_tdt
-    || t.shadow_rx_head <> Int64.to_int (t.raw.Mmio.read Nic.Regs.rdh)
+    || t.shadow_rx_head <> t.raw.Mmio.read Nic.Regs.rdh
   do
     Sim.sleep t.poll_interval
   done;
@@ -188,8 +191,8 @@ let devirtualize t =
   (* Hand the hardware back: device uses the guest's rings directly.
      Base writes reset head/tail on both sides, like a device reset; the
      guest driver reinitializes its indices the same way. *)
-  t.raw.Mmio.write Nic.Regs.tdba (Int64.of_int t.g_tx_ring);
-  t.raw.Mmio.write Nic.Regs.rdba (Int64.of_int t.g_rx_ring);
-  t.raw.Mmio.write Nic.Regs.ie (Int64.of_int t.g_ie);
+  t.raw.Mmio.write Nic.Regs.tdba t.g_tx_ring;
+  t.raw.Mmio.write Nic.Regs.rdba t.g_rx_ring;
+  t.raw.Mmio.write Nic.Regs.ie t.g_ie;
   Mmio.remove_interposer t.machine.Machine.mmio ~base:Machine.prod_nic_base;
   t.devirtualized <- true

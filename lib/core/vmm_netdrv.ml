@@ -30,19 +30,22 @@ let max_backoff = 64
 
 let rec poll_loop t backoff =
   if t.running then begin
-    let rdh = Int64.to_int (reg t Nic.Regs.rdh) in
+    let rdh = reg t Nic.Regs.rdh in
     let saw_traffic = t.rx_idx <> rdh in
     while t.rx_idx <> rdh do
       (match Nic.rx_desc t.nic ~ring:t.rx_ring ~idx:t.rx_idx with
       | Some frame ->
         Nic.clear_rx_desc t.nic ~ring:t.rx_ring ~idx:t.rx_idx;
         t.frames_received <- t.frames_received + 1;
-        t.on_frame frame
+        t.on_frame frame;
+        (* [on_frame] consumes synchronously (reassembly copies what it
+           needs); hand the record back to the fabric pool. *)
+        Fabric.release_frame (Nic.fabric t.nic) frame
       | None -> ());
       t.rx_idx <- (t.rx_idx + 1) mod Nic.ring_size;
       (* Recycle the buffer: advance RDT to keep the ring stocked. *)
       t.rdt <- (t.rdt + 1) mod Nic.ring_size;
-      wreg t Nic.Regs.rdt (Int64.of_int t.rdt)
+      wreg t Nic.Regs.rdt t.rdt
     done;
     let backoff = if saw_traffic then 1 else min max_backoff (backoff * 2) in
     Sim.sleep (t.poll_interval * backoff);
@@ -76,10 +79,10 @@ let attach machine ?(which = `Mgmt) ~poll_interval ~on_frame () =
   in
   (* Program our rings (resets head/tail), polling mode: interrupts
      off, publish all but one RX buffer. *)
-  wreg t Nic.Regs.tdba (Int64.of_int t.tx_ring);
-  wreg t Nic.Regs.rdba (Int64.of_int t.rx_ring);
-  wreg t Nic.Regs.ie 0L;
-  wreg t Nic.Regs.rdt (Int64.of_int t.rdt);
+  wreg t Nic.Regs.tdba t.tx_ring;
+  wreg t Nic.Regs.rdba t.rx_ring;
+  wreg t Nic.Regs.ie 0;
+  wreg t Nic.Regs.rdt t.rdt;
   Sim.spawn_at machine.Machine.sim ~name:"vmm-netdrv-poll"
     (Sim.now machine.Machine.sim) (fun () -> poll_loop t 1);
   t
@@ -87,7 +90,7 @@ let attach machine ?(which = `Mgmt) ~poll_interval ~on_frame () =
 let send t ~dst ~size_bytes payload =
   Nic.set_tx_desc t.nic ~ring:t.tx_ring ~idx:t.tx_idx ~dst ~size_bytes payload;
   t.tx_idx <- (t.tx_idx + 1) mod Nic.ring_size;
-  wreg t Nic.Regs.tdt (Int64.of_int t.tx_idx)
+  wreg t Nic.Regs.tdt t.tx_idx
 
 let port_id t = Fabric.port_id (Nic.port t.nic)
 let frames_received t = t.frames_received

@@ -1,80 +1,102 @@
+(* Values always travel through [items]; a waker is only a hint that the
+   queue may have changed. A woken process re-checks the queue and parks
+   again if a sibling consumed the item first — this keeps the park/wake
+   cycle on [Sim.park]'s payload-free path (no boxed hand-off per wake).
+   Items and waiters live in array-backed rings ([Ring]), so in the
+   steady state a send/recv hand-off allocates nothing at all: at fleet
+   scale the simulator forwards millions of frames through mailboxes,
+   and a [Queue.t] cell per hop was a top allocation site. *)
 type 'a t = {
   capacity : int option;
-  items : 'a Queue.t;
-  recv_waiters : ('a -> bool) Queue.t;
-  send_waiters : (unit -> bool) Queue.t;
+  items : 'a Ring.t;
+  recv_waiters : (unit -> bool) Ring.t;
+  send_waiters : (unit -> bool) Ring.t;
+  (* Preallocated [Sim.park] register closures: parking is the hot path,
+     so it must not conjure a fresh closure per blocked recv/send. *)
+  mutable reg_recv : (unit -> bool) -> unit;
+  mutable reg_send : (unit -> bool) -> unit;
 }
+
+let no_reg (_ : unit -> bool) = ()
 
 let create ?capacity () =
   (match capacity with
   | Some c when c <= 0 -> invalid_arg "Mailbox.create: capacity must be positive"
   | _ -> ());
-  { capacity;
-    items = Queue.create ();
-    recv_waiters = Queue.create ();
-    send_waiters = Queue.create () }
+  let t =
+    { capacity;
+      items = Ring.create ();
+      recv_waiters = Ring.create ();
+      send_waiters = Ring.create ();
+      reg_recv = no_reg;
+      reg_send = no_reg }
+  in
+  t.reg_recv <- (fun w -> Ring.push t.recv_waiters w);
+  t.reg_send <- (fun w -> Ring.push t.send_waiters w);
+  t
 
 let is_full t =
   match t.capacity with
   | None -> false
-  | Some c -> Queue.length t.items >= c
+  | Some c -> Ring.length t.items >= c
 
-(* Pop waiters until one accepts (a waker returns false if its process was
-   already resumed by a racing source, e.g. a timeout). *)
-let rec wake_one_recv t v =
-  match Queue.take_opt t.recv_waiters with
-  | None -> false
-  | Some waker -> if waker v then true else wake_one_recv t v
-
-let rec wake_one_send t =
-  match Queue.take_opt t.send_waiters with
-  | None -> false
-  | Some waker -> if waker () then true else wake_one_send t
+(* Pop waiters until one accepts (a waker returns false if its process
+   was already resumed by a racing source, e.g. a timeout). *)
+let rec wake_one q =
+  if Ring.is_empty q then false
+  else if (Ring.pop q) () then true
+  else wake_one q
 
 let try_send t v =
-  if wake_one_recv t v then true
-  else if is_full t then false
+  if is_full t then false
   else begin
-    Queue.add v t.items;
+    Ring.push t.items v;
+    ignore (wake_one t.recv_waiters : bool);
     true
   end
 
 let rec send t v =
   if not (try_send t v) then begin
-    Sim.suspend (fun waker ->
-        Queue.add (fun () -> waker ()) t.send_waiters);
+    Sim.park t.reg_send;
     send t v
   end
 
 let take_item t =
-  let v = Queue.take t.items in
+  let v = Ring.pop t.items in
   (* Space freed: resume one blocked sender, if any. *)
-  ignore (wake_one_send t : bool);
+  ignore (wake_one t.send_waiters : bool);
   v
 
 let try_recv t =
-  if Queue.is_empty t.items then None else Some (take_item t)
+  if Ring.is_empty t.items then None else Some (take_item t)
 
 let rec recv t =
-  match try_recv t with
-  | Some v -> v
-  | None ->
-    let got =
-      Sim.suspend (fun waker ->
-          Queue.add (fun v -> waker (Some v)) t.recv_waiters)
-    in
-    (match got with Some v -> v | None -> recv t)
+  if Ring.is_empty t.items then begin
+    Sim.park t.reg_recv;
+    recv t
+  end
+  else take_item t
 
 let recv_timeout t timeout =
   match try_recv t with
   | Some v -> Some v
   | None ->
     let sim = Sim.self () in
-    Sim.suspend (fun waker ->
-        Queue.add (fun v -> waker (Some v)) t.recv_waiters;
-        Sim.schedule sim
-          (Time.add (Sim.now sim) timeout)
-          (fun () -> ignore (waker None : bool)))
+    let deadline = Time.add (Sim.now sim) timeout in
+    let rec wait () =
+      let woke =
+        Sim.suspend (fun waker ->
+            Ring.push t.recv_waiters (fun () -> waker true);
+            Sim.schedule sim deadline (fun () -> ignore (waker false : bool)))
+      in
+      (* Either way the queue may hold an item now (a racing sender can
+         deliver at the very deadline); only give up when it doesn't and
+         the deadline passed. *)
+      match try_recv t with
+      | Some v -> Some v
+      | None -> if woke && Sim.now sim < deadline then wait () else None
+    in
+    wait ()
 
-let length t = Queue.length t.items
-let is_empty t = Queue.is_empty t.items
+let length t = Ring.length t.items
+let is_empty t = Ring.is_empty t.items

@@ -1,4 +1,16 @@
-type t = { mutable state : int64 }
+(* Splitmix64, with the 64-bit state held as two untagged 32-bit
+   halves. A [mutable state : int64] field re-boxes the state on every
+   draw (plus one box for the mixed result), which at one-plus draw per
+   simulator event is a top allocation site; splitting the state into
+   two immediate ints and keeping every [Int64] value let-bound inside
+   a single function body lets the native compiler unbox the whole
+   advance+mix pipeline, so [int]/[bool]/[float] draws allocate nothing
+   (beyond [float]'s boxed result). The advance+mix code is deliberately
+   duplicated in each draw function: routing it through a shared helper
+   would re-box the int64 at the call boundary. The generated sequence
+   is bit-identical to the boxed implementation. *)
+type t = { mutable hi : int; mutable lo : int }
+(* invariant: 0 <= hi < 2^32, 0 <= lo < 2^32; state = hi << 32 | lo *)
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
@@ -7,23 +19,43 @@ let mix64 z =
   let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
   Int64.(logxor z (shift_right_logical z 31))
 
-let create seed = { state = mix64 (Int64.of_int seed) }
+let of_state s =
+  { hi = Int64.to_int (Int64.shift_right_logical s 32);
+    lo = Int64.to_int (Int64.logand s 0xFFFFFFFFL) }
+
+let state t =
+  Int64.logor (Int64.shift_left (Int64.of_int t.hi) 32) (Int64.of_int t.lo)
+
+let create seed = of_state (mix64 (Int64.of_int seed))
 
 let bits64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix64 t.state
+  let s = Int64.add (state t) golden_gamma in
+  t.hi <- Int64.to_int (Int64.shift_right_logical s 32);
+  t.lo <- Int64.to_int (Int64.logand s 0xFFFFFFFFL);
+  mix64 s
 
 let split t =
   let seed = bits64 t in
-  { state = mix64 seed }
+  of_state (mix64 seed)
 
-let copy t = { state = t.state }
+let copy t = { hi = t.hi; lo = t.lo }
 
+(* Advance + mix + truncate in one body (see module comment). *)
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let s =
+    Int64.add
+      (Int64.logor (Int64.shift_left (Int64.of_int t.hi) 32) (Int64.of_int t.lo))
+      golden_gamma
+  in
+  t.hi <- Int64.to_int (Int64.shift_right_logical s 32);
+  t.lo <- Int64.to_int (Int64.logand s 0xFFFFFFFFL);
+  let z = Int64.(mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  let z = Int64.(logxor z (shift_right_logical z 31)) in
   (* Use the top bits to avoid modulo bias in common small-bound cases;
      for simulation purposes modulo of a mixed 62-bit value is fine. *)
-  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  let v = Int64.to_int (Int64.shift_right_logical z 2) in
   v mod bound
 
 let int_in t lo hi =
@@ -31,11 +63,32 @@ let int_in t lo hi =
   lo + int t (hi - lo + 1)
 
 let float t bound =
+  let s =
+    Int64.add
+      (Int64.logor (Int64.shift_left (Int64.of_int t.hi) 32) (Int64.of_int t.lo))
+      golden_gamma
+  in
+  t.hi <- Int64.to_int (Int64.shift_right_logical s 32);
+  t.lo <- Int64.to_int (Int64.logand s 0xFFFFFFFFL);
+  let z = Int64.(mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  let z = Int64.(logxor z (shift_right_logical z 31)) in
   (* 53 random bits -> [0,1) *)
-  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  let v = Int64.to_int (Int64.shift_right_logical z 11) in
   bound *. (float_of_int v /. 9007199254740992.0)
 
-let bool t = Int64.logand (bits64 t) 1L = 1L
+let bool t =
+  let s =
+    Int64.add
+      (Int64.logor (Int64.shift_left (Int64.of_int t.hi) 32) (Int64.of_int t.lo))
+      golden_gamma
+  in
+  t.hi <- Int64.to_int (Int64.shift_right_logical s 32);
+  t.lo <- Int64.to_int (Int64.logand s 0xFFFFFFFFL);
+  let z = Int64.(mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.to_int (Int64.logxor z (Int64.shift_right_logical z 31)) land 1 = 1
+
 let bernoulli t p = float t 1.0 < p
 
 let exponential t mean =

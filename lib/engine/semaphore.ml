@@ -1,11 +1,18 @@
 type t = {
   mutable permits : int;
-  waiters : (unit -> bool) Queue.t;
+  waiters : (unit -> bool) Ring.t;
+  (* Preallocated [Sim.park] register closure — blocking on a contended
+     semaphore must not allocate per wait. *)
+  mutable reg : (unit -> bool) -> unit;
 }
+
+let no_reg (_ : unit -> bool) = ()
 
 let create n =
   if n < 0 then invalid_arg "Semaphore.create: negative permits";
-  { permits = n; waiters = Queue.create () }
+  let t = { permits = n; waiters = Ring.create (); reg = no_reg } in
+  t.reg <- (fun w -> Ring.push t.waiters w);
+  t
 
 let try_acquire t =
   if t.permits > 0 then begin
@@ -16,17 +23,19 @@ let try_acquire t =
 
 let rec acquire t =
   if not (try_acquire t) then begin
-    Sim.suspend (fun waker -> Queue.add (fun () -> waker ()) t.waiters);
+    Sim.park t.reg;
     acquire t
   end
 
 let rec release t =
-  match Queue.take_opt t.waiters with
-  | Some waker ->
-    (* Hand the permit to the waiter by incrementing then waking; if the
+  if Ring.is_empty t.waiters then t.permits <- t.permits + 1
+  else begin
+    let waker = Ring.pop t.waiters in
+    (* Hand the permit back by incrementing then waking; the woken
+       process re-runs [try_acquire] (the wake is only a hint). If the
        waiter is dead (raced with a timeout), try the next one. *)
     if waker () then t.permits <- t.permits + 1 else release t
-  | None -> t.permits <- t.permits + 1
+  end
 
 let available t = t.permits
 

@@ -1,51 +1,64 @@
 module Latch = struct
-  type t = { mutable set : bool; mutable waiters : (unit -> bool) list }
+  type t = {
+    mutable set : bool;
+    waiters : (unit -> bool) Ring.t;
+    mutable reg : (unit -> bool) -> unit;
+  }
 
-  let create () = { set = false; waiters = [] }
+  let no_reg (_ : unit -> bool) = ()
+
+  let create () =
+    let t = { set = false; waiters = Ring.create (); reg = no_reg } in
+    t.reg <- (fun w -> Ring.push t.waiters w);
+    t
 
   let set t =
     if not t.set then begin
       t.set <- true;
-      let ws = List.rev t.waiters in
-      t.waiters <- [];
-      List.iter (fun w -> ignore (w () : bool)) ws
+      while not (Ring.is_empty t.waiters) do
+        ignore ((Ring.pop t.waiters) () : bool)
+      done
     end
 
   let is_set t = t.set
 
-  let wait t =
-    if not t.set then
-      Sim.suspend (fun waker ->
-          t.waiters <- (fun () -> waker ()) :: t.waiters)
+  let wait t = if not t.set then Sim.park t.reg
 
   let on_set t f =
     if t.set then f ()
     else
-      t.waiters <-
-        (fun () ->
+      Ring.push t.waiters (fun () ->
           f ();
           true)
-        :: t.waiters
 end
 
 module Pulse = struct
-  type t = { mutable waiters : (bool -> bool) list }
+  type t = {
+    waiters : (unit -> bool) Ring.t;
+    mutable reg : (unit -> bool) -> unit;
+  }
 
-  let create () = { waiters = [] }
+  let no_reg (_ : unit -> bool) = ()
+
+  let create () =
+    let t = { waiters = Ring.create (); reg = no_reg } in
+    t.reg <- (fun w -> Ring.push t.waiters w);
+    t
 
   let pulse t =
-    let ws = List.rev t.waiters in
-    t.waiters <- [];
-    List.iter (fun w -> ignore (w true : bool)) ws
+    (* Snapshot the count first: a woken process may park on the pulse
+       again immediately, and it must then wait for the NEXT pulse. *)
+    let n = Ring.length t.waiters in
+    for _ = 1 to n do
+      ignore ((Ring.pop t.waiters) () : bool)
+    done
 
-  let wait t =
-    ignore
-      (Sim.suspend (fun waker -> t.waiters <- waker :: t.waiters) : bool)
+  let wait t = Sim.park t.reg
 
   let wait_timeout t timeout =
     let sim = Sim.self () in
     Sim.suspend (fun waker ->
-        t.waiters <- waker :: t.waiters;
+        Ring.push t.waiters (fun () -> waker true);
         Sim.schedule sim
           (Time.add (Sim.now sim) timeout)
           (fun () -> ignore (waker false : bool)))

@@ -27,16 +27,45 @@ type t = {
   trace_ : Trace.t;
   metrics_ : Metrics.t;
   profile_ : Profile.t;
+  mutable effs_ : effs option;
+}
+
+(* Hoisted effect handlers. A naive [effc] conjures a fresh closure (and
+   its [Some] box) for every perform — ~10 minor words per [Sleep] on
+   the hottest path in the simulator. These handlers are allocated once
+   per simulator; effect payloads ride in the mutable cells, written by
+   [effc] immediately before the runtime invokes the matching handler.
+   That hand-off is safe because effects are handled synchronously on a
+   single domain: nothing runs between [effc] returning and the handler
+   consuming the cell. *)
+and effs = {
+  h_sleep : ((unit, unit) Effect.Deep.continuation -> unit) option;
+  h_clock : ((Time.t, unit) Effect.Deep.continuation -> unit) option;
+  h_park : ((unit, unit) Effect.Deep.continuation -> unit) option;
+  mutable spawn_name : string option;
+  mutable spawn_body : unit -> unit;
+  h_spawn : ((unit, unit) Effect.Deep.continuation -> unit) option;
+  h_self : ((t, unit) Effect.Deep.continuation -> unit) option;
 }
 
 exception Process_failure of string * exn
 
+(* The two hottest effects are constant constructors: performing one
+   allocates nothing for the effect value itself. Their payloads ride in
+   the module-level cells below, written immediately before [perform] and
+   read inside the (synchronously invoked) handler — safe on a single
+   domain because nothing runs in between, even across nested sims. *)
 type _ Effect.t +=
-  | Sleep : Time.span -> unit Effect.t
+  | Sleep : unit Effect.t
   | Clock : Time.t Effect.t
   | Suspend : (('a -> bool) -> unit) -> 'a Effect.t
+  | Park : unit Effect.t
   | Spawn : string option * (unit -> unit) -> unit Effect.t
   | Self : t Effect.t
+
+let no_park (_ : unit -> bool) = ()
+let sleep_cell : Time.span ref = ref 0
+let park_cell : ((unit -> bool) -> unit) ref = ref no_park
 
 let create_base ?(seed = 42) ?(trace = Trace.null) ?(metrics = Metrics.null)
     ?(profile = Profile.null) () =
@@ -50,7 +79,8 @@ let create_base ?(seed = 42) ?(trace = Trace.null) ?(metrics = Metrics.null)
       daemons = 0;
       trace_ = trace;
       metrics_ = metrics;
-      profile_ = profile }
+      profile_ = profile;
+      effs_ = None }
   in
   Trace.set_clock trace (fun () -> sim.clock);
   Metrics.derived metrics "sim.events" (fun () -> float_of_int sim.executed);
@@ -112,6 +142,67 @@ let create ?seed ?trace ?metrics ?profile ?timeseries () =
         : unit -> unit));
   sim
 
+let no_body () = ()
+
+let make_effs sim =
+  let open Effect.Deep in
+  let rec e =
+    { h_sleep =
+        Some
+          (fun k ->
+            let at = Time.add sim.clock (max !sleep_cell 0) in
+            if Trace.sample sim.trace_ ~cat:"sim" then begin
+              let ts = sim.clock in
+              push_job sim at
+                (Job_fn
+                   (fun () ->
+                     Trace.complete sim.trace_ ~cat:"sim" "sleep" ~ts;
+                     continue k ()))
+            end
+            else push_job sim at (Job_k k));
+      h_clock = Some (fun k -> continue k sim.clock);
+      h_park =
+        Some
+          (fun k ->
+            let register = !park_cell in
+            park_cell := no_park;
+            (* The waker is single-shot {e by construction} of every
+               registrar (park waiters are dequeued exactly once), so it
+               carries no fired-guard — resuming a continuation twice
+               would crash loudly anyway. *)
+            register
+              (fun () ->
+                if Trace.sample sim.trace_ ~cat:"sim" then
+                  Trace.instant sim.trace_ ~cat:"sim" "wake";
+                push_job sim sim.clock (Job_k k);
+                true));
+      spawn_name = None;
+      spawn_body = no_body;
+      h_spawn =
+        Some
+          (fun k ->
+            let child_name = e.spawn_name and body = e.spawn_body in
+            e.spawn_name <- None;
+            e.spawn_body <- no_body;
+            if Trace.sample sim.trace_ ~cat:"sim" then
+              Trace.instant sim.trace_ ~cat:"sim"
+                ~args:
+                  [ ("proc", Trace.Str (Option.value child_name ~default:"?")) ]
+                "spawn";
+            push_job sim sim.clock (Job_proc (child_name, body));
+            continue k ());
+      h_self = Some (fun k -> continue k sim) }
+  in
+  e
+
+let effs sim =
+  match sim.effs_ with
+  | Some e -> e
+  | None ->
+    let e = make_effs sim in
+    sim.effs_ <- Some e;
+    e
+
 (* Run [f] as a process: execute under a deep handler that maps blocking
    effects onto event-queue operations.  Continuations are one-shot; the
    [Suspend] waker guards against double resume so that racing wake-up
@@ -127,23 +218,11 @@ let rec exec_process sim name f =
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
-          | Sleep d ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                let at = Time.add sim.clock (max d 0) in
-                if Trace.sample sim.trace_ ~cat:"sim" then begin
-                  let ts = sim.clock in
-                  push_job sim at
-                    (Job_fn
-                       (fun () ->
-                         Trace.complete sim.trace_ ~cat:"sim" "sleep" ~ts;
-                         continue k ()))
-                end
-                else push_job sim at (Job_k k))
-          | Clock -> Some (fun k -> continue k sim.clock)
+          | Sleep -> ((effs sim).h_sleep : ((a, unit) continuation -> unit) option)
+          | Clock -> (effs sim).h_clock
           | Suspend register ->
             Some
-              (fun k ->
+              (fun (k : (a, unit) continuation) ->
                 let fired = ref false in
                 let waker v =
                   if !fired then false
@@ -156,18 +235,13 @@ let rec exec_process sim name f =
                   end
                 in
                 register waker)
+          | Park -> ((effs sim).h_park : ((a, unit) continuation -> unit) option)
           | Spawn (child_name, body) ->
-            Some
-              (fun k ->
-                if Trace.sample sim.trace_ ~cat:"sim" then
-                  Trace.instant sim.trace_ ~cat:"sim"
-                    ~args:
-                      [ ("proc",
-                         Trace.Str (Option.value child_name ~default:"?")) ]
-                    "spawn";
-                push_job sim sim.clock (Job_proc (child_name, body));
-                continue k ())
-          | Self -> Some (fun k -> continue k sim)
+            let e = effs sim in
+            e.spawn_name <- child_name;
+            e.spawn_body <- body;
+            e.h_spawn
+          | Self -> (effs sim).h_self
           | _ -> None) }
 
 and run_job sim job =
@@ -228,10 +302,21 @@ let run ?until sim =
 
 (* Process-context operations. *)
 
-let sleep d = Effect.perform (Sleep d)
+let sleep d =
+  sleep_cell := d;
+  Effect.perform Sleep
+
 let clock () = Effect.perform Clock
-let yield () = Effect.perform (Sleep 0)
+
+let yield () =
+  sleep_cell := 0;
+  Effect.perform Sleep
+
 let suspend register = Effect.perform (Suspend register)
+
+let park register =
+  park_cell := register;
+  Effect.perform Park
 let spawn ?name f = Effect.perform (Spawn (name, f))
 let self () = Effect.perform Self
 

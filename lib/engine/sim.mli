@@ -104,6 +104,14 @@ val suspend : (('a -> bool) -> unit) -> 'a
     makes racing wake-ups (e.g. completion vs. timeout) safe: first caller
     wins. *)
 
+val park : ((unit -> bool) -> unit) -> unit
+(** Value-free [suspend], tuned for the mailbox/signal hot path: the
+    waker carries no payload (the sleeper re-checks its queue on resume,
+    treating the wake as a hint), which lets the engine resume it
+    through the same zero-alloc [Job_k] path as a sleep instead of a
+    boxed value hand-off. Same first-caller-wins waker contract as
+    [suspend]. *)
+
 val spawn : ?name:string -> (unit -> unit) -> unit
 (** Start a sibling process at the current time. *)
 

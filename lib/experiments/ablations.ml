@@ -187,12 +187,12 @@ let run_shared_nic () =
         let reg off = Bmcast_hw.Mmio.read mm (Machine.prod_nic_base + off) in
         let wreg off v = Bmcast_hw.Mmio.write mm (Machine.prod_nic_base + off) v in
         let guest_rx = ref 0 in
-        wreg Bmcast_net.Nic.Regs.rdt 255L;
+        wreg Bmcast_net.Nic.Regs.rdt 255;
         Sim.spawn ~name:"guest-rx" (fun () ->
             let ring = Bmcast_net.Nic.default_rx_ring pn in
             let idx = ref 0 and rdt = ref 255 in
             let rec poll () =
-              let rdh = Int64.to_int (reg Bmcast_net.Nic.Regs.rdh) in
+              let rdh = reg Bmcast_net.Nic.Regs.rdh in
               while !idx <> rdh do
                 (match Bmcast_net.Nic.rx_desc pn ~ring ~idx:!idx with
                 | Some f -> guest_rx := !guest_rx + f.Packet.size_bytes
@@ -200,7 +200,7 @@ let run_shared_nic () =
                 Bmcast_net.Nic.clear_rx_desc pn ~ring ~idx:!idx;
                 idx := (!idx + 1) mod 256;
                 rdt := (!rdt + 1) mod 256;
-                wreg Bmcast_net.Nic.Regs.rdt (Int64.of_int !rdt)
+                wreg Bmcast_net.Nic.Regs.rdt !rdt
               done;
               Sim.sleep (Time.us 50);
               poll ()

@@ -24,9 +24,9 @@ let isr t () =
   (* Acknowledge interrupt status; wake the waiting requester if its
      command left the issue register. *)
   let is = reg t Ahci.Regs.px_is in
-  if Int64.logand is 1L <> 0L then begin
-    wreg t Ahci.Regs.px_is 1L;
-    if Int64.logand (reg t Ahci.Regs.px_ci) 1L = 0L then
+  if is land 1 <> 0 then begin
+    wreg t Ahci.Regs.px_is 1;
+    if reg t Ahci.Regs.px_ci land 1 = 0 then
       match t.completion with
       | Some latch ->
         t.completion <- None;
@@ -45,9 +45,9 @@ let attach machine =
     { machine; ahci; clb; lock = Semaphore.create 1; completion = None; ios = 0 }
   in
   Irq.register machine.Machine.irq ~vec:Machine.disk_irq_vec (isr t);
-  wreg t Ahci.Regs.px_clb (Int64.of_int clb);
-  wreg t Ahci.Regs.px_ie 1L;
-  wreg t Ahci.Regs.px_cmd 1L;
+  wreg t Ahci.Regs.px_clb clb;
+  wreg t Ahci.Regs.px_ie 1;
+  wreg t Ahci.Regs.px_cmd 1;
   t
 
 let submit t fis buf =
@@ -59,7 +59,7 @@ let submit t fis buf =
       Ahci.set_slot t.ahci ~clb:t.clb ~slot:0 ~table_addr:table;
       let latch = Signal.Latch.create () in
       t.completion <- Some latch;
-      wreg t Ahci.Regs.px_ci 1L;
+      wreg t Ahci.Regs.px_ci 1;
       Signal.Latch.wait latch;
       t.ios <- t.ios + 1)
 

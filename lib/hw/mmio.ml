@@ -1,8 +1,8 @@
-type handler = { read : int -> int64; write : int -> int64 -> unit }
+type handler = { read : int -> int; write : int -> int -> unit }
 
 type interposer = {
-  on_read : next:(int -> int64) -> int -> int64;
-  on_write : next:(int -> int64 -> unit) -> int -> int64 -> unit;
+  on_read : next:(int -> int) -> int -> int;
+  on_write : next:(int -> int -> unit) -> int -> int -> unit;
 }
 
 type region = {
@@ -36,7 +36,16 @@ let map t ~base ~size handler =
     t.regions;
   t.regions <- { base; size; device = handler; interposer = None } :: t.regions
 
-let unmap t ~base = t.regions <- List.filter (fun r -> r.base <> base) t.regions
+let find_by_base t base =
+  match List.find_opt (fun r -> r.base = base) t.regions with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Mmio: no region mapped at 0x%x" base)
+
+let unmap t ~base =
+  (* A silent no-op here would let a typo'd teardown leave a stale
+     device mapped; insist the region exists, like [find_by_base]. *)
+  ignore (find_by_base t base : region);
+  t.regions <- List.filter (fun r -> r.base <> base) t.regions
 
 let find_region t addr =
   match
@@ -44,11 +53,6 @@ let find_region t addr =
   with
   | Some r -> r
   | None -> invalid_arg (Printf.sprintf "Mmio: unmapped address 0x%x" addr)
-
-let find_by_base t base =
-  match List.find_opt (fun r -> r.base = base) t.regions with
-  | Some r -> r
-  | None -> invalid_arg (Printf.sprintf "Mmio: no region mapped at 0x%x" base)
 
 let interpose t ~base ix =
   let r = find_by_base t base in
@@ -64,7 +68,7 @@ let remove_interposer t ~base =
    dispatch into mediator handlers whose service paths can suspend the
    fiber, and a profiler scope must not cross a scheduling point. The
    direct register path is where the boxed-Int64 traffic the allocation
-   diet targets lives (ROADMAP). *)
+   diet targets lived (ROADMAP) — values now travel as untagged [int]. *)
 let read t addr =
   let r = find_region t addr in
   let off = addr - r.base in
@@ -95,5 +99,12 @@ let write t addr v =
   | Some ix ->
     t.trapped <- t.trapped + 1;
     ix.on_write ~next:r.device.write off v
+
+let read64 t addr = Int64.of_int (read t addr)
+
+let write64 t addr v =
+  if Int64.of_int (Int64.to_int v) <> v then
+    invalid_arg "Mmio.write64: value exceeds register representation";
+  write t addr (Int64.to_int v)
 
 let trapped_accesses t = t.trapped

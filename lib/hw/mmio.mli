@@ -5,19 +5,25 @@
     through the interposer, which may observe, forward, or answer the
     access itself. This models nested-paging-based MMIO trapping — the
     mechanism BMcast's device mediators use for I/O interpretation — and
-    removing the interposition models de-virtualization. *)
+    removing the interposition models de-virtualization.
+
+    Register values travel as untagged [int]: every register this
+    platform models is at most 32 bits wide, so an OCaml 63-bit [int]
+    holds it without the boxed-[Int64] allocation that used to dominate
+    the polling hot path. [read64]/[write64] keep an [int64] view at the
+    device-facing boundary for callers that want real register width. *)
 
 type t
 
 type handler = {
-  read : int -> int64;  (** [read offset] within the region *)
-  write : int -> int64 -> unit;  (** [write offset value] *)
+  read : int -> int;  (** [read offset] within the region *)
+  write : int -> int -> unit;  (** [write offset value] *)
 }
 
 (** An interposer sees region-relative offsets and the device handler. *)
 type interposer = {
-  on_read : next:(int -> int64) -> int -> int64;
-  on_write : next:(int -> int64 -> unit) -> int -> int64 -> unit;
+  on_read : next:(int -> int) -> int -> int;
+  on_write : next:(int -> int -> unit) -> int -> int -> unit;
 }
 
 val create : unit -> t
@@ -33,6 +39,9 @@ val map : t -> base:int -> size:int -> handler -> unit
 (** Map a device region. Raises [Invalid_argument] on overlap. *)
 
 val unmap : t -> base:int -> unit
+(** Unmap the region mapped at exactly [base]. Raises
+    [Invalid_argument] if no region is mapped there — a silent no-op
+    would let a typo'd teardown leave a stale device mapped. *)
 
 val interpose : t -> base:int -> interposer -> unit
 (** Install an interposer on the region mapped at [base]. At most one
@@ -43,10 +52,17 @@ val remove_interposer : t -> base:int -> unit
 (** De-virtualize the region: subsequent accesses go directly to the
     device handler. No-op if none installed. *)
 
-val read : t -> int -> int64
+val read : t -> int -> int
 (** [read addr]: absolute address. Raises [Invalid_argument] if unmapped. *)
 
-val write : t -> int -> int64 -> unit
+val write : t -> int -> int -> unit
+
+val read64 : t -> int -> int64
+(** [int64] shim over {!read} for device-width callers. *)
+
+val write64 : t -> int -> int64 -> unit
+(** [int64] shim over {!write}. Raises [Invalid_argument] if the value
+    does not fit the 63-bit register representation. *)
 
 val trapped_accesses : t -> int
 (** Number of accesses that went through any interposer (i.e. would have

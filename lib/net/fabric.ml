@@ -27,6 +27,15 @@ type t = {
   mutable loss_in_bad : bool;  (* Gilbert-Elliott channel state *)
   prng : Prng.t;
   mutable ports : port array;
+  mutable n_ports : int;
+  (* Frame free-list (see the ownership rules in fabric.mli). [rx_keep]
+     is a per-delivery flag: an rx handler that retains the frame sets
+     it via [keep_frame] before returning. Safe as a single cell because
+     rx handlers run synchronously in the egress process. *)
+  pooling : bool;
+  mutable free_frames : Packet.t array;
+  mutable n_free : int;
+  mutable rx_keep : bool;
   mutable frames_sent : int;
   mutable frames_dropped : int;
   mutable link_drops : int;
@@ -49,8 +58,16 @@ and port = {
 
 let transmit_span t size = Time.of_float_s (float_of_int size /. t.rate)
 
+(* Sentinel payload installed on release: a holder that kept a stale
+   reference past recycle sees [Recycled] instead of its old payload,
+   turning an aliasing bug into a visible failure. *)
+type Packet.payload += Recycled
+
+let dummy_frame =
+  { Packet.src = -1; dst = -1; size_bytes = 0; payload = Recycled }
+
 let create sim ?(port_rate_bytes_per_s = 125e6) ?(latency = Time.us 20)
-    ?(mtu = 9000) ?(loss_rate = 0.0) () =
+    ?(mtu = 9000) ?(loss_rate = 0.0) ?(pool_frames = true) () =
   let t =
     { sim;
       rate = port_rate_bytes_per_s;
@@ -60,6 +77,11 @@ let create sim ?(port_rate_bytes_per_s = 125e6) ?(latency = Time.us 20)
       loss_in_bad = false;
       prng = Prng.split (Sim.rand sim);
       ports = [||];
+      n_ports = 0;
+      pooling = pool_frames;
+      free_frames = [||];
+      n_free = 0;
+      rx_keep = false;
       frames_sent = 0;
       frames_dropped = 0;
       link_drops = 0;
@@ -78,14 +100,20 @@ let create sim ?(port_rate_bytes_per_s = 125e6) ?(latency = Time.us 20)
   t
 
 let mtu t = t.mtu
-let set_loss_rate t r = t.loss <- Uniform r
 
 let set_loss_model t m =
   t.loss <- m;
   (* A fresh model starts in the good state. *)
   t.loss_in_bad <- false
 
+(* Routing through [set_loss_model] resets the Gilbert-Elliott channel
+   state: switching models mid-run must not leave a stale bad-state bit
+   that would skew the very next uniform-loss roll after a later switch
+   back to a Gilbert chain. *)
+let set_loss_rate t r = set_loss_model t (Uniform r)
+
 let loss_model t = t.loss
+let loss_in_bad t = t.loss_in_bad
 
 (* One per-frame roll of the active loss model. Draw counts match the
    pre-existing behaviour for [Uniform 0.0] (no draw), keeping seeded
@@ -102,11 +130,43 @@ let loss_roll t =
     p > 0.0 && Prng.bernoulli t.prng p
 
 let find_port t id =
-  if id < 0 || id >= Array.length t.ports then
+  if id < 0 || id >= t.n_ports then
     invalid_arg (Printf.sprintf "Fabric: unknown port %d" id);
   t.ports.(id)
 
 let port_of_id = find_port
+
+(* --- frame pool --- *)
+
+let alloc_frame t ~src ~dst ~size_bytes payload =
+  if t.n_free > 0 then begin
+    let n = t.n_free - 1 in
+    t.n_free <- n;
+    let f = t.free_frames.(n) in
+    t.free_frames.(n) <- dummy_frame;
+    f.Packet.src <- src;
+    f.Packet.dst <- dst;
+    f.Packet.size_bytes <- size_bytes;
+    f.Packet.payload <- payload;
+    f
+  end
+  else { Packet.src; dst; size_bytes; payload }
+
+let release_frame t f =
+  if t.pooling then begin
+    f.Packet.payload <- Recycled;
+    let n = t.n_free in
+    if n = Array.length t.free_frames then begin
+      let grown = Array.make (max 16 (2 * n)) dummy_frame in
+      Array.blit t.free_frames 0 grown 0 n;
+      t.free_frames <- grown
+    end;
+    t.free_frames.(n) <- f;
+    t.n_free <- n + 1
+  end
+
+let keep_frame t = t.rx_keep <- true
+let pool_free_count t = t.n_free
 
 (* A stalled NIC neither serializes nor accepts frames until the stall
    expires; queued frames survive and drain afterwards. *)
@@ -133,16 +193,20 @@ let rec uplink_loop t port =
   (* Propagation + switch forwarding. *)
   Sim.sleep t.latency;
   let dst = find_port t frame.Packet.dst in
-  (if not (port.link_up && dst.link_up) then begin
-     t.frames_dropped <- t.frames_dropped + 1;
-     t.link_drops <- t.link_drops + 1;
-     if traced then Trace.instant tr ~cat:"net" "link-drop"
-   end
-   else if loss_roll t then begin
-     t.frames_dropped <- t.frames_dropped + 1;
-     if traced then Trace.instant tr ~cat:"net" "drop"
-   end
-   else Mailbox.send dst.egress frame);
+  let dropped =
+    if not (port.link_up && dst.link_up) then begin
+      t.frames_dropped <- t.frames_dropped + 1;
+      t.link_drops <- t.link_drops + 1;
+      if traced then Trace.instant tr ~cat:"net" "link-drop";
+      true
+    end
+    else if loss_roll t then begin
+      t.frames_dropped <- t.frames_dropped + 1;
+      if traced then Trace.instant tr ~cat:"net" "drop";
+      true
+    end
+    else false
+  in
   if traced then
     Trace.complete tr ~cat:"net"
       ~args:
@@ -150,6 +214,10 @@ let rec uplink_loop t port =
           ("dst", Trace.Int frame.Packet.dst);
           ("bytes", Trace.Int frame.Packet.size_bytes) ]
       "xmit" ~ts;
+  (* Trace first: a recycled frame's fields are dead. The payload itself
+     is not recycled with the record — its last holder drops it to the
+     GC (the pool only manages the frame record). *)
+  if dropped then release_frame t frame else Mailbox.send dst.egress frame;
   uplink_loop t port
 
 (* Egress process: serialize on the destination port, then deliver. *)
@@ -167,11 +235,19 @@ let rec egress_loop t port =
         [ ("port", Trace.Str port.name);
           ("bytes", Trace.Int frame.Packet.size_bytes) ]
       "deliver" ~ts;
-  Sim.spawn ~name:(port.name ^ "-rx") (fun () -> port.rx frame);
+  (* Deliver by direct call, not [Sim.spawn]: every rx handler in the
+     stack is non-blocking by contract (see fabric.mli), and a spawn per
+     delivered frame — closure, job record, handler frame, process-name
+     concatenation — was a top allocation site at fleet scale. The
+     handler runs in the egress process; an exception it raises fails
+     that process. *)
+  t.rx_keep <- false;
+  port.rx frame;
+  if not t.rx_keep then release_frame t frame;
   egress_loop t port
 
 let attach t ~name rx =
-  let id = Array.length t.ports in
+  let id = t.n_ports in
   let port =
     { id;
       name;
@@ -185,7 +261,15 @@ let attach t ~name rx =
       link_up = true;
       stalled_until = Time.zero }
   in
-  t.ports <- Array.append t.ports [| port |];
+  (* Geometric growth: [Array.append] per attach re-copies the whole
+     table, which is O(n^2) across a 10k-client fleet bring-up. *)
+  if id = Array.length t.ports then begin
+    let grown = Array.make (max 16 (2 * id)) port in
+    Array.blit t.ports 0 grown 0 id;
+    t.ports <- grown
+  end;
+  t.ports.(id) <- port;
+  t.n_ports <- id + 1;
   Sim.spawn_at t.sim ~name:(name ^ "-uplink") (Sim.now t.sim) (fun () ->
       uplink_loop t port);
   Sim.spawn_at t.sim ~name:(name ^ "-egress") (Sim.now t.sim) (fun () ->
@@ -196,18 +280,21 @@ let port_id p = p.id
 
 let send p ~dst ~size_bytes payload =
   let t = p.fab in
-  (* Non-blocking enqueue (try_send never suspends), so the frame-record
-     allocation is safe to scope for the allocation profiler. *)
-  let prof = Sim.profile t.sim in
-  let profiled = Bmcast_obs.Profile.enabled prof in
-  if profiled then Bmcast_obs.Profile.enter prof "net.send";
+  (* Validate before opening the profiler scope: an [invalid_arg] after
+     [Profile.enter] would leak the scope (enter without exit) and poison
+     every later net.send attribution in the report. *)
   if size_bytes <= 0 then invalid_arg "Fabric.send: size must be positive";
   if size_bytes > Packet.max_frame ~mtu:t.mtu then
     invalid_arg
       (Printf.sprintf "Fabric.send: frame of %d bytes exceeds MTU %d"
          size_bytes t.mtu);
+  (* Non-blocking enqueue (try_send never suspends), so the enqueue is
+     safe to scope for the allocation profiler. *)
+  let prof = Sim.profile t.sim in
+  let profiled = Bmcast_obs.Profile.enabled prof in
+  if profiled then Bmcast_obs.Profile.enter prof "net.send";
   t.frames_sent <- t.frames_sent + 1;
-  let frame = { Packet.src = p.id; dst; size_bytes; payload } in
+  let frame = alloc_frame t ~src:p.id ~dst ~size_bytes payload in
   ignore (Mailbox.try_send p.uplink frame : bool);
   if profiled then Bmcast_obs.Profile.exit prof "net.send"
 

@@ -35,17 +35,43 @@ val create :
   ?latency:Bmcast_engine.Time.span ->
   ?mtu:int ->
   ?loss_rate:float ->
+  ?pool_frames:bool ->
   unit ->
   t
 (** Defaults: 1 GbE (125e6 B/s), 20 us one-way latency, MTU 9000, no
-    loss. Registers fabric-wide derived gauges ([net.frames_sent],
+    loss, frame pooling on ([pool_frames:false] allocates a fresh
+    {!Packet.t} per frame instead — observationally identical, kept for
+    differential testing). Registers fabric-wide derived gauges ([net.frames_sent],
     [net.frames_dropped], [net.link_drops], [net.bytes_delivered],
     [net.port_rate_bytes_per_s]) into the simulation's metrics
     registry — pull-only, evaluated at sample time. *)
 
 val attach : t -> name:string -> (Packet.t -> unit) -> port
-(** Attach an endpoint; the callback receives delivered frames (called
-    in a fresh simulation process). *)
+(** Attach an endpoint. The callback receives delivered frames, called
+    directly from the fabric's per-port egress process — it must not
+    block (no [Sim.sleep]/[recv]; spawn a process for deferred work),
+    and an exception it raises fails that process.
+
+    {b Frame ownership.} Frame records come from a fabric-keyed pool.
+    When the callback returns, the fabric recycles the frame — its
+    fields become meaningless (payload is set to a sentinel) — unless
+    the callback called {!keep_frame} during delivery, in which case the
+    holder owns the record and returns it with {!release_frame} when
+    done (or simply drops it to the GC, which is always safe, merely
+    unpooled). The frame's {e payload} is never recycled with the
+    record: its lifetime is the holder's business. *)
+
+val keep_frame : t -> unit
+(** Called from inside an rx callback: take ownership of the frame
+    being delivered, preventing the fabric from recycling it when the
+    callback returns. *)
+
+val release_frame : t -> Packet.t -> unit
+(** Return a kept frame record to the pool. The caller must hold the
+    only live reference; the record's fields are immediately dead. *)
+
+val pool_free_count : t -> int
+(** Frames currently sitting in the free list (for pool tests). *)
 
 val port_id : port -> int
 
@@ -63,6 +89,12 @@ val set_loss_model : t -> loss_model -> unit
     state. *)
 
 val loss_model : t -> loss_model
+
+val loss_in_bad : t -> bool
+(** Whether the Gilbert-Elliott chain currently sits in its bad state.
+    Always [false] under [Uniform] and immediately after any model
+    switch ({!set_loss_model} or {!set_loss_rate}) — a diagnostic
+    accessor that lets tests pin the channel-reset contract. *)
 
 (** {2 Link faults (fault injection hook points)} *)
 

@@ -22,6 +22,7 @@ type t = {
   irq : Irq.t;
   irq_vec : int;
   mutable fabric_port : Fabric.port option;
+  mutable fabric_ : Fabric.t option;
   (* descriptor rings, keyed by address (guest memory) *)
   mutable next_addr : int;
   tx_rings : (int, tx_desc option array) Hashtbl.t;
@@ -108,26 +109,30 @@ let kick_tx t =
     t.tdh <- (t.tdh + 1) mod ring_size
   done
 
+let fabric t = Option.get t.fabric_
+
 let on_rx t frame =
   if t.rdh = t.rdt then t.rx_dropped <- t.rx_dropped + 1
   else begin
+    (* The ring retains the frame past this callback; the consumer that
+       drains the descriptor releases it (see fabric.mli ownership). *)
+    Fabric.keep_frame (fabric t);
     (rx_ring t t.rdba).(t.rdh) <- Some frame;
     t.rdh <- (t.rdh + 1) mod ring_size;
     if t.ie <> 0 then Irq.raise_irq t.irq ~vec:t.irq_vec
   end
 
 let reg_read t off =
-  if off = Regs.tdh then Int64.of_int t.tdh
-  else if off = Regs.tdt then Int64.of_int t.tdt
-  else if off = Regs.rdh then Int64.of_int t.rdh
-  else if off = Regs.rdt then Int64.of_int t.rdt
-  else if off = Regs.ie then Int64.of_int t.ie
-  else if off = Regs.tdba then Int64.of_int t.tdba
-  else if off = Regs.rdba then Int64.of_int t.rdba
+  if off = Regs.tdh then t.tdh
+  else if off = Regs.tdt then t.tdt
+  else if off = Regs.rdh then t.rdh
+  else if off = Regs.rdt then t.rdt
+  else if off = Regs.ie then t.ie
+  else if off = Regs.tdba then t.tdba
+  else if off = Regs.rdba then t.rdba
   else invalid_arg (Printf.sprintf "Nic: read of unknown register 0x%x" off)
 
 let reg_write t off v =
-  let v = Int64.to_int v in
   if off = Regs.tdt then begin
     if v < 0 || v >= ring_size then invalid_arg "Nic: TDT out of range";
     t.tdt <- v;
@@ -161,6 +166,7 @@ let create sim ~mmio ~base ~fabric ~name ~irq ~irq_vec =
       irq;
       irq_vec;
       fabric_port = None;
+      fabric_ = None;
       next_addr = 0xA000_0000 + (base land 0xFFFF);
       tx_rings = Hashtbl.create 4;
       rx_rings = Hashtbl.create 4;
@@ -177,6 +183,7 @@ let create sim ~mmio ~base ~fabric ~name ~irq ~irq_vec =
   in
   let tx = alloc_tx_ring t and rx = alloc_rx_ring t in
   let t = { t with default_tx = tx; default_rx = rx; tdba = tx; rdba = rx } in
+  t.fabric_ <- Some fabric;
   t.fabric_port <- Some (Fabric.attach fabric ~name (on_rx t));
   Mmio.map mmio ~base ~size:0x40 (raw t);
   t

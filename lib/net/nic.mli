@@ -50,6 +50,10 @@ val create :
     simple owners need not manage rings). *)
 
 val port : t -> Fabric.port
+
+(** [fabric t] is the fabric this NIC is attached to (for frame release
+    by ring consumers). *)
+val fabric : t -> Fabric.t
 val base : t -> int
 val irq_vec : t -> int
 val raw : t -> Bmcast_hw.Mmio.handler

@@ -2,7 +2,12 @@ type payload = ..
 
 type payload += Raw of string
 
-type t = { src : int; dst : int; size_bytes : int; payload : payload }
+type t = {
+  mutable src : int;
+  mutable dst : int;
+  mutable size_bytes : int;
+  mutable payload : payload;
+}
 
 (* 14 header + 4 FCS + 8 preamble + 12 inter-frame gap *)
 let header_bytes = 38

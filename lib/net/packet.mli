@@ -10,11 +10,15 @@ type payload = ..
 type payload += Raw of string
 
 type t = {
-  src : int;  (** source port id *)
-  dst : int;  (** destination port id *)
-  size_bytes : int;
-  payload : payload;
+  mutable src : int;  (** source port id *)
+  mutable dst : int;  (** destination port id *)
+  mutable size_bytes : int;
+  mutable payload : payload;
 }
+(** Fields are mutable so {!Bmcast_net.Fabric} can recycle frame records
+    through its pool instead of allocating one per forwarded frame; see
+    the ownership rules on [Fabric.attach]. Code outside the fabric
+    should treat a delivered frame as read-only. *)
 
 val header_bytes : int
 (** Ethernet header + FCS + preamble/IFG accounted per frame (38). *)

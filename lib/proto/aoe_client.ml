@@ -73,11 +73,20 @@ let fresh_tag t =
   t.next_tag <- if tag >= 0xFF_FFFF then 1 else tag + 1;
   tag
 
+(* This client is the final consumer of a read-response fragment's data
+   array (vblade allocates it from [Content.Scratch] and the fabric only
+   recycles frame records, not payloads): once the sectors are copied
+   into the reassembly buffer — or the fragment is recognized as a stale
+   duplicate — the array goes back to the pool. *)
+let release_data frame =
+  if Array.length frame.Aoe.data > 0 then
+    Content.Scratch.release frame.Aoe.data
+
 let on_frame_inner t frame =
   let hdr = frame.Aoe.hdr in
   if hdr.Aoe.is_response then
     match Hashtbl.find_opt t.pending hdr.Aoe.tag with
-    | None -> ()  (* stale duplicate after completion: ignore *)
+    | None -> release_data frame  (* stale duplicate after completion *)
     | Some p when hdr.Aoe.error ->
       p.failed <- true;
       Hashtbl.remove t.pending hdr.Aoe.tag;
@@ -89,15 +98,16 @@ let on_frame_inner t frame =
       | Aoe.Ata_read ->
         let off = hdr.Aoe.lba - base in
         let n = Array.length frame.Aoe.data in
-        if off < 0 || off + n > Array.length p.assembly then ()
-        else
-          for i = 0 to n - 1 do
-            if not p.got.(off + i) then begin
-              p.got.(off + i) <- true;
-              p.assembly.(off + i) <- frame.Aoe.data.(i);
-              p.received <- p.received + 1
-            end
-          done
+        (if off < 0 || off + n > Array.length p.assembly then ()
+         else
+           for i = 0 to n - 1 do
+             if not p.got.(off + i) then begin
+               p.got.(off + i) <- true;
+               p.assembly.(off + i) <- frame.Aoe.data.(i);
+               p.received <- p.received + 1
+             end
+           done);
+        release_data frame
       | Aoe.Ata_write ->
         (* A write ack covers the whole command. *)
         if p.received = 0 then p.received <- p.request.Aoe.count

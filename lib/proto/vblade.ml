@@ -81,15 +81,16 @@ let bad_range t hdr =
    outlives every retry escalates to an AoE error response. *)
 let disk_retry_limit = 8
 
-let rec read_with_retry t ~lba ~count attempts =
+let rec read_with_retry t ~lba ~count buf attempts =
   match
-    Semaphore.with_permit t.disk_lock (fun () -> Disk.read t.disk ~lba ~count)
+    Semaphore.with_permit t.disk_lock (fun () ->
+        Disk.read_into t.disk ~lba ~count buf)
   with
-  | data -> data
+  | () -> ()
   | exception Disk.Read_error _ when attempts < disk_retry_limit ->
     t.disk_error_retries <- t.disk_error_retries + 1;
     Sim.sleep (Time.ms 2);
-    read_with_retry t ~lba ~count (attempts + 1)
+    read_with_retry t ~lba ~count buf (attempts + 1)
 
 let serve t job =
   let epoch = t.epoch in
@@ -108,31 +109,40 @@ let serve t job =
        stay sequential), then stream fragments with socket
        backpressure. With one worker the next command's disk read waits
        for this command's wire time; a pool overlaps them. *)
+    (* The whole-command staging buffer and each fragment's data array
+       come from the [Content.Scratch] pool: the staging buffer returns
+       here once streamed; a fragment array is owned by the wire and
+       released by its final consumer (the client's reassembly path). *)
+    let data = Content.Scratch.alloc hdr.Aoe.count in
     (match
        if t.ram_cache then
-         Disk.peek t.disk ~lba:hdr.Aoe.lba ~count:hdr.Aoe.count
-       else read_with_retry t ~lba:hdr.Aoe.lba ~count:hdr.Aoe.count 0
+         Disk.peek_into t.disk ~lba:hdr.Aoe.lba ~count:hdr.Aoe.count data
+       else read_with_retry t ~lba:hdr.Aoe.lba ~count:hdr.Aoe.count data 0
      with
     | exception Disk.Read_error _ ->
+      Content.Scratch.release data;
       respond t ~epoch ~dst:job.src
         { hdr with Aoe.is_response = true; error = true; count = 0 }
         [||]
-    | data ->
+    | () ->
       let per_frame = Aoe.max_sectors ~mtu:t.mtu in
       let rec stream off frag =
         if off < hdr.Aoe.count then begin
           let n = min per_frame (hdr.Aoe.count - off) in
+          let d = Content.Scratch.alloc n in
+          Array.blit data off d 0 n;
           respond t ~epoch ~dst:job.src
             { hdr with
               Aoe.is_response = true;
               frag = frag land 0xFF;
               lba = hdr.Aoe.lba + off;
               count = n }
-            (Array.sub data off n);
+            d;
           stream (off + n) (frag + 1)
         end
       in
       stream 0 0;
+      Content.Scratch.release data;
       t.requests_served <- t.requests_served + 1;
       t.bytes_served <- t.bytes_served + (hdr.Aoe.count * 512))
   | Aoe.Query_config ->

@@ -23,7 +23,7 @@ module Regs = struct
   let px_ci = 0x138
 end
 
-let tfd_bsy = 0x80L
+let tfd_bsy = 0x80
 
 (* Per-command controller processing overhead (command fetch, FIS
    handling); the disk model charges the rest. *)
@@ -37,11 +37,11 @@ type t = {
   irq : Irq.t;
   irq_vec : int;
   (* registers *)
-  mutable clb : int64;
-  mutable is_reg : int64;
-  mutable ie : int64;
-  mutable cmd : int64;
-  mutable ci : int64;
+  mutable clb : int;
+  mutable is_reg : int;
+  mutable ie : int;
+  mutable cmd : int;
+  mutable ci : int;
   (* guest-memory structures *)
   mutable next_addr : int;
   cmd_lists : (int, int option array) Hashtbl.t;  (* addr -> slot table addrs *)
@@ -103,7 +103,7 @@ let slot_table_addr t ~clb ~slot =
 (* --- command execution --- *)
 
 let execute t slot =
-  let table_addr = slot_table_addr t ~clb:(Int64.to_int t.clb) ~slot in
+  let table_addr = slot_table_addr t ~clb:t.clb ~slot in
   let ct = cmd_table t ~addr:table_addr in
   Sim.sleep command_overhead;
   let { Fis.op; lba; count } = ct.fis in
@@ -112,37 +112,43 @@ let execute t slot =
     invalid_arg
       (Printf.sprintf "Ahci: PRDT covers %d sectors but command needs %d"
          prd_total count);
+  (* Sector staging between disk and PRD buffers goes through a pooled
+     scratch array; both directions copy, so the buffer is dead again by
+     the end of the command. *)
   (match op with
   | Fis.Read ->
-    let data = Disk.read t.disk ~lba ~count in
+    let data = Content.Scratch.alloc count in
+    Disk.read_into t.disk ~lba ~count data;
     let off = ref 0 in
     List.iter
       (fun prd ->
         if !off < count then begin
           let n = min prd.sectors (count - !off) in
           let buf = Dma.find t.dma ~addr:prd.buf_addr in
-          Dma.write buf ~off:0 (Array.sub data !off n);
-          off := !off + n
-        end)
-      ct.prdt
-  | Fis.Write ->
-    let data = Array.make count Content.Zero in
-    let off = ref 0 in
-    List.iter
-      (fun prd ->
-        if !off < count then begin
-          let n = min prd.sectors (count - !off) in
-          let buf = Dma.find t.dma ~addr:prd.buf_addr in
-          Array.blit (Dma.read buf ~off:0 ~count:n) 0 data !off n;
+          Dma.blit_to buf ~off:0 data ~src_off:!off ~count:n;
           off := !off + n
         end)
       ct.prdt;
-    Disk.write t.disk ~lba ~count data);
+    Content.Scratch.release data
+  | Fis.Write ->
+    let data = Content.Scratch.alloc count in
+    let off = ref 0 in
+    List.iter
+      (fun prd ->
+        if !off < count then begin
+          let n = min prd.sectors (count - !off) in
+          let buf = Dma.find t.dma ~addr:prd.buf_addr in
+          Dma.blit_from buf ~off:0 data ~dst_off:!off ~count:n;
+          off := !off + n
+        end)
+      ct.prdt;
+    Disk.write t.disk ~lba ~count data;
+    Content.Scratch.release data);
   t.commands_processed <- t.commands_processed + 1;
   (* Completion: clear CI bit, set interrupt status, raise IRQ. *)
-  t.ci <- Int64.logand t.ci (Int64.lognot (Int64.shift_left 1L slot));
-  t.is_reg <- Int64.logor t.is_reg 1L;
-  if Int64.logand t.ie 1L <> 0L then begin
+  t.ci <- t.ci land lnot (1 lsl slot);
+  t.is_reg <- t.is_reg lor 1;
+  if t.ie land 1 <> 0 then begin
     t.irqs_raised <- t.irqs_raised + 1;
     Irq.raise_irq t.irq ~vec:t.irq_vec
   end
@@ -162,23 +168,23 @@ let reg_read t off =
   else if off = Regs.px_ie then t.ie
   else if off = Regs.px_cmd then t.cmd
   else if off = Regs.px_tfd then
-    if t.serving || not (Mailbox.is_empty t.work) then tfd_bsy else 0L
+    if t.serving || not (Mailbox.is_empty t.work) then tfd_bsy else 0
   else if off = Regs.px_ci then t.ci
   else invalid_arg (Printf.sprintf "Ahci: read of unknown register 0x%x" off)
 
 let reg_write t off v =
   if off = Regs.px_clb then t.clb <- v
-  else if off = Regs.px_is then t.is_reg <- Int64.logand t.is_reg (Int64.lognot v)
+  else if off = Regs.px_is then t.is_reg <- t.is_reg land lnot v
   else if off = Regs.px_ie then t.ie <- v
   else if off = Regs.px_cmd then t.cmd <- v
   else if off = Regs.px_ci then begin
-    if Int64.logand t.cmd 1L = 0L then
+    if t.cmd land 1 = 0 then
       invalid_arg "Ahci: command issued while port stopped (PxCMD.ST=0)";
     (* Issue slots newly set in v. *)
     for slot = 0 to 31 do
-      let bit = Int64.shift_left 1L slot in
-      if Int64.logand v bit <> 0L && Int64.logand t.ci bit = 0L then begin
-        t.ci <- Int64.logor t.ci bit;
+      let bit = 1 lsl slot in
+      if v land bit <> 0 && t.ci land bit = 0 then begin
+        t.ci <- t.ci lor bit;
         ignore (Mailbox.try_send t.work slot : bool)
       end
     done
@@ -196,11 +202,11 @@ let create sim ~mmio ~base ~dma ~disk ~irq ~irq_vec =
       disk;
       irq;
       irq_vec;
-      clb = 0L;
-      is_reg = 0L;
-      ie = 0L;
-      cmd = 0L;
-      ci = 0L;
+      clb = 0;
+      is_reg = 0;
+      ie = 0;
+      cmd = 0;
+      ci = 0;
       next_addr = 0x8000_0000;
       cmd_lists = Hashtbl.create 4;
       cmd_tables = Hashtbl.create 64;

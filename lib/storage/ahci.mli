@@ -37,7 +37,7 @@ module Regs : sig
   val px_ci : int
 end
 
-val tfd_bsy : int64
+val tfd_bsy : int
 (** BSY bit within PxTFD. *)
 
 type t

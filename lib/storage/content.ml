@@ -14,6 +14,101 @@ let pp fmt = function
   | Data tag -> Format.fprintf fmt "data#%d" tag
   | Blob s -> Format.fprintf fmt "blob[%d bytes]" (String.length s)
 
+(* Interned constructors. A fleet-scale run materializes the same golden
+   image sectors over and over (every replica serves the same image, and
+   every client reads it), so a direct-mapped cache of recently-built
+   [Image]/[Data] boxes turns the per-sector allocation in [Disk.peek]
+   into a lookup. Sharing is invisible to callers: contents are compared
+   structurally everywhere. *)
+let intern_slots = 65536
+
+let image_cache : t array = Array.make intern_slots Zero
+let data_cache : t array = Array.make intern_slots Zero
+
+let image lba =
+  let slot = lba land (intern_slots - 1) in
+  match Array.unsafe_get image_cache slot with
+  | Image l as c when l = lba -> c
+  | _ ->
+    let c = Image lba in
+    Array.unsafe_set image_cache slot c;
+    c
+
+let data tag =
+  let slot = tag land (intern_slots - 1) in
+  match Array.unsafe_get data_cache slot with
+  | Data t as c when t = tag -> c
+  | _ ->
+    let c = Data tag in
+    Array.unsafe_set data_cache slot c;
+    c
+
+(* Size-bucketed free lists of sector-content scratch arrays, shared
+   process-wide (pool state never influences simulated values — arrays
+   are cleared to [Zero] on release, exactly what [Array.make] would
+   yield — so determinism across runs and sims is untouched). AoE read
+   streaming allocates and frees one fragment-sized array per frame;
+   without reuse that is a dominant allocation site at fleet scale. *)
+module Scratch = struct
+  type bucket = { mutable stack : t array array; mutable n : int }
+
+  let buckets : (int, bucket) Hashtbl.t = Hashtbl.create 16
+  let empty : t array = [||]
+
+  (* One-entry memo: steady-state traffic uses very few distinct sizes
+     (fragment size and max command size), so skip the table lookup. *)
+  let mutable_len = ref (-1)
+  let mutable_bucket = ref { stack = [||]; n = 0 }
+
+  let bucket len =
+    if !mutable_len = len then !mutable_bucket
+    else begin
+      let b =
+        match Hashtbl.find_opt buckets len with
+        | Some b -> b
+        | None ->
+          let b = { stack = [||]; n = 0 } in
+          Hashtbl.add buckets len b;
+          b
+      in
+      mutable_len := len;
+      mutable_bucket := b;
+      b
+    end
+
+  let alloc len =
+    if len < 0 then invalid_arg "Content.Scratch.alloc: negative length";
+    if len = 0 then empty
+    else begin
+      let b = bucket len in
+      if b.n > 0 then begin
+        let n = b.n - 1 in
+        b.n <- n;
+        let a = b.stack.(n) in
+        b.stack.(n) <- empty;
+        a
+      end
+      else Array.make len Zero
+    end
+
+  let release a =
+    let len = Array.length a in
+    if len > 0 then begin
+      Array.fill a 0 len Zero;
+      let b = bucket len in
+      if b.n = Array.length b.stack then begin
+        let grown = Array.make (max 8 (2 * b.n)) empty in
+        Array.blit b.stack 0 grown 0 b.n;
+        b.stack <- grown
+      end;
+      b.stack.(b.n) <- a;
+      b.n <- b.n + 1
+    end
+
+  let free_count len =
+    match Hashtbl.find_opt buckets len with Some b -> b.n | None -> 0
+end
+
 let tag_counter = ref 0
 
 let fresh_tag () =

@@ -22,6 +22,29 @@ val pp : Format.formatter -> t -> unit
 val fresh_tag : unit -> int
 (** Allocate a unique tag for a guest write. *)
 
+val image : int -> t
+(** Interned [Image lba]: hot constructors come from a process-wide
+    cache so repeated materialization of the same sector (every replica
+    serving the golden image) allocates nothing. Structurally identical
+    to [Image lba]. *)
+
+val data : int -> t
+(** Interned [Data tag]; see {!image}. *)
+
+(** Pooled sector-content scratch arrays for request-scoped buffers
+    (AoE fragments, whole-command reads, DMA staging). [alloc n] yields
+    an all-[Zero] array of length [n] exactly like [Array.make]; the
+    owner hands it back with [release] once no live reference remains —
+    the array is cleared and reused. Dropping a scratch array to the GC
+    instead of releasing is always safe, merely unpooled. *)
+module Scratch : sig
+  val alloc : int -> t array
+  val release : t array -> unit
+
+  val free_count : int -> int
+  (** Arrays of length [n] currently pooled (for tests). *)
+end
+
 val image_sectors : lba:int -> count:int -> t array
 (** [count] consecutive image sectors starting at [lba]. *)
 

@@ -130,9 +130,15 @@ let check_span t ~lba ~count =
 
 (* --- content --- *)
 
-let peek t ~lba ~count =
+(* Materialize into a caller-owned buffer (often a [Content.Scratch]
+   array): the hot read paths stage sectors through here without a fresh
+   array per call, and the interned constructors keep the per-sector
+   boxes shared. The buffer region must be all-[Zero] on entry (scratch
+   arrays and fresh arrays both are); unmapped runs are skipped, not
+   stored. *)
+let peek_into t ~lba ~count out =
   check_span t ~lba ~count;
-  let out = Array.make count Content.Zero in
+  if count > Array.length out then invalid_arg "Disk.peek_into: buffer too short";
   ignore
     (Extent_map.fold_range t.extents ~lba ~count ~init:()
        ~f:(fun () ~lba:sub ~count:n v ->
@@ -140,17 +146,24 @@ let peek t ~lba ~count =
          | None | Some Zeros -> ()
          | Some (Img delta) ->
            for i = 0 to n - 1 do
-             out.(sub - lba + i) <- Content.Image (sub + i + delta)
+             out.(sub - lba + i) <- Content.image (sub + i + delta)
            done
          | Some (Tag tag) ->
+           let c = Content.data tag in
            for i = 0 to n - 1 do
-             out.(sub - lba + i) <- Content.Data tag
+             out.(sub - lba + i) <- c
            done
          | Some (Blob1 s) ->
+           let c = Content.Blob s in
            for i = 0 to n - 1 do
-             out.(sub - lba + i) <- Content.Blob s
+             out.(sub - lba + i) <- c
            done)
-      : unit);
+      : unit)
+
+let peek t ~lba ~count =
+  check_span t ~lba ~count;
+  let out = Array.make count Content.Zero in
+  peek_into t ~lba ~count out;
   out
 
 (* Split written data into uniform runs so extents stay compact. *)
@@ -250,13 +263,20 @@ let serve t op ~lba ~count =
   end
   else Sim.sleep span
 
-let read t ~lba ~count =
+let read_service t ~lba ~count =
   serve t `Read ~lba ~count;
   (match take_read_fault t ~lba ~count with
   | Some bad_lba -> raise (Read_error bad_lba)
   | None -> ());
-  t.bytes_read <- t.bytes_read + (count * 512);
+  t.bytes_read <- t.bytes_read + (count * 512)
+
+let read t ~lba ~count =
+  read_service t ~lba ~count;
   peek t ~lba ~count
+
+let read_into t ~lba ~count out =
+  read_service t ~lba ~count;
+  peek_into t ~lba ~count out
 
 let write t ~lba ~count data =
   serve t `Write ~lba ~count;

@@ -45,6 +45,12 @@ exception Read_error of int
 val read : t -> lba:int -> count:int -> Content.t array
 val write : t -> lba:int -> count:int -> Content.t array -> unit
 
+val read_into : t -> lba:int -> count:int -> Content.t array -> unit
+(** {!read}, staged into a caller-owned buffer (typically a
+    [Content.Scratch] array) instead of a fresh allocation. The first
+    [count] slots must be [Zero] on entry; unmapped sectors are left
+    untouched. *)
+
 (** {2 Fault injection (hook points for {!Bmcast_faults.Fault})} *)
 
 val inject_read_errors : t -> lba:int -> count:int -> times:int -> unit
@@ -69,6 +75,10 @@ val service_time :
 
 val peek : t -> lba:int -> count:int -> Content.t array
 val poke : t -> lba:int -> count:int -> Content.t array -> unit
+
+(** [peek_into t ~lba ~count buf] is {!peek} into a caller-owned
+    all-[Zero] buffer; see {!read_into}. *)
+val peek_into : t -> lba:int -> count:int -> Content.t array -> unit
 val sector : t -> int -> Content.t
 
 val fill_with_image : t -> unit

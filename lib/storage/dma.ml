@@ -29,3 +29,17 @@ let read buf ~off ~count =
   if off < 0 || count < 0 || off + count > Array.length buf.data then
     invalid_arg "Dma.read: out of bounds";
   Array.sub buf.data off count
+
+(* Slice-aware copies so hot paths need not materialize a sub-array per
+   PRD entry. *)
+let blit_to buf ~off src ~src_off ~count =
+  if off < 0 || count < 0 || off + count > Array.length buf.data
+     || src_off < 0 || src_off + count > Array.length src
+  then invalid_arg "Dma.blit_to: out of bounds";
+  Array.blit src src_off buf.data off count
+
+let blit_from buf ~off dst ~dst_off ~count =
+  if off < 0 || count < 0 || off + count > Array.length buf.data
+     || dst_off < 0 || dst_off + count > Array.length dst
+  then invalid_arg "Dma.blit_from: out of bounds";
+  Array.blit buf.data off dst dst_off count

@@ -344,6 +344,59 @@ let prop_random_workload_consistency =
       done;
       !ok)
 
+(* --- pooled vs allocating observational equivalence ---
+
+   The frame pool and scratch buffers are allocation mechanics only:
+   under the same seed, a full deployment with pooling disabled must
+   produce a byte-identical trace and identical VMM totals. Content
+   tags come from a global counter, so disks are not comparable across
+   two in-process runs — the trace and the counters are. *)
+let pooled_run ~pool_frames ~seed =
+  let tr = Bmcast_obs.Trace.create ~capacity:(1 lsl 16) () in
+  let sim = Sim.create ~trace:tr () in
+  let fabric = Fabric.create sim ~pool_frames () in
+  let server_disk = Disk.create sim test_disk_profile in
+  Disk.fill_with_image server_disk;
+  let vblade =
+    Vblade.create sim ~fabric ~name:"server" ~disk:server_disk ()
+  in
+  let machine =
+    Machine.create sim ~name:"node0" ~disk_profile:test_disk_profile
+      ~disk_kind:Machine.Ahci_disk ~fabric ()
+  in
+  let params = Params.default ~image_sectors in
+  let totals = ref None in
+  Sim.spawn_at sim ~name:"scenario" Time.zero (fun () ->
+      let vmm =
+        Vmm.boot machine ~params ~server_port:(Vblade.port_id vblade) ()
+      in
+      let blk = Block_io.attach machine in
+      let prng = Prng.create seed in
+      for _ = 0 to 19 do
+        let lba = Prng.int prng (image_sectors - 64) in
+        let count = 1 + Prng.int prng 63 in
+        if Prng.bool prng then
+          Block_io.write blk ~lba ~count (Content.data_sectors ~count)
+        else ignore (Block_io.read blk ~lba ~count : Content.t array);
+        Sim.sleep (Time.ms (1 + Prng.int prng 20))
+      done;
+      Vmm.wait_devirtualized vmm;
+      totals := Some (Vmm.totals vmm));
+  Sim.run ~until:(Time.minutes 30) sim;
+  (Bmcast_obs.Trace.to_jsonl tr, !totals)
+
+let prop_pooling_observationally_identical =
+  QCheck.Test.make ~name:"pooled paths identical to allocating paths"
+    ~count:4
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let jsonl_pooled, totals_pooled = pooled_run ~pool_frames:true ~seed in
+      let jsonl_alloc, totals_alloc = pooled_run ~pool_frames:false ~seed in
+      totals_pooled <> None
+      && totals_pooled = totals_alloc
+      && String.length jsonl_pooled > 0
+      && jsonl_pooled = jsonl_alloc)
+
 (* A guest driver that queues two commands at once (NCQ-style): the
    mediator must track multiple ghost bits, redirect the cold slot and
    pass the warm slot through, and both must complete. *)
@@ -368,9 +421,9 @@ let test_multi_slot_guest_commands () =
       let wreg off v = Mmio.write mmio (Machine.ahci_base + off) v in
       (* Minimal guest driver init. *)
       let clb = Ahci.alloc_cmd_list ahci in
-      wreg Ahci.Regs.px_clb (Int64.of_int clb);
-      wreg Ahci.Regs.px_ie 1L;
-      wreg Ahci.Regs.px_cmd 1L;
+      wreg Ahci.Regs.px_clb clb;
+      wreg Ahci.Regs.px_ie 1;
+      wreg Ahci.Regs.px_cmd 1;
       (* Slot 0: cold read near the end of the image (will redirect).
          Slot 1: a fresh-region read beyond the image (pass-through). *)
       let buf0 = Dma.alloc rig.machine.Machine.dma ~sectors:16 in
@@ -386,12 +439,12 @@ let test_multi_slot_guest_commands () =
       in
       Ahci.set_slot ahci ~clb ~slot:0 ~table_addr:t0;
       Ahci.set_slot ahci ~clb ~slot:1 ~table_addr:t1;
-      wreg Ahci.Regs.px_ci 3L;
+      wreg Ahci.Regs.px_ci 3;
       (* Immediately after issue, the guest must see both bits pending
          (one real, one ghost). *)
-      let ci_after = Int64.to_int (reg Ahci.Regs.px_ci) in
+      let ci_after = reg Ahci.Regs.px_ci in
       (* Wait for both to drain from the guest's view. *)
-      while Int64.to_int (reg Ahci.Regs.px_ci) <> 0 do
+      while reg Ahci.Regs.px_ci <> 0 do
         Sim.sleep (Time.ms 1)
       done;
       outcome := Some (ci_after, Array.copy buf0.Dma.data));
@@ -639,9 +692,9 @@ let test_nicmed_guest_tx_relayed () =
       let ring = Nic.default_tx_ring r.nmachine.Machine.prod_nic in
       Nic.set_tx_desc r.nmachine.Machine.prod_nic ~ring ~idx:0
         ~dst:(Fabric_m.port_id r.sink) ~size_bytes:1000 (Packet.Raw "guest");
-      gwreg r Nic.Regs.tdt 1L;
+      gwreg r Nic.Regs.tdt 1;
       (* The guest's view completes. *)
-      check_int "guest tdh" 1 (Int64.to_int (greg r Nic.Regs.tdh)));
+      check_int "guest tdh" 1 (greg r Nic.Regs.tdh));
   Sim.run ~until:(Time.s 2) r.nsim;
   check_int "frame on the wire" 1 (List.length !(r.sink_rx));
   check_int "stat" 1 (Nic_mediator.guest_tx_frames r.med)
@@ -655,7 +708,7 @@ let test_nicmed_interleaves_vmm_and_guest () =
           ~size_bytes:500 (Packet.Raw "vmm");
         Nic.set_tx_desc r.nmachine.Machine.prod_nic ~ring ~idx:i
           ~dst:(Fabric_m.port_id r.sink) ~size_bytes:600 (Packet.Raw "guest");
-        gwreg r Nic.Regs.tdt (Int64.of_int (i + 1))
+        gwreg r Nic.Regs.tdt (i + 1)
       done);
   Sim.run ~until:(Time.s 2) r.nsim;
   check_int "all ten frames delivered" 10 (List.length !(r.sink_rx));
@@ -677,8 +730,8 @@ let test_nicmed_rx_demux () =
     (fun () -> incr guest_irqs);
   Sim.spawn_at r.nsim Time.zero (fun () ->
       (* Guest publishes RX buffers and enables interrupts. *)
-      gwreg r Nic.Regs.rdt 16L;
-      gwreg r Nic.Regs.ie 1L;
+      gwreg r Nic.Regs.rdt 16;
+      gwreg r Nic.Regs.ie 1;
       let dst = Fabric_m.port_id (Nic.port r.nmachine.Machine.prod_nic) in
       Fabric_m.send r.sink ~dst ~size_bytes:1500 (Packet.Raw "for-vmm");
       Fabric_m.send r.sink ~dst ~size_bytes:900 (Packet.Raw "for-guest"));
@@ -693,7 +746,7 @@ let test_nicmed_rx_demux () =
    with
   | Some p -> check_int "relayed size" 900 p.Packet.size_bytes
   | None -> Alcotest.fail "guest ring empty");
-  check_int "guest rdh" 1 (Int64.to_int (greg r Nic.Regs.rdh))
+  check_int "guest rdh" 1 (greg r Nic.Regs.rdh)
 
 let test_nicmed_rx_drop_without_buffers () =
   let r = nic_med_rig () in
@@ -711,10 +764,10 @@ let test_nicmed_devirtualize_hands_back () =
       let traps0 = Mmio.trapped_accesses r.nmachine.Machine.mmio in
       (* Direct guest use after hand-back: program own ring, no traps. *)
       let ring = Nic.default_tx_ring r.nmachine.Machine.prod_nic in
-      gwreg r Nic.Regs.tdba (Int64.of_int ring);
+      gwreg r Nic.Regs.tdba ring;
       Nic.set_tx_desc r.nmachine.Machine.prod_nic ~ring ~idx:0
         ~dst:(Fabric_m.port_id r.sink) ~size_bytes:800 (Packet.Raw "direct");
-      gwreg r Nic.Regs.tdt 1L;
+      gwreg r Nic.Regs.tdt 1;
       check_int "no traps after devirt" traps0
         (Mmio.trapped_accesses r.nmachine.Machine.mmio));
   Sim.run r.nsim;
@@ -892,6 +945,7 @@ let () =
           tc "guest writes never clobbered" `Slow test_guest_write_never_clobbered;
           tc "survives packet loss" `Slow test_deployment_survives_packet_loss;
           QCheck_alcotest.to_alcotest prop_random_workload_consistency;
+          QCheck_alcotest.to_alcotest prop_pooling_observationally_identical;
           tc "moderation under load" `Quick test_moderation_suspends_under_load ] );
       ( "ide",
         [ tc "copy on read" `Quick test_ide_copy_on_read;

@@ -13,14 +13,14 @@ module Pci = Bmcast_hw.Pci
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
-let check_i64 = Alcotest.(check int64)
+let check_reg = Alcotest.(check int)
 
 (* --- Mmio --- *)
 
 let mem_device () =
   let store = Hashtbl.create 8 in
   let handler =
-    { Mmio.read = (fun off -> Option.value (Hashtbl.find_opt store off) ~default:0L);
+    { Mmio.read = (fun off -> Option.value (Hashtbl.find_opt store off) ~default:0);
       write = (fun off v -> Hashtbl.replace store off v) }
   in
   (store, handler)
@@ -29,15 +29,15 @@ let test_mmio_read_write () =
   let m = Mmio.create () in
   let _, h = mem_device () in
   Mmio.map m ~base:0x1000 ~size:0x100 h;
-  Mmio.write m 0x1010 7L;
-  check_i64 "readback" 7L (Mmio.read m 0x1010);
-  check_i64 "other offset" 0L (Mmio.read m 0x1020)
+  Mmio.write m 0x1010 7;
+  check_reg "readback" 7 (Mmio.read m 0x1010);
+  check_reg "other offset" 0 (Mmio.read m 0x1020)
 
 let test_mmio_unmapped_raises () =
   let m = Mmio.create () in
   check_bool "raises" true
     (try
-       ignore (Mmio.read m 0x5000 : int64);
+       ignore (Mmio.read m 0x5000 : int);
        false
      with Invalid_argument _ -> true)
 
@@ -48,6 +48,41 @@ let test_mmio_overlap_rejected () =
   check_bool "overlap" true
     (try
        Mmio.map m ~base:0x10F0 ~size:0x100 h;
+       false
+     with Invalid_argument _ -> true)
+
+let test_mmio_map_unmap_remap () =
+  let m = Mmio.create () in
+  let store_a, h_a = mem_device () in
+  let _, h_b = mem_device () in
+  Mmio.map m ~base:0x1000 ~size:0x100 h_a;
+  Mmio.write m 0x1010 41;
+  check_reg "first mapping serves" 41 (Mmio.read m 0x1010);
+  Mmio.unmap m ~base:0x1000;
+  check_bool "unmapped region gone" true
+    (try
+       ignore (Mmio.read m 0x1010 : int);
+       false
+     with Invalid_argument _ -> true);
+  (* Remap the same base with a different device: the new handler must
+     serve, with no residue from the old region. *)
+  Mmio.map m ~base:0x1000 ~size:0x100 h_b;
+  check_reg "remapped device is fresh" 0 (Mmio.read m 0x1010);
+  Mmio.write m 0x1010 7;
+  check_reg "remapped device serves" 7 (Mmio.read m 0x1010);
+  check_int "old device untouched by remap write" 41
+    (Option.value (Hashtbl.find_opt store_a 0x10) ~default:0);
+  (* Unmapping a base that was never mapped (or already unmapped) is a
+     teardown bug, not a no-op. *)
+  check_bool "unmap unknown base raises" true
+    (try
+       Mmio.unmap m ~base:0x9000;
+       false
+     with Invalid_argument _ -> true);
+  Mmio.unmap m ~base:0x1000;
+  check_bool "double unmap raises" true
+    (try
+       Mmio.unmap m ~base:0x1000;
        false
      with Invalid_argument _ -> true)
 
@@ -65,8 +100,8 @@ let test_mmio_interpose_observes () =
         (fun ~next off v ->
           seen := `W off :: !seen;
           next off v) };
-  Mmio.write m 0x1004 9L;
-  check_i64 "forwarded" 9L (Mmio.read m 0x1004);
+  Mmio.write m 0x1004 9;
+  check_reg "forwarded" 9 (Mmio.read m 0x1004);
   Alcotest.(check int) "two traps" 2 (Mmio.trapped_accesses m);
   Alcotest.(check bool) "order" true (!seen = [ `R 4; `W 4 ])
 
@@ -75,10 +110,10 @@ let test_mmio_interpose_can_answer () =
   let _, h = mem_device () in
   Mmio.map m ~base:0 ~size:0x10 h;
   Mmio.interpose m ~base:0
-    { on_read = (fun ~next:_ _ -> 0xFFL);
+    { on_read = (fun ~next:_ _ -> 0xFF);
       on_write = (fun ~next:_ _ _ -> () (* swallow *)) };
-  Mmio.write m 0x0 1L;
-  check_i64 "emulated read" 0xFFL (Mmio.read m 0x0)
+  Mmio.write m 0x0 1;
+  check_reg "emulated read" 0xFF (Mmio.read m 0x0)
 
 let test_mmio_devirtualize () =
   let m = Mmio.create () in
@@ -87,13 +122,13 @@ let test_mmio_devirtualize () =
   Mmio.interpose m ~base:0
     { on_read = (fun ~next off -> next off);
       on_write = (fun ~next off v -> next off v) };
-  Mmio.write m 0x0 1L;
+  Mmio.write m 0x0 1;
   let traps_before = Mmio.trapped_accesses m in
   Mmio.remove_interposer m ~base:0;
-  Mmio.write m 0x0 2L;
-  ignore (Mmio.read m 0x0 : int64);
+  Mmio.write m 0x0 2;
+  ignore (Mmio.read m 0x0 : int);
   check_int "zero traps after devirt" traps_before (Mmio.trapped_accesses m);
-  check_i64 "direct access works" 2L (Mmio.read m 0x0)
+  check_reg "direct access works" 2 (Mmio.read m 0x0)
 
 let test_mmio_double_interpose_rejected () =
   let m = Mmio.create () in
@@ -345,6 +380,7 @@ let () =
         [ tc "read write" `Quick test_mmio_read_write;
           tc "unmapped raises" `Quick test_mmio_unmapped_raises;
           tc "overlap rejected" `Quick test_mmio_overlap_rejected;
+          tc "map/unmap/remap round-trip" `Quick test_mmio_map_unmap_remap;
           tc "interpose observes" `Quick test_mmio_interpose_observes;
           tc "interpose can answer" `Quick test_mmio_interpose_can_answer;
           tc "devirtualize" `Quick test_mmio_devirtualize;

@@ -218,21 +218,21 @@ let test_nic_tx () =
     (Packet.Raw "one");
   Nic.set_tx_desc r.nic ~ring ~idx:1 ~dst:(Fabric.port_id r.peer) ~size_bytes:600
     (Packet.Raw "two");
-  Sim.spawn_at r.sim Time.zero (fun () -> h.Mmio.write Nic.Regs.tdt 2L);
+  Sim.spawn_at r.sim Time.zero (fun () -> h.Mmio.write Nic.Regs.tdt 2);
   Sim.run r.sim;
   check_int "two frames" 2 (List.length !(r.peer_rx));
-  check_int "tdh advanced" 2 (Int64.to_int (h.Mmio.read Nic.Regs.tdh))
+  check_int "tdh advanced" 2 (h.Mmio.read Nic.Regs.tdh)
 
 let test_nic_rx_ring () =
   let r = nic_rig () in
   let h = Nic.raw r.nic in
   (* Publish 4 rx buffers. *)
-  h.Mmio.write Nic.Regs.rdt 4L;
+  h.Mmio.write Nic.Regs.rdt 4;
   Sim.spawn_at r.sim Time.zero (fun () ->
       Fabric.send r.peer ~dst:(Fabric.port_id (Nic.port r.nic)) ~size_bytes:700
         (Packet.Raw "hello"));
   Sim.run r.sim;
-  check_int "rdh advanced" 1 (Int64.to_int (h.Mmio.read Nic.Regs.rdh));
+  check_int "rdh advanced" 1 (h.Mmio.read Nic.Regs.rdh);
   (match Nic.rx_desc r.nic ~ring:(Nic.default_rx_ring r.nic) ~idx:0 with
   | Some p -> check_int "size" 700 p.Packet.size_bytes
   | None -> Alcotest.fail "no frame in rx ring");
@@ -259,8 +259,8 @@ let test_nic_rx_irq () =
   Irq.register irq ~vec:10 (fun () -> incr fired);
   let peer = Fabric.attach fab ~name:"peer" (fun _ -> ()) in
   let h = Nic.raw nic in
-  h.Mmio.write Nic.Regs.rdt 8L;
-  h.Mmio.write Nic.Regs.ie 1L;
+  h.Mmio.write Nic.Regs.rdt 8;
+  h.Mmio.write Nic.Regs.ie 1;
   Sim.spawn_at sim Time.zero (fun () ->
       Fabric.send peer ~dst:(Fabric.port_id (Nic.port nic)) ~size_bytes:100
         (Packet.Raw "x"));
@@ -342,6 +342,182 @@ let test_ib_bytes_counted () =
   Sim.run sim;
   check_int "counted" 1234 (Ib.bytes_transferred ib)
 
+(* --- fabric hot-path bugfixes + frame pool --- *)
+
+(* A rejected send must not open (and leak) a profiler scope: the old
+   code entered "net.send" before validating, so the [invalid_arg] path
+   left the scope on the stack and poisoned every later attribution. *)
+let test_fabric_send_invalid_keeps_profiler_balanced () =
+  let prof = Bmcast_obs.Profile.create () in
+  let sim = Sim.create ~profile:prof () in
+  let fab = Fabric.create sim () in
+  let a = Fabric.attach fab ~name:"a" (fun _ -> ()) in
+  let b = Fabric.attach fab ~name:"b" (fun _ -> ()) in
+  Sim.spawn_at sim Time.zero (fun () ->
+      (try
+         Fabric.send a ~dst:(Fabric.port_id b) ~size_bytes:1_000_000
+           (Packet.Raw "jumbo");
+         Alcotest.fail "oversized send must raise"
+       with Invalid_argument _ -> ());
+      (try
+         Fabric.send a ~dst:(Fabric.port_id b) ~size_bytes:0 (Packet.Raw "");
+         Alcotest.fail "empty send must raise"
+       with Invalid_argument _ -> ());
+      Fabric.send a ~dst:(Fabric.port_id b) ~size_bytes:1000 (Packet.Raw "ok"));
+  Sim.run sim;
+  check_int "balanced scopes" 0 (Bmcast_obs.Profile.mismatches prof);
+  let send_calls =
+    List.fold_left
+      (fun acc r ->
+        if r.Bmcast_obs.Profile.row_cat = "net.send" then
+          acc + r.Bmcast_obs.Profile.calls
+        else acc)
+      0
+      (Bmcast_obs.Profile.rows prof)
+  in
+  check_int "only the valid send was scoped" 1 send_calls
+
+let stuck_bad_gilbert =
+  (* Enters the bad state on the first forwarded frame and never
+     leaves; drops everything while bad. *)
+  Fabric.Gilbert
+    { p_enter_bad = 1.0; p_exit_bad = 0.0; loss_good = 0.0; loss_bad = 1.0 }
+
+let test_fabric_set_loss_rate_resets_gilbert () =
+  let sim = Sim.create () in
+  let fab = Fabric.create sim () in
+  let a = Fabric.attach fab ~name:"a" (fun _ -> ()) in
+  let b = Fabric.attach fab ~name:"b" (fun _ -> ()) in
+  Fabric.set_loss_model fab stuck_bad_gilbert;
+  Sim.spawn_at sim Time.zero (fun () ->
+      Fabric.send a ~dst:(Fabric.port_id b) ~size_bytes:100 (Packet.Raw "x"));
+  Sim.run sim;
+  check_bool "chain driven into bad state" true (Fabric.loss_in_bad fab);
+  Fabric.set_loss_rate fab 0.25;
+  check_bool "set_loss_rate resets the channel" false (Fabric.loss_in_bad fab);
+  (* And the same contract via set_loss_model, for symmetry. *)
+  Fabric.set_loss_model fab stuck_bad_gilbert;
+  let c = Fabric.attach fab ~name:"c" (fun _ -> ()) in
+  Sim.spawn_at sim (Time.ms 1) (fun () ->
+      Fabric.send a ~dst:(Fabric.port_id c) ~size_bytes:100 (Packet.Raw "y"));
+  Sim.run sim;
+  check_bool "fresh chain re-enters bad from good" true (Fabric.loss_in_bad fab)
+
+(* 10,000 attaches used to re-copy the whole port array each time
+   (O(n^2) words); geometric growth keeps this instant, and delivery
+   to the last-attached port still works. *)
+let test_fabric_attach_scales () =
+  let sim = Sim.create () in
+  let fab = Fabric.create sim () in
+  let n = 10_000 in
+  let hits = ref 0 in
+  let first = Fabric.attach fab ~name:"p0" (fun _ -> ()) in
+  let last = ref first in
+  for i = 1 to n - 1 do
+    last :=
+      Fabric.attach fab ~name:(if i = n - 1 then "plast" else "p")
+        (fun _ -> incr hits)
+  done;
+  check_int "ids are dense" (n - 1) (Fabric.port_id !last);
+  Sim.spawn_at sim Time.zero (fun () ->
+      Fabric.send first ~dst:(Fabric.port_id !last) ~size_bytes:1000
+        (Packet.Raw "hi"));
+  Sim.run sim;
+  check_int "delivered to last port" 1 !hits
+
+let test_fabric_frame_pool_recycles () =
+  let sim = Sim.create () in
+  let fab = Fabric.create sim () in
+  let a = Fabric.attach fab ~name:"a" (fun _ -> ()) in
+  let b = Fabric.attach fab ~name:"b" (fun _ -> ()) in
+  Sim.spawn_at sim Time.zero (fun () ->
+      for _ = 1 to 50 do
+        Fabric.send a ~dst:(Fabric.port_id b) ~size_bytes:100 (Packet.Raw "x");
+        Sim.sleep (Time.us 100)
+      done);
+  Sim.run sim;
+  let free = Fabric.pool_free_count fab in
+  check_bool "frames returned to the pool" true (free > 0);
+  (* Reuse, not one record per send: sends were spaced out, so only a
+     handful of frames were ever in flight at once. *)
+  check_bool "pool holds in-flight peak, not send count" true (free < 10)
+
+let test_fabric_keep_frame_prevents_aliasing () =
+  let sim = Sim.create () in
+  let fab = Fabric.create sim () in
+  let kept = ref None in
+  let a = Fabric.attach fab ~name:"a" (fun _ -> ()) in
+  let b =
+    Fabric.attach fab ~name:"b" (fun p ->
+        match !kept with
+        | None ->
+          Fabric.keep_frame fab;
+          kept := Some p
+        | Some _ -> ())
+  in
+  Sim.spawn_at sim Time.zero (fun () ->
+      Fabric.send a ~dst:(Fabric.port_id b) ~size_bytes:111 (Packet.Raw "first");
+      Sim.sleep (Time.ms 1);
+      for _ = 1 to 10 do
+        Fabric.send a ~dst:(Fabric.port_id b) ~size_bytes:222
+          (Packet.Raw "later");
+        Sim.sleep (Time.ms 1)
+      done);
+  Sim.run sim;
+  match !kept with
+  | None -> Alcotest.fail "first frame not delivered"
+  | Some p ->
+    (* The kept record must not have been recycled under later traffic. *)
+    check_int "kept frame size intact" 111 p.Packet.size_bytes;
+    check_bool "kept payload intact" true (p.Packet.payload = Packet.Raw "first");
+    Fabric.release_frame fab p;
+    check_bool "released payload detached" true
+      (p.Packet.payload <> Packet.Raw "first")
+
+(* Without [keep_frame], a handler that squirrels the record away sees
+   it recycled once delivery returns — payload replaced by the pool
+   sentinel. This is the reuse invariant the ownership contract rests
+   on: the fabric owns the record after [rx] unless the handler kept it. *)
+let test_fabric_unkept_frame_is_recycled () =
+  let sim = Sim.create () in
+  let fab = Fabric.create sim () in
+  let stolen = ref None in
+  let a = Fabric.attach fab ~name:"a" (fun _ -> ()) in
+  let b =
+    Fabric.attach fab ~name:"b" (fun p ->
+        if !stolen = None then stolen := Some p)
+  in
+  Sim.spawn_at sim Time.zero (fun () ->
+      Fabric.send a ~dst:(Fabric.port_id b) ~size_bytes:333 (Packet.Raw "gone"));
+  Sim.run sim;
+  match !stolen with
+  | None -> Alcotest.fail "frame not delivered"
+  | Some p ->
+    check_bool "payload recycled after rx returned" true
+      (p.Packet.payload <> Packet.Raw "gone")
+
+let test_fabric_pooling_off_allocates_fresh () =
+  let sim = Sim.create () in
+  let fab = Fabric.create sim ~pool_frames:false () in
+  let got = ref [] in
+  let a = Fabric.attach fab ~name:"a" (fun _ -> ()) in
+  let b = Fabric.attach fab ~name:"b" (fun p -> got := p :: !got) in
+  Sim.spawn_at sim Time.zero (fun () ->
+      for i = 1 to 5 do
+        Fabric.send a ~dst:(Fabric.port_id b) ~size_bytes:(100 * i)
+          (Packet.Raw "keep");
+        Sim.sleep (Time.ms 1)
+      done);
+  Sim.run sim;
+  check_int "all delivered" 5 (List.length !got);
+  check_int "nothing pooled" 0 (Fabric.pool_free_count fab);
+  (* Un-pooled frames are never recycled: handlers may retain them
+     without keep_frame and the contents stay put. *)
+  List.iter
+    (fun p ->
+      check_bool "retained frame intact" true (p.Packet.payload = Packet.Raw "keep"))
+    !got
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "net"
@@ -354,7 +530,19 @@ let () =
           tc "link flap" `Quick test_fabric_link_flap;
           tc "nic stall delays delivery" `Quick
             test_fabric_nic_stall_delays_delivery;
-          tc "contention shares egress" `Quick test_fabric_contention_shares_egress ] );
+          tc "contention shares egress" `Quick test_fabric_contention_shares_egress;
+          tc "send validation keeps profiler balanced" `Quick
+            test_fabric_send_invalid_keeps_profiler_balanced;
+          tc "set_loss_rate resets gilbert state" `Quick
+            test_fabric_set_loss_rate_resets_gilbert;
+          tc "attach scales to 10k ports" `Quick test_fabric_attach_scales;
+          tc "frame pool recycles" `Quick test_fabric_frame_pool_recycles;
+          tc "keep_frame prevents aliasing" `Quick
+            test_fabric_keep_frame_prevents_aliasing;
+          tc "unkept frame is recycled" `Quick
+            test_fabric_unkept_frame_is_recycled;
+          tc "pooling off allocates fresh" `Quick
+            test_fabric_pooling_off_allocates_fresh ] );
       ( "nic",
         [ tc "tx" `Quick test_nic_tx;
           tc "rx ring" `Quick test_nic_rx_ring;

@@ -38,6 +38,28 @@ let test_content_constructors () =
   let d2 = Content.data_sectors ~count:1 in
   check_bool "fresh tag" false (Content.equal d.(0) d2.(0))
 
+(* Scratch-pool reuse invariant: a released buffer comes back for the
+   next same-length request, and it comes back indistinguishable from a
+   fresh [Array.make len Zero] — stale contents must never leak into
+   the next request. *)
+let test_content_scratch_reuse () =
+  let len = 48 in
+  let before = Content.Scratch.free_count len in
+  let a = Content.Scratch.alloc len in
+  check_int "requested length" len (Array.length a);
+  Array.iteri (fun i c -> a.(i) <- (ignore c; Content.Image i)) a;
+  Content.Scratch.release a;
+  check_int "released to pool" (before + 1) (Content.Scratch.free_count len);
+  let b = Content.Scratch.alloc len in
+  check_bool "same buffer reused" true (a == b);
+  check_bool "contents wiped to Zero" true
+    (Array.for_all (Content.equal Content.Zero) b);
+  (* Distinct lengths live in distinct buckets. *)
+  let c = Content.Scratch.alloc (len + 1) in
+  check_bool "different length is a different buffer" true (c != b);
+  Content.Scratch.release b;
+  Content.Scratch.release c
+
 (* --- Extent_map --- *)
 
 let test_extent_set_get () =
@@ -439,9 +461,9 @@ let ahci_rig () =
   in
   let clb = Ahci.alloc_cmd_list ahci in
   (* Driver init: program CLB, enable interrupts, start the port. *)
-  Mmio.write mmio (0xF000_0000 + Ahci.Regs.px_clb) (Int64.of_int clb);
-  Mmio.write mmio (0xF000_0000 + Ahci.Regs.px_ie) 1L;
-  Mmio.write mmio (0xF000_0000 + Ahci.Regs.px_cmd) 1L;
+  Mmio.write mmio (0xF000_0000 + Ahci.Regs.px_clb) clb;
+  Mmio.write mmio (0xF000_0000 + Ahci.Regs.px_ie) 1;
+  Mmio.write mmio (0xF000_0000 + Ahci.Regs.px_cmd) 1;
   { sim; mmio; irq; ahci; disk; dma; clb }
 
 let ahci_reg rig off = Mmio.read rig.mmio (0xF000_0000 + off)
@@ -458,9 +480,9 @@ let ahci_io rig fis buf_sectors =
   let completed = ref false in
   Irq.register rig.irq ~vec:11 (fun () ->
       (* ISR: ack interrupt status. *)
-      ahci_wreg rig Ahci.Regs.px_is 1L;
+      ahci_wreg rig Ahci.Regs.px_is 1;
       completed := true);
-  ahci_wreg rig Ahci.Regs.px_ci 1L;
+  ahci_wreg rig Ahci.Regs.px_ci 1;
   (buf, completed)
 
 let test_ahci_read_flow () =
@@ -475,7 +497,7 @@ let test_ahci_read_flow () =
     "data landed in buffer"
     (Content.image_sectors ~lba:1000 ~count:8)
     buf.Dma.data;
-  check_int "ci cleared" 0 (Int64.to_int (ahci_reg rig Ahci.Regs.px_ci));
+  check_int "ci cleared" 0 (ahci_reg rig Ahci.Regs.px_ci);
   check_int "one command" 1 (Ahci.commands_processed rig.ahci)
 
 let test_ahci_write_flow () =
@@ -491,9 +513,9 @@ let test_ahci_write_flow () =
     Ahci.set_slot rig.ahci ~clb:rig.clb ~slot:0 ~table_addr:table;
     let completed = ref false in
     Irq.register rig.irq ~vec:11 (fun () ->
-        ahci_wreg rig Ahci.Regs.px_is 1L;
+        ahci_wreg rig Ahci.Regs.px_is 1;
         completed := true);
-    ahci_wreg rig Ahci.Regs.px_ci 1L;
+    ahci_wreg rig Ahci.Regs.px_ci 1;
     (buf, completed)
   in
   Sim.run rig.sim;
@@ -509,15 +531,15 @@ let test_ahci_busy_while_serving () =
   in
   (* Immediately after issue, TFD shows BSY and CI has the bit. *)
   check_bool "bsy" true
-    (Int64.logand (ahci_reg rig Ahci.Regs.px_tfd) Ahci.tfd_bsy <> 0L);
-  check_int "ci set" 1 (Int64.to_int (ahci_reg rig Ahci.Regs.px_ci));
+    (ahci_reg rig Ahci.Regs.px_tfd land Ahci.tfd_bsy <> 0);
+  check_int "ci set" 1 (ahci_reg rig Ahci.Regs.px_ci);
   Sim.run rig.sim;
   check_bool "idle after" true
-    (Int64.logand (ahci_reg rig Ahci.Regs.px_tfd) Ahci.tfd_bsy = 0L)
+    (ahci_reg rig Ahci.Regs.px_tfd land Ahci.tfd_bsy = 0)
 
 let test_ahci_no_irq_when_masked () =
   let rig = ahci_rig () in
-  ahci_wreg rig Ahci.Regs.px_ie 0L;
+  ahci_wreg rig Ahci.Regs.px_ie 0;
   let _buf, completed =
     ahci_io rig { Ahci.Fis.op = Ahci.Fis.Read; lba = 0; count = 1 } 1
   in
@@ -526,14 +548,14 @@ let test_ahci_no_irq_when_masked () =
   check_int "no irq raised" 0 (Ahci.irqs_raised rig.ahci);
   (* But the command still completed and PxIS is latched. *)
   check_int "completed" 1 (Ahci.commands_processed rig.ahci);
-  check_int "is latched" 1 (Int64.to_int (ahci_reg rig Ahci.Regs.px_is))
+  check_int "is latched" 1 (ahci_reg rig Ahci.Regs.px_is)
 
 let test_ahci_issue_while_stopped_rejected () =
   let rig = ahci_rig () in
-  ahci_wreg rig Ahci.Regs.px_cmd 0L;
+  ahci_wreg rig Ahci.Regs.px_cmd 0;
   check_bool "raises" true
     (try
-       ahci_wreg rig Ahci.Regs.px_ci 1L;
+       ahci_wreg rig Ahci.Regs.px_ci 1;
        false
      with Invalid_argument _ -> true)
 
@@ -552,7 +574,7 @@ let test_ahci_multi_slot_fifo () =
   in
   Ahci.set_slot rig.ahci ~clb:rig.clb ~slot:0 ~table_addr:t0;
   Ahci.set_slot rig.ahci ~clb:rig.clb ~slot:1 ~table_addr:t1;
-  ahci_wreg rig Ahci.Regs.px_ci 3L;
+  ahci_wreg rig Ahci.Regs.px_ci 3;
   Sim.run rig.sim;
   check_int "both done" 2 (Ahci.commands_processed rig.ahci);
   Alcotest.(check (array content_testable))
@@ -575,7 +597,7 @@ let test_ahci_mediator_can_rewrite_command () =
   let ct = Ahci.cmd_table rig.ahci ~addr:table_addr in
   ct.Ahci.fis <- { Ahci.Fis.op = Ahci.Fis.Read; lba = 0; count = 1 };
   ct.Ahci.prdt <- [ { Ahci.buf_addr = dummy.Dma.addr; sectors = 1 } ];
-  ahci_wreg rig Ahci.Regs.px_ci 1L;
+  ahci_wreg rig Ahci.Regs.px_ci 1;
   Sim.run rig.sim;
   Alcotest.check content_testable "dummy got the sector" (Content.Image 0)
     dummy.Dma.data.(0);
@@ -711,7 +733,8 @@ let () =
   Alcotest.run "storage"
     [ ( "content",
         [ tc "equal" `Quick test_content_equal;
-          tc "constructors" `Quick test_content_constructors ] );
+          tc "constructors" `Quick test_content_constructors;
+          tc "scratch pool reuse" `Quick test_content_scratch_reuse ] );
       ( "extent_map",
         [ tc "set get" `Quick test_extent_set_get;
           tc "overwrite splits" `Quick test_extent_overwrite_splits;
