@@ -127,15 +127,22 @@ let experiments ~metrics_dir =
     ( "fleet",
       fun () ->
         (* The fleet sweep always snapshots: BENCH_fleet.json is the
-           artifact CI uploads. It covers both regimes: the replica
-           sweep (256 MB images) and the cloud-burst scale sweep
-           (250/1,000 clients, minimal guests). *)
+           artifact CI uploads. It covers three regimes: the replica
+           sweep (256 MB images), the cloud-burst scale sweep
+           (250/1,000 clients, minimal guests), and the
+           distribution-crossover sweep (replica fan-out vs P2P vs
+           multicast under constrained uplinks). *)
         let metrics_out =
           Option.value (out "fleet") ~default:"BENCH_fleet.json"
         in
         let std = Scaleout.run () in
         let scale = Scaleout.run_scale () in
-        Scaleout.write_metrics metrics_out (std @ scale);
+        (* The crossover curve also lands in its own snapshot so CI can
+           upload it as a standalone artifact. *)
+        let crossover =
+          Scaleout.run_crossover ~metrics_out:"BENCH_crossover.json" ()
+        in
+        Scaleout.write_metrics metrics_out (std @ scale @ crossover);
         Report.note "wrote %s" metrics_out );
     ( "fleet10k",
       fun () ->

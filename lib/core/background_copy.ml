@@ -88,7 +88,10 @@ let tagged t args =
   | None -> args
 
 let rec retriever t =
-  while t.paused && not t.stopped do
+  (* The completion check inside the pause loop matters: something else
+     (multicast fill, the guest itself) can finish the image while we
+     are paused, and [wait_complete] must still fire. *)
+  while t.paused && (not t.stopped) && not (image_complete t) do
     Sim.sleep t.params.Params.suspend_interval
   done;
   if t.stopped then ()

@@ -9,6 +9,9 @@ module Memmap = Bmcast_hw.Memmap
 module Pci = Bmcast_hw.Pci
 module Content = Bmcast_storage.Content
 module Packet = Bmcast_net.Packet
+module Fabric = Bmcast_net.Fabric
+module Nic = Bmcast_net.Nic
+module Mailbox = Bmcast_engine.Mailbox
 module Machine = Bmcast_platform.Machine
 module Runtime = Bmcast_platform.Runtime
 module Cpu_model = Bmcast_platform.Cpu_model
@@ -57,6 +60,9 @@ type t = {
   vmxoff : [ `Resident | `Guest_module ];
   mutable residual : residual option;
   mutable shut_down : bool;
+  mutable mcast_filled_bytes : int;  (* filled from multicast frames *)
+  mutable mcast_dups : int;  (* multicast frames carrying nothing new *)
+  mutable last_mcast_at : Time.t option;  (* carousel liveness signal *)
   mutable events : (Time.t * string) list;  (* phase log, newest first *)
 }
 
@@ -288,7 +294,7 @@ let deployment t =
   Signal.Latch.set t.deployed;
   devirtualize t
 
-let boot machine ~params ~server_port ?route ?on_aoe_response
+let boot machine ~params ~server_port ?route ?on_aoe_response ?mcast_group
     ?(release_memory = false) ?(hide_mgmt_nic = false) ?(nic = `Mgmt)
     ?(boot_prefetch = []) ?(resume = false) ?(vmxoff = `Resident) () =
   let boot_started = Sim.now machine.Machine.sim in
@@ -379,6 +385,9 @@ let boot machine ~params ~server_port ?route ?on_aoe_response
       vmxoff;
       residual = None;
       shut_down = false;
+      mcast_filled_bytes = 0;
+      mcast_dups = 0;
+      last_mcast_at = None;
       events = [] }
   in
   log_event t (if resume then "VMM booted (resuming)" else "VMM booted");
@@ -395,6 +404,76 @@ let boot machine ~params ~server_port ?route ?on_aoe_response
         log_event t "AoE target unresponsive: escalating retries"
       end;
       `Retry);
+  (* Multicast deployment path: join the fabric group the storage tier's
+     carousel streams hot boot blocks to, and turn unsolicited frames
+     into copy-on-read fills. The subscription handler runs in the NIC
+     rx path, so it only classifies and copies: frames covering nothing
+     empty count as duplicates; the rest are copied off the shared
+     (GC-owned, never-released) payload into a scratch buffer and queued
+     for the fill process, which writes still-empty sectors through the
+     mediator — the same atomic emptiness re-check the background
+     writer uses, so a racing guest write always wins. *)
+  (match mcast_group with
+  | None -> ()
+  | Some group ->
+    let nic_port =
+      match nic with
+      | `Mgmt -> Nic.port machine.Machine.mgmt_nic
+      | `Prod | `Shared -> Nic.port machine.Machine.prod_nic
+    in
+    Fabric.mcast_join nic_port ~group;
+    let fifo = Mailbox.create () in
+    Aoe_client.subscribe_mcast aoe (fun ~lba ~count data ->
+        if lba >= 0 && count > 0 && lba + count <= params.Params.image_sectors
+        then begin
+          t.last_mcast_at <- Some (Sim.now machine.Machine.sim);
+          if Bitmap.empty_subranges bitmap ~lba ~count = [] then
+            t.mcast_dups <- t.mcast_dups + 1
+          else begin
+            let copy = Content.Scratch.alloc count in
+            Array.blit data 0 copy 0 count;
+            ignore (Mailbox.try_send fifo (lba, count, copy) : bool)
+          end
+        end);
+    Sim.spawn ~name:"bmcast-mcast-fill" (fun () ->
+        let rec loop () =
+          let lba, count, data = Mailbox.recv fifo in
+          if (not t.shut_down) && not (Bitmap.is_complete t.bitmap) then begin
+            let wrote = med_vmm_write_empty t ~lba ~count data in
+            t.mcast_filled_bytes <- t.mcast_filled_bytes + (wrote * 512)
+          end;
+          Content.Scratch.release data;
+          loop ()
+        in
+        loop ());
+    (* While the carousel is live — a frame within the last [quiet]
+       window — the background copy defers to it: one multicast stream
+       is filling every subscriber, so unicast fetches of the same
+       blocks would only congest the storage tier. When the carousel
+       goes quiet (passes exhausted, or its vblade crashed) the copy
+       resumes and mops up whatever multicast missed; if frames return,
+       it pauses again. Copy-on-read is untouched either way — sectors
+       the guest demands right now still arrive over unicast. *)
+    let quiet = Time.ms 600 in
+    ignore
+      (Sim.every machine.Machine.sim ~daemon:true (Time.ms 200) (fun () ->
+           match t.background with
+           | None -> ()
+           | Some bg ->
+             let live =
+               (not (Bitmap.is_complete t.bitmap))
+               &&
+               match t.last_mcast_at with
+               | Some ts -> Sim.now machine.Machine.sim - ts < quiet
+               | None -> false
+             in
+             if live then begin
+               if not (Background_copy.is_paused bg) then
+                 Background_copy.pause bg
+             end
+             else if Background_copy.is_paused bg then
+               Background_copy.resume bg)
+        : unit -> unit));
   stage_span machine.Machine.sim ~machine "vmm_init" ~ts:boot_started;
   Sim.spawn ~name:"bmcast-deployment" (fun () -> deployment t);
   t
@@ -444,6 +523,8 @@ type totals = {
   aoe_retransmits : int;
   aoe_escalations : int;
   fetch_failures : int;
+  mcast_bytes : int;
+  mcast_dups : int;
 }
 
 let totals t =
@@ -481,4 +562,6 @@ let totals t =
     fetch_failures =
       (match t.background with
       | Some bg -> Background_copy.fetch_failures bg
-      | None -> 0) }
+      | None -> 0);
+    mcast_bytes = t.mcast_filled_bytes;
+    mcast_dups = t.mcast_dups }

@@ -26,6 +26,7 @@ val boot :
   server_port:int ->
   ?route:(Bmcast_proto.Aoe.header -> int) ->
   ?on_aoe_response:(Bmcast_proto.Aoe.header -> unit) ->
+  ?mcast_group:int ->
   ?release_memory:bool ->
   ?hide_mgmt_nic:bool ->
   ?nic:[ `Mgmt | `Prod | `Shared ] ->
@@ -50,7 +51,17 @@ val boot :
     the production NIC ([`Prod]), or true sharing of the production NIC
     with the guest through the shadow-ring mediator ([`Shared], §6).
     [boot_prefetch] enables §3.3's optional boot-working-set prefetch,
-    given as [(lba, sectors)] ranges. *)
+    given as [(lba, sectors)] ranges. [mcast_group], when given, joins
+    the VMM's NIC to that fabric multicast group and subscribes to the
+    storage tier's carousel of hot boot blocks
+    ({!Bmcast_proto.Vblade.multicast}): frames covering still-empty
+    sectors are copied off the shared payload and written through the
+    mediator's atomic write-if-empty path; the rest count as
+    duplicates (see [totals.mcast_bytes]/[totals.mcast_dups]). While
+    carousel frames keep arriving the background copy is paused — the
+    stream is already filling every subscriber — and it resumes as the
+    unicast mop-up backstop once the carousel goes quiet (~600 ms with
+    no frame). Copy-on-read is never deferred. *)
 
 val shutdown : t -> unit
 (** Stop the copy threads, persist the fill bitmap to its protected
@@ -90,6 +101,11 @@ type totals = {
           server down longer than the retransmission window) *)
   fetch_failures : int;
       (** background-copy fetches that timed out and were retried *)
+  mcast_bytes : int;
+      (** bytes filled from the multicast carousel (written sectors
+          only, not frames that lost the write-if-empty race) *)
+  mcast_dups : int;
+      (** multicast frames that carried no still-empty sector *)
 }
 
 val totals : t -> totals

@@ -1,5 +1,6 @@
 module Sim = Bmcast_engine.Sim
 module Time = Bmcast_engine.Time
+module Content = Bmcast_storage.Content
 module Disk = Bmcast_storage.Disk
 module Fabric = Bmcast_net.Fabric
 module Vblade = Bmcast_proto.Vblade
@@ -7,14 +8,29 @@ module Machine = Bmcast_platform.Machine
 module Runtime = Bmcast_platform.Runtime
 module Block_io = Bmcast_guest.Block_io
 module Os = Bmcast_guest.Os
+module Bitmap = Bmcast_core.Bitmap
 module Params = Bmcast_core.Params
 module Vmm = Bmcast_core.Vmm
 module Metrics = Bmcast_obs.Metrics
 module Stats = Bmcast_obs.Stats
+module Peer = Bmcast_fleet.Peer
 module Replica_set = Bmcast_fleet.Replica_set
 module Scheduler = Bmcast_fleet.Scheduler
 module Trace = Bmcast_obs.Trace
 module Analytics = Bmcast_obs.Analytics
+
+type distribution = [ `Unicast | `P2p | `Mcast ]
+
+let distribution_to_string = function
+  | `Unicast -> "unicast"
+  | `P2p -> "p2p"
+  | `Mcast -> "mcast"
+
+let distribution_of_string = function
+  | "unicast" -> Some `Unicast
+  | "p2p" -> Some `P2p
+  | "mcast" -> Some `Mcast
+  | _ -> None
 
 type summary = {
   p50 : float;
@@ -30,6 +46,7 @@ type result = {
   image_mb : int;
   policy : string;
   sched : string;
+  distribution : string;
   ttfb : summary;
   ttdv : summary;
   failovers : int;
@@ -37,11 +54,20 @@ type result = {
   peak_in_service : int;
   admitted_per_server : int array;
   server_bytes : int;
+  p2p_routed : int;
+  p2p_failovers : int;
+  p2p_served_bytes : int;
+  gossip_announces : int;
+  mcast_tx_bytes : int;
+  mcast_fill_bytes : int;
+  mcast_dups : int;
   sim_events : int;
   analytics : Analytics.t;
   alert_count : int;
   timeline : string;
   watch : string;
+  images_ok : bool option;
+  image_digest : string option;
 }
 
 (* Per-machine series ([|m=...] labels) grow with fleet size; the
@@ -69,9 +95,11 @@ let summarize h =
 let deploy_fleet ?(seed = 42) ?(image_mb = 256)
     ?(policy = Replica_set.Least_outstanding)
     ?(sched = Scheduler.All_at_once) ?(limit_per_server = 4)
-    ?(ram_cache = true) ?(crashes = []) ?(restarts = []) ?tweak ?trace
-    ?metrics ?timeseries ?watchdog ?profile ?boot_profile ?(slo_s = 120.0)
-    ~machines ~replicas () =
+    ?(ram_cache = true) ?(crashes = []) ?(restarts = [])
+    ?(distribution = `Unicast) ?uplink_mbps ?(mcast_passes = 16)
+    ?(mcast_gap = Time.ms 200) ?(peer_crashes = []) ?chaos
+    ?(digest_images = false) ?tweak ?trace ?metrics ?timeseries ?watchdog
+    ?profile ?boot_profile ?(slo_s = 120.0) ~machines ~replicas () =
   if machines <= 0 then invalid_arg "Scaleout.deploy_fleet: machines";
   if replicas <= 0 then invalid_arg "Scaleout.deploy_fleet: replicas";
   (* The stage analytics need the boot-pipeline spans. With a
@@ -105,16 +133,26 @@ let deploy_fleet ?(seed = 42) ?(image_mb = 256)
   if not caller_wired then Bmcast_obs.Watchdog.attach watchdog timeseries;
   Bmcast_obs.Watchdog.set_trace watchdog trace;
   let sim = Sim.create ~seed ~trace ~metrics ~timeseries ?profile () in
-  let fabric = Fabric.create sim () in
+  let fabric =
+    match uplink_mbps with
+    | None -> Fabric.create sim ()
+    | Some mb -> Fabric.create sim ~port_rate_bytes_per_s:(mb *. 1e6 /. 8.) ()
+  in
   let image_sectors = image_mb * 2048 in
   let disk_profile = Disk.hdd_constellation2 in
-  let vblades =
-    List.init replicas (fun i ->
+  let server_disks =
+    List.init replicas (fun _ ->
         let disk = Disk.create sim disk_profile in
         Disk.fill_with_image disk;
+        disk)
+  in
+  let vblades =
+    List.mapi
+      (fun i disk ->
         Vblade.create sim ~fabric
           ~name:(Printf.sprintf "vblade%d" i)
           ~disk ~ram_cache ())
+      server_disks
   in
   let params =
     let p = Params.default ~image_sectors in
@@ -144,6 +182,44 @@ let deploy_fleet ?(seed = 42) ?(image_mb = 256)
   List.iter
     (fun (span, i) -> at span (fun () -> Vblade.restart (List.nth vblades i)))
     restarts;
+  (* Distribution mode: a P2P swarm (gossip-fed peer serving, routed in
+     front of the replica set) or a multicast carousel on the first
+     replica, started once the first wave of VMMs has booted far enough
+     to be subscribed. [`Unicast] is the PR-8 baseline, untouched. *)
+  let swarm =
+    match distribution with
+    | `P2p ->
+      Some
+        (Peer.create sim ~fabric ~image_sectors
+           ~chunk_sectors:params.Params.chunk_sectors ())
+    | `Unicast | `Mcast -> None
+  in
+  let mcast_group =
+    match distribution with
+    | `Mcast -> Some (Fabric.mcast_group fabric)
+    | `Unicast | `P2p -> None
+  in
+  (match mcast_group with
+  | Some group ->
+    at
+      (Time.add params.Params.vmm_boot_time (Time.ms 500))
+      (fun () ->
+        Vblade.multicast (List.hd vblades) ~group ~lba:0 ~count:image_sectors
+          ~passes:mcast_passes ~gap:mcast_gap ())
+  | None -> ());
+  let agents : (int, Peer.agent) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (span, i) ->
+      at span (fun () ->
+          match Hashtbl.find_opt agents i with
+          | Some a -> Peer.crash a
+          | None -> ()))
+    peer_crashes;
+  (match chaos with Some f -> f sim fabric vblades | None -> ());
+  let routers = ref [] in
+  let nodes_ref = ref [] in
+  let mcast_fill_bytes = ref 0 in
+  let mcast_dups = ref 0 in
   Sim.spawn_at sim ~name:"fleet" (Sim.now sim) (fun () ->
       let start = Sim.clock () in
       let nodes =
@@ -152,20 +228,54 @@ let deploy_fleet ?(seed = 42) ?(image_mb = 256)
               ~name:(Printf.sprintf "node%d" i)
               ~disk_profile ~disk_kind:Machine.Ahci_disk ~fabric ())
       in
+      nodes_ref := nodes;
       let jobs =
-        List.map
-          (fun m ->
+        List.mapi
+          (fun idx m ->
             ( m.Machine.name,
               fun (_server : int) ->
                 let rset = Replica_set.create sim ~policy vblades in
                 rsets := rset :: !rsets;
+                (* In P2P mode the machine is both a peer (serving chunks
+                   its disk fully holds — the guard closes over the fill
+                   bitmap, late-bound after boot, and the disk's extent
+                   accounting) and a router client preferring advertised
+                   peers over replicas. *)
+                let bm = ref None in
+                let route, observe =
+                  match swarm with
+                  | None ->
+                    (Replica_set.route rset, Replica_set.observe rset)
+                  | Some sw ->
+                    let disk = m.Machine.disk in
+                    let cs = params.Params.chunk_sectors in
+                    let has_chunk c =
+                      match !bm with
+                      | None -> false
+                      | Some b ->
+                        let lba = c * cs in
+                        let count = min cs (image_sectors - lba) in
+                        count > 0
+                        && Bitmap.empty_subranges b ~lba ~count = []
+                        && Disk.mapped_sectors_in disk ~lba ~count = count
+                    in
+                    let agent =
+                      Peer.join sw ~name:m.Machine.name ~has_chunk
+                        ~peek:(fun ~lba ~count buf ->
+                          Disk.peek_into disk ~lba ~count buf)
+                        ()
+                    in
+                    Hashtbl.replace agents idx agent;
+                    let router = Peer.router sw ~self:agent rset in
+                    routers := router :: !routers;
+                    (Peer.route router, Peer.observe router)
+                in
                 let vmm =
                   Vmm.boot m ~params
                     ~server_port:(Replica_set.port_of rset 0)
-                    ~route:(Replica_set.route rset)
-                    ~on_aoe_response:(Replica_set.observe rset)
-                    ()
+                    ~route ~on_aoe_response:observe ?mcast_group ()
                 in
+                bm := Some (Vmm.bitmap vmm);
                 let blk = Block_io.attach m in
                 let rt =
                   { Runtime.label = "bmcast";
@@ -182,6 +292,9 @@ let deploy_fleet ?(seed = 42) ?(image_mb = 256)
                 Stats.Histogram.add h_ttfb
                   (Time.to_float_s (Time.diff (Sim.clock ()) start));
                 Vmm.wait_devirtualized vmm;
+                (let tot = Vmm.totals vmm in
+                 mcast_fill_bytes := !mcast_fill_bytes + tot.Vmm.mcast_bytes;
+                 mcast_dups := !mcast_dups + tot.Vmm.mcast_dups);
                 Stats.Histogram.add h_ttdv
                   (Time.to_float_s (Time.diff (Sim.clock ()) start)) ))
           nodes
@@ -197,11 +310,40 @@ let deploy_fleet ?(seed = 42) ?(image_mb = 256)
       (Printf.sprintf
          "Scaleout.deploy_fleet: %d of %d machines de-virtualized"
          (Stats.Histogram.count h_ttdv) machines);
+  (* Cross-mode equivalence evidence: after full deployment every client
+     disk must hold the golden image byte-for-byte regardless of which
+     path (replica unicast, peer serve, multicast carousel) delivered
+     each sector. The digest is over the canonical per-sector content of
+     every client disk in fleet order, so two runs — or two distribution
+     modes — produce equal hex strings iff their images are identical. *)
+  let images_ok, image_digest =
+    if not digest_images then (None, None)
+    else begin
+      let golden = List.hd server_disks in
+      let buf = Buffer.create (image_sectors * 2) in
+      let ok = ref true in
+      List.iter
+        (fun m ->
+          let disk = m.Machine.disk in
+          for lba = 0 to image_sectors - 1 do
+            let c = Disk.sector disk lba in
+            if not (Content.equal c (Disk.sector golden lba)) then ok := false;
+            (match c with
+            | Content.Zero -> Buffer.add_char buf 'Z'
+            | Content.Image i -> Buffer.add_string buf (Printf.sprintf "I%d;" i)
+            | Content.Data d -> Buffer.add_string buf (Printf.sprintf "D%d;" d)
+            | Content.Blob s -> Buffer.add_string buf (Printf.sprintf "B%s;" s))
+          done)
+        !nodes_ref;
+      (Some !ok, Some (Digest.to_hex (Digest.string (Buffer.contents buf))))
+    end
+  in
   { machines;
     replicas;
     image_mb;
     policy = Replica_set.policy_to_string policy;
     sched = Scheduler.wave_policy_to_string sched;
+    distribution = distribution_to_string distribution;
     ttfb = summarize h_ttfb;
     ttdv = summarize h_ttdv;
     failovers = List.fold_left (fun a r -> a + Replica_set.failovers r) 0 !rsets;
@@ -210,11 +352,24 @@ let deploy_fleet ?(seed = 42) ?(image_mb = 256)
     admitted_per_server = Scheduler.admitted_per_server scheduler;
     server_bytes =
       List.fold_left (fun a v -> a + Vblade.bytes_served v) 0 vblades;
+    p2p_routed = List.fold_left (fun a r -> a + Peer.p2p_routed r) 0 !routers;
+    p2p_failovers =
+      List.fold_left (fun a r -> a + Peer.p2p_failovers r) 0 !routers;
+    p2p_served_bytes =
+      Hashtbl.fold (fun _ a acc -> acc + Peer.served_bytes a) agents 0;
+    gossip_announces =
+      (match swarm with Some sw -> Peer.announces_received sw | None -> 0);
+    mcast_tx_bytes =
+      List.fold_left (fun a v -> a + Vblade.mcast_bytes_sent v) 0 vblades;
+    mcast_fill_bytes = !mcast_fill_bytes;
+    mcast_dups = !mcast_dups;
     sim_events = Sim.events_executed sim;
     analytics = Analytics.of_trace ~slo_s trace;
     alert_count = Bmcast_obs.Watchdog.alert_count watchdog;
     timeline = Bmcast_obs.Timeseries.timeline_json ~max_points:60 timeseries;
-    watch = Bmcast_obs.Watchdog.alerts_json watchdog }
+    watch = Bmcast_obs.Watchdog.alerts_json watchdog;
+    images_ok;
+    image_digest }
 
 let summary_json s =
   Printf.sprintf
@@ -224,19 +379,34 @@ let summary_json s =
 let result_json r =
   Printf.sprintf
     {|    {"machines":%d,"replicas":%d,"image_mb":%d,"policy":%S,"sched":%S,
+     "distribution":%S,
      "time_to_first_boot_s":%s,
      "time_to_devirt_s":%s,
      "failovers":%d,"peak_queue":%d,"peak_in_service":%d,
-     "admitted_per_server":[%s],"server_bytes":%d,"sim_events":%d,
+     "admitted_per_server":[%s],"server_bytes":%d,
+     "p2p_routed":%d,"p2p_failovers":%d,"p2p_served_bytes":%d,
+     "gossip_announces":%d,
+     "mcast_tx_bytes":%d,"mcast_fill_bytes":%d,"mcast_dups":%d,
+     "sim_events":%d,
+     "images_ok":%s,"image_digest":%s,
      "boot":%s,
      "timeline":%s,
      "watch":%s}|}
-    r.machines r.replicas r.image_mb r.policy r.sched (summary_json r.ttfb)
-    (summary_json r.ttdv) r.failovers r.peak_queue r.peak_in_service
+    r.machines r.replicas r.image_mb r.policy r.sched r.distribution
+    (summary_json r.ttfb) (summary_json r.ttdv) r.failovers r.peak_queue
+    r.peak_in_service
     (Array.to_list r.admitted_per_server
     |> List.map string_of_int
     |> String.concat ",")
-    r.server_bytes r.sim_events
+    r.server_bytes r.p2p_routed r.p2p_failovers r.p2p_served_bytes
+    r.gossip_announces r.mcast_tx_bytes r.mcast_fill_bytes r.mcast_dups
+    r.sim_events
+    (match r.images_ok with
+    | None -> "null"
+    | Some b -> if b then "true" else "false")
+    (match r.image_digest with
+    | None -> "null"
+    | Some d -> Printf.sprintf "%S" d)
     (Analytics.to_json r.analytics)
     r.timeline r.watch
 
@@ -285,6 +455,89 @@ let run ?(machine_counts = [ 1; 4; 16 ]) ?(replica_counts = [ 1; 2; 4 ])
     Report.row ~label:"16-machine ttdv p50, 1 -> 4 replicas" ~units:"x speedup"
       (one.ttdv.p50 /. four.ttdv.p50)
   | _ -> ());
+  (match metrics_out with
+  | Some path ->
+    write_metrics path results;
+    Report.note "wrote %s" path
+  | None -> ());
+  results
+
+(* The headline question for peer/multicast distribution: at what fleet
+   size does each strategy win, when the storage tier's uplinks are the
+   bottleneck? Replica fan-out spends uplink bytes linearly in N; P2P
+   shifts serving onto already-deployed clients so the tier's share
+   shrinks as the swarm warms; the multicast carousel spends a constant
+   number of uplink bytes regardless of N. Constrained uplinks (the
+   [uplink_mbps] knob) make the contest visible at simulable scale. *)
+let run_crossover ?(client_counts = [ 25; 100; 250; 1000 ]) ?(image_mb = 64)
+    ?(uplink_mbps = 100.) ?metrics_out () =
+  Report.section
+    (Printf.sprintf
+       "Distribution crossover: replica fan-out vs P2P vs multicast (%d MB \
+        images, %.0f Mb/s uplinks, minimal guests)"
+       image_mb uplink_mbps);
+  (* Every strategy gets the same admitted concurrency — 16 boots in
+     flight — because the protective limit is load-bearing for all of
+     them: the AoE initiator has no congestion control, so admitting
+     the burst at once melts any tier under retransmission storms
+     (tried: ~33x overdelivery). The contest is about where a wave's
+     bytes come from. Fan-out drags every byte through 4 server
+     uplinks, so its wave time stretches as uplinks get scarce; the
+     alternatives run a *half-size* tier (2 replicas) and absorb the
+     same waves with peer serving (each admitted client pulls from a
+     distinct already-deployed peer's uplink) or the carousel (one
+     port's bandwidth fills the whole wave at once). The carousel gets
+     one pass per client so it keeps cycling for the whole deployment;
+     surplus passes are free because [Sim.request_stop] ends the run
+     when the last machine de-virtualizes. *)
+  let strategies =
+    [ ("replica-fanout", `Unicast, 4, 4);
+      ("p2p", `P2p, 2, 8);
+      ("mcast", `Mcast, 2, 8) ]
+  in
+  let results =
+    List.concat_map
+      (fun machines ->
+        List.map
+          (fun (_, distribution, replicas, limit_per_server) ->
+            deploy_fleet ~image_mb ~boot_profile:Os.cloud_minimal ~uplink_mbps
+              ~distribution ~machines ~replicas ~limit_per_server
+              ~mcast_passes:(max 16 machines) ())
+          strategies)
+      client_counts
+  in
+  Report.series_header
+    [ "ttdv p50(s)"; "ttdv max(s)"; "server GB"; "offload GB" ];
+  List.iter
+    (fun r ->
+      let offload = r.p2p_served_bytes + r.mcast_fill_bytes in
+      Report.series_row
+        (Printf.sprintf "%s %dx%d" r.distribution r.machines r.replicas)
+        [ r.ttdv.p50;
+          r.ttdv.max;
+          float_of_int r.server_bytes /. 1e9;
+          float_of_int offload /. 1e9 ])
+    results;
+  (* The crossover: the client count past which each alternative beats
+     replica fan-out on p50 time-to-devirtualization. *)
+  let find d m =
+    List.find_opt (fun x -> x.distribution = d && x.machines = m) results
+  in
+  List.iter
+    (fun alt ->
+      let wins =
+        List.filter
+          (fun m ->
+            match (find "unicast" m, find alt m) with
+            | Some u, Some a -> a.ttdv.p50 < u.ttdv.p50
+            | _ -> false)
+          client_counts
+      in
+      match wins with
+      | m :: _ ->
+        Report.note "%s beats replica fan-out from %d clients up" alt m
+      | [] -> Report.note "%s never beats replica fan-out in this sweep" alt)
+    [ "p2p"; "mcast" ];
   (match metrics_out with
   | Some path ->
     write_metrics path results;

@@ -19,6 +19,15 @@
 module Replica_set = Bmcast_fleet.Replica_set
 module Scheduler = Bmcast_fleet.Scheduler
 
+type distribution = [ `Unicast | `P2p | `Mcast ]
+(** How image bytes reach the fleet: per-client replica fan-out (the
+    PR-8 baseline), peer-to-peer serving through a {!Bmcast_fleet.Peer}
+    swarm, or the first replica's {!Bmcast_proto.Vblade.multicast}
+    carousel of hot boot blocks. *)
+
+val distribution_to_string : distribution -> string
+val distribution_of_string : string -> distribution option
+
 type summary = {
   p50 : float;
   p90 : float;
@@ -33,6 +42,7 @@ type result = {
   image_mb : int;
   policy : string;
   sched : string;
+  distribution : string;  (** {!distribution_to_string} of the mode *)
   ttfb : summary;  (** time-to-first-boot, seconds since fleet start *)
   ttdv : summary;  (** time-to-devirt, seconds since fleet start *)
   failovers : int;
@@ -40,6 +50,17 @@ type result = {
   peak_in_service : int;
   admitted_per_server : int array;
   server_bytes : int;  (** aggregate bytes served by the storage tier *)
+  p2p_routed : int;  (** commands first routed to a peer (P2P mode) *)
+  p2p_failovers : int;
+      (** peer-routed commands that timed out back to the replicas *)
+  p2p_served_bytes : int;  (** aggregate bytes served peer-to-peer *)
+  gossip_announces : int;
+      (** gossip announcements the swarm tracker folded in *)
+  mcast_tx_bytes : int;  (** carousel bytes the storage tier multicast *)
+  mcast_fill_bytes : int;
+      (** image bytes clients filled from the carousel (multicast mode) *)
+  mcast_dups : int;
+      (** carousel frames that carried no still-empty sector *)
   sim_events : int;  (** scheduler events the whole run executed *)
   analytics : Bmcast_obs.Analytics.t;
       (** boot-stage breakdown, critical-path attribution and SLO
@@ -52,6 +73,13 @@ type result = {
   watch : string;
       (** {!Bmcast_obs.Watchdog.alerts_json}: alerts and
           fault→alert detection latencies *)
+  images_ok : bool option;
+      (** with [digest_images]: every client disk equals the golden
+          image sector-for-sector after deployment *)
+  image_digest : string option;
+      (** with [digest_images]: hex digest over the canonical content of
+          every client disk in fleet order — equal digests across runs
+          or distribution modes mean byte-identical images *)
 }
 
 val deploy_fleet :
@@ -63,6 +91,17 @@ val deploy_fleet :
   ?ram_cache:bool ->
   ?crashes:(Bmcast_engine.Time.span * int) list ->
   ?restarts:(Bmcast_engine.Time.span * int) list ->
+  ?distribution:distribution ->
+  ?uplink_mbps:float ->
+  ?mcast_passes:int ->
+  ?mcast_gap:Bmcast_engine.Time.span ->
+  ?peer_crashes:(Bmcast_engine.Time.span * int) list ->
+  ?chaos:
+    (Bmcast_engine.Sim.t ->
+    Bmcast_net.Fabric.t ->
+    Bmcast_proto.Vblade.t list ->
+    unit) ->
+  ?digest_images:bool ->
   ?tweak:(Bmcast_core.Params.t -> Bmcast_core.Params.t) ->
   ?trace:Bmcast_obs.Trace.t ->
   ?metrics:Bmcast_obs.Metrics.t ->
@@ -100,7 +139,27 @@ val deploy_fleet :
     {!Bmcast_obs.Profile} allocation profiler to the run (its figures
     are non-deterministic and live outside [result]). [slo_s] (default
     [120.0]) is the provisioning-time target the [analytics] SLO
-    section evaluates. *)
+    section evaluates.
+
+    Distribution modes. [distribution] (default [`Unicast]) selects how
+    image bytes reach the fleet: [`P2p] stands up a
+    {!Bmcast_fleet.Peer} swarm — every machine joins as a serving agent
+    and routes reads through {!Bmcast_fleet.Peer.route} — and [`Mcast]
+    starts the first replica's carousel
+    ({!Bmcast_proto.Vblade.multicast}, [mcast_passes] passes spaced
+    [mcast_gap] apart, starting 500 ms after the VMMs boot) with every
+    VMM subscribed via [Vmm.boot ?mcast_group]. [uplink_mbps]
+    constrains every fabric port's serialization rate, in megabits per
+    second — the knob that makes the distribution strategies diverge
+    at simulable scale.
+    [peer_crashes] schedules {!Bmcast_fleet.Peer.crash} of machine
+    [i]'s agent at a span after fleet start (requests it was serving
+    time out and fail over to the replica set). [chaos] runs arbitrary
+    fault scheduling against the testbed before the fleet starts —
+    the equivalence suite uses it to inject seeded loss/crash/flap
+    plans. [digest_images] fills [images_ok]/[image_digest] by
+    checking every client disk against the golden image after the run
+    (O(machines × image) — keep images small). *)
 
 val write_metrics : string -> result list -> unit
 (** Write the sweep snapshot as a JSON document (one entry per config,
@@ -118,6 +177,23 @@ val run :
 (** The bench sweep (default fleet sizes {1,4,16} × replicas {1,2,4}):
     prints the report table and, with [metrics_out], writes
     [BENCH_fleet.json]. *)
+
+val run_crossover :
+  ?client_counts:int list ->
+  ?image_mb:int ->
+  ?uplink_mbps:float ->
+  ?metrics_out:string ->
+  unit ->
+  result list
+(** The distribution-crossover sweep (the headline result): at each
+    fleet size (default {25, 100, 250, 1000}) deploy a 64 MB image
+    with replica fan-out (4 replicas), P2P (2 replicas + swarm) and
+    multicast (2 replicas + carousel) under constrained uplinks
+    (default 100 Mb/s) and identical admitted concurrency (16 boots in
+    flight), and report the client count where each alternative starts
+    beating replica fan-out on p50 time-to-devirt. The image is big
+    enough that the pipelined background copy — the part peer serving
+    and the carousel can actually accelerate — dominates each boot. *)
 
 val run_scale :
   ?client_counts:int list ->

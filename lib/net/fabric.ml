@@ -28,6 +28,11 @@ type t = {
   prng : Prng.t;
   mutable ports : port array;
   mutable n_ports : int;
+  (* Multicast groups: a group id is a negative [dst] (-1, -2, ...);
+     index [-dst - 1] into [groups]. Member order is join order, so a
+     seeded run's fan-out sequence is deterministic. *)
+  mutable groups : group array;
+  mutable n_groups : int;
   (* Frame free-list (see the ownership rules in fabric.mli). [rx_keep]
      is a per-delivery flag: an rx handler that retains the frame sets
      it via [keep_frame] before returning. Safe as a single cell because
@@ -40,6 +45,13 @@ type t = {
   mutable frames_dropped : int;
   mutable link_drops : int;
   mutable bytes_delivered : int;
+  mutable mcast_sent : int;
+  mutable mcast_deliveries : int;
+}
+
+and group = {
+  mutable members : port array;
+  mutable n_members : int;
 }
 
 and port = {
@@ -78,6 +90,8 @@ let create sim ?(port_rate_bytes_per_s = 125e6) ?(latency = Time.us 20)
       prng = Prng.split (Sim.rand sim);
       ports = [||];
       n_ports = 0;
+      groups = [||];
+      n_groups = 0;
       pooling = pool_frames;
       free_frames = [||];
       n_free = 0;
@@ -85,7 +99,9 @@ let create sim ?(port_rate_bytes_per_s = 125e6) ?(latency = Time.us 20)
       frames_sent = 0;
       frames_dropped = 0;
       link_drops = 0;
-      bytes_delivered = 0 }
+      bytes_delivered = 0;
+      mcast_sent = 0;
+      mcast_deliveries = 0 }
   in
   (* Fabric-wide health for the sampler: pull-only derived gauges, so
      the forwarding hot path carries no metrics cost. *)
@@ -97,6 +113,9 @@ let create sim ?(port_rate_bytes_per_s = 125e6) ?(latency = Time.us 20)
   Metrics.derived m "net.bytes_delivered" (fun () ->
       float_of_int t.bytes_delivered);
   Metrics.derived m "net.port_rate_bytes_per_s" (fun () -> t.rate);
+  Metrics.derived m "net.mcast_sent" (fun () -> float_of_int t.mcast_sent);
+  Metrics.derived m "net.mcast_deliveries" (fun () ->
+      float_of_int t.mcast_deliveries);
   t
 
 let mtu t = t.mtu
@@ -135,6 +154,61 @@ let find_port t id =
   t.ports.(id)
 
 let port_of_id = find_port
+
+(* --- multicast groups --- *)
+
+let is_mcast dst = dst < 0
+
+let mcast_group t =
+  let g = { members = [||]; n_members = 0 } in
+  let n = t.n_groups in
+  if n = Array.length t.groups then begin
+    let grown = Array.make (max 4 (2 * n)) g in
+    Array.blit t.groups 0 grown 0 n;
+    t.groups <- grown
+  end;
+  t.groups.(n) <- g;
+  t.n_groups <- n + 1;
+  -(n + 1)
+
+let group_index t dst =
+  let g = -dst - 1 in
+  if g < 0 || g >= t.n_groups then
+    invalid_arg (Printf.sprintf "Fabric: unknown multicast group %d" dst);
+  t.groups.(g)
+
+let mcast_join p ~group =
+  let t = p.fab in
+  let g = group_index t group in
+  let already = ref false in
+  for i = 0 to g.n_members - 1 do
+    if g.members.(i) == p then already := true
+  done;
+  if not !already then begin
+    let n = g.n_members in
+    if n = Array.length g.members then begin
+      let grown = Array.make (max 4 (2 * n)) p in
+      Array.blit g.members 0 grown 0 n;
+      g.members <- grown
+    end;
+    g.members.(n) <- p;
+    g.n_members <- n + 1
+  end
+
+let mcast_leave p ~group =
+  let t = p.fab in
+  let g = group_index t group in
+  (* Shift-remove preserves join order, keeping fan-out deterministic. *)
+  let j = ref 0 in
+  for i = 0 to g.n_members - 1 do
+    if g.members.(i) != p then begin
+      g.members.(!j) <- g.members.(i);
+      incr j
+    end
+  done;
+  g.n_members <- !j
+
+let mcast_members t ~group = (group_index t group).n_members
 
 (* --- frame pool --- *)
 
@@ -192,21 +266,6 @@ let rec uplink_loop t port =
   Bmcast_engine.Signal.Pulse.pulse port.tx_drain;
   (* Propagation + switch forwarding. *)
   Sim.sleep t.latency;
-  let dst = find_port t frame.Packet.dst in
-  let dropped =
-    if not (port.link_up && dst.link_up) then begin
-      t.frames_dropped <- t.frames_dropped + 1;
-      t.link_drops <- t.link_drops + 1;
-      if traced then Trace.instant tr ~cat:"net" "link-drop";
-      true
-    end
-    else if loss_roll t then begin
-      t.frames_dropped <- t.frames_dropped + 1;
-      if traced then Trace.instant tr ~cat:"net" "drop";
-      true
-    end
-    else false
-  in
   if traced then
     Trace.complete tr ~cat:"net"
       ~args:
@@ -214,10 +273,60 @@ let rec uplink_loop t port =
           ("dst", Trace.Int frame.Packet.dst);
           ("bytes", Trace.Int frame.Packet.size_bytes) ]
       "xmit" ~ts;
-  (* Trace first: a recycled frame's fields are dead. The payload itself
-     is not recycled with the record — its last holder drops it to the
-     GC (the pool only manages the frame record). *)
-  if dropped then release_frame t frame else Mailbox.send dst.egress frame;
+  if is_mcast frame.Packet.dst then begin
+    (* Multicast fan-out: the switch replicates the frame to every group
+       member on a live link, rolling link state and the loss model per
+       member — each receiver sees an independent channel, as with real
+       IGMP-snooped replication. The sender never hears its own frame.
+       Frame {e records} are per-member pool allocations; the {e payload}
+       is shared by every copy, so multicast payloads must be GC-owned
+       (never scratch-pooled) and receivers must not release them. *)
+    let g = group_index t frame.Packet.dst in
+    t.mcast_sent <- t.mcast_sent + 1;
+    for i = 0 to g.n_members - 1 do
+      let m = g.members.(i) in
+      if m != port then
+        if not (port.link_up && m.link_up) then begin
+          t.frames_dropped <- t.frames_dropped + 1;
+          t.link_drops <- t.link_drops + 1;
+          if traced then Trace.instant tr ~cat:"net" "link-drop"
+        end
+        else if loss_roll t then begin
+          t.frames_dropped <- t.frames_dropped + 1;
+          if traced then Trace.instant tr ~cat:"net" "drop"
+        end
+        else begin
+          t.mcast_deliveries <- t.mcast_deliveries + 1;
+          let copy =
+            alloc_frame t ~src:frame.Packet.src ~dst:frame.Packet.dst
+              ~size_bytes:frame.Packet.size_bytes frame.Packet.payload
+          in
+          Mailbox.send m.egress copy
+        end
+    done;
+    release_frame t frame
+  end
+  else begin
+    let dst = find_port t frame.Packet.dst in
+    let dropped =
+      if not (port.link_up && dst.link_up) then begin
+        t.frames_dropped <- t.frames_dropped + 1;
+        t.link_drops <- t.link_drops + 1;
+        if traced then Trace.instant tr ~cat:"net" "link-drop";
+        true
+      end
+      else if loss_roll t then begin
+        t.frames_dropped <- t.frames_dropped + 1;
+        if traced then Trace.instant tr ~cat:"net" "drop";
+        true
+      end
+      else false
+    in
+    (* A recycled frame's fields are dead past this point. The payload
+       itself is not recycled with the record — its last holder drops it
+       to the GC (the pool only manages the frame record). *)
+    if dropped then release_frame t frame else Mailbox.send dst.egress frame
+  end;
   uplink_loop t port
 
 (* Egress process: serialize on the destination port, then deliver. *)
@@ -317,6 +426,8 @@ let stall p span =
 
 let frames_sent t = t.frames_sent
 let frames_dropped t = t.frames_dropped
+let mcast_sent t = t.mcast_sent
+let mcast_deliveries t = t.mcast_deliveries
 let link_drops t = t.link_drops
 let bytes_delivered t = t.bytes_delivered
 let port_bytes_out p = p.bytes_out

@@ -112,6 +112,37 @@ val stall : port -> Bmcast_engine.Time.span -> unit
     expires, but queued frames survive and drain afterwards.
     Overlapping stalls extend to the latest deadline. *)
 
+(** {2 Multicast groups}
+
+    A multicast group is a switch-level fan-out set (IGMP-snooped
+    replication): sending to a group id delivers a copy of the frame to
+    every member whose link is up, with the loss model rolled
+    independently per member. Group ids are negative and never collide
+    with port ids; pass one as [~dst] to {!send}/{!send_wait}.
+
+    {b Frame ownership under fan-out.} Each member receives its own
+    pooled frame {e record} (the normal rx recycling rules apply), but
+    all copies share the sender's {e payload}. Multicast payloads must
+    therefore be GC-owned — never scratch-pooled — and no receiver may
+    release or mutate them. *)
+
+val mcast_group : t -> int
+(** Allocate a fresh, empty multicast group; returns its (negative) id. *)
+
+val mcast_join : port -> group:int -> unit
+(** Add the port to the group (idempotent). Raises [Invalid_argument]
+    for an unknown group id. *)
+
+val mcast_leave : port -> group:int -> unit
+(** Remove the port from the group (no-op if absent). Member order —
+    and hence fan-out order — stays join order. *)
+
+val mcast_members : t -> group:int -> int
+(** Current member count of a group. *)
+
+val is_mcast : int -> bool
+(** Whether a [dst] value names a multicast group (i.e. is negative). *)
+
 val send : port -> dst:int -> size_bytes:int -> Packet.payload -> unit
 (** Enqueue a frame for transmission (returns immediately; callable from
     any context). Raises [Invalid_argument] if the frame exceeds
@@ -134,6 +165,14 @@ val link_drops : t -> int
     model). *)
 
 val bytes_delivered : t -> int
+
+val mcast_sent : t -> int
+(** Frames submitted to a multicast group (counted once per send). *)
+
+val mcast_deliveries : t -> int
+(** Per-member multicast frame copies enqueued for delivery (excludes
+    per-member link/loss drops, which count in {!frames_dropped}). *)
+
 val port_bytes_out : port -> int
 
 val port_busy_ns : port -> int

@@ -26,6 +26,10 @@ type header = {
    Data follows at 36. *)
 let header_bytes = 36
 
+(* Client tags start at 1 (see Aoe_client.fresh_tag), leaving tag 0 free
+   as the unsolicited-multicast marker. *)
+let mcast_tag = 0
+
 let ver_flag_response = 0x08
 
 let check_field name v max =

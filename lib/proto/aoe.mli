@@ -30,6 +30,12 @@ type header = {
 val header_bytes : int
 (** Encoded header length (AoE + ATA section, 36 bytes). *)
 
+val mcast_tag : int
+(** Tag value (0) reserved for unsolicited multicast responses: client
+    tags start at 1, so a response carrying [mcast_tag] can never match
+    a pending command and is routed to the multicast subscription
+    instead (see {!Aoe_client.subscribe_mcast}). *)
+
 val encode_header : header -> Bytes.t
 val decode_header : Bytes.t -> header
 (** Raises [Invalid_argument] on a short or malformed buffer. *)

@@ -37,6 +37,8 @@ type t = {
   mutable escalation : (attempts:int -> Aoe.header -> [ `Retry | `Fail ]) option;
   mutable escalations : int;
   mutable completions : int;
+  mutable mcast_sub : (lba:int -> count:int -> Content.t array -> unit) option;
+  mutable mcast_frames : int;
 }
 
 let create sim ~send ?owner ?(mtu = 9000) ?(timeout = Time.ms 20)
@@ -59,10 +61,14 @@ let create sim ~send ?owner ?(mtu = 9000) ?(timeout = Time.ms 20)
     requests_sent = 0;
     escalation = None;
     escalations = 0;
-    completions = 0 }
+    completions = 0;
+    mcast_sub = None;
+    mcast_frames = 0 }
 
 let retransmits t = t.retransmits
 let requests_sent t = t.requests_sent
+let subscribe_mcast t f = t.mcast_sub <- Some f
+let mcast_frames t = t.mcast_frames
 let set_escalation t f = t.escalation <- Some f
 let escalations t = t.escalations
 let completions t = t.completions
@@ -85,6 +91,21 @@ let release_data frame =
 let on_frame_inner t frame =
   let hdr = frame.Aoe.hdr in
   if hdr.Aoe.is_response then
+    if hdr.Aoe.tag = Aoe.mcast_tag then begin
+      (* Unsolicited multicast data. The payload array is shared with
+         every other group member (the fabric only copies frame
+         records), so it is borrowed for the duration of the callback —
+         never released to the scratch pool and never stored. Checked
+         before the pending table: tag 0 can't match a command, and the
+         stale-duplicate branch below would wrongly release the shared
+         array. *)
+      match t.mcast_sub with
+      | Some f when (not hdr.Aoe.error) && hdr.Aoe.command = Aoe.Ata_read ->
+        t.mcast_frames <- t.mcast_frames + 1;
+        f ~lba:hdr.Aoe.lba ~count:(Array.length frame.Aoe.data) frame.Aoe.data
+      | _ -> ()
+    end
+    else
     match Hashtbl.find_opt t.pending hdr.Aoe.tag with
     | None -> release_data frame  (* stale duplicate after completion *)
     | Some p when hdr.Aoe.error ->

@@ -73,3 +73,15 @@ val query_capacity : t -> int
 
 val retransmits : t -> int
 val requests_sent : t -> int
+
+val subscribe_mcast :
+  t -> (lba:int -> count:int -> Bmcast_storage.Content.t array -> unit) -> unit
+(** Install the handler for unsolicited multicast read data (responses
+    tagged {!Aoe.mcast_tag}, which can never match a pending command).
+    The data array is {e borrowed}: it is shared with every other group
+    member, so the handler must copy what it keeps and must never
+    release it to the scratch pool. Error or non-read multicast frames
+    are dropped before the handler. *)
+
+val mcast_frames : t -> int
+(** Multicast data frames delivered to the subscription handler. *)

@@ -28,6 +28,8 @@ type t = {
   mutable epoch : int;  (* bumped on crash; orphans in-flight work *)
   mutable crashes : int;
   mutable disk_error_retries : int;
+  mutable mcast_frames : int;
+  mutable mcast_bytes : int;
 }
 
 let port t = Option.get t.fabric_port
@@ -193,6 +195,73 @@ let on_rx t (pkt : Packet.t) =
   | Aoe.Frame _ | _ -> ());
   if profiled then Bmcast_obs.Profile.exit prof "proto.vblade_rx"
 
+(* Multicast carousel: stream a hot sector range (the blocks every guest
+   reads first during boot) to a fabric multicast group as unsolicited
+   read responses tagged [Aoe.mcast_tag], repeating for a bounded number
+   of passes so late joiners catch blocks they missed. Fragment data
+   arrays are plain GC-owned allocations — NEVER scratch-pooled — because
+   the fabric's fan-out shares one payload across every member's frame
+   copy; no receiver may release it (see Fabric's multicast ownership
+   note). Reads go through [Disk.peek_into] (page-cache semantics): the
+   carousel serves from memory and never contends for the disk lock. *)
+let multicast t ~group ~lba ~count ?(passes = 4) ?(gap = Time.ms 50) () =
+  if lba < 0 || count <= 0 || lba + count > Disk.capacity_sectors t.disk then
+    invalid_arg "Vblade.multicast: range out of bounds";
+  if passes <= 0 then invalid_arg "Vblade.multicast: passes must be positive";
+  let per_frame = Aoe.max_sectors ~mtu:t.mtu in
+  let tr = Sim.trace t.sim in
+  Sim.spawn_at t.sim ~name:"vblade-mcast" (Sim.now t.sim) (fun () ->
+      for pass = 1 to passes do
+        (* A crashed server's carousel stays silent until restart. *)
+        while not t.up do
+          Sim.sleep gap
+        done;
+        let epoch = t.epoch in
+        let traced = Trace.on tr ~cat:"server" in
+        let ts = Sim.now t.sim in
+        let frames = ref 0 in
+        let rec stream off frag =
+          if off < count && t.up && t.epoch = epoch then begin
+            let n = min per_frame (count - off) in
+            let d = Array.make n Content.Zero in
+            (match Disk.peek_into t.disk ~lba:(lba + off) ~count:n d with
+            | exception Disk.Read_error _ -> ()
+            | () ->
+              Sim.sleep (Time.mul t.per_sector_cpu n);
+              if t.up && t.epoch = epoch then begin
+                Aoe.send_wait (port t) ~dst:group
+                  { Aoe.major = 0;
+                    minor = 0;
+                    command = Aoe.Ata_read;
+                    tag = Aoe.mcast_tag;
+                    frag = frag land 0xFF;
+                    is_response = true;
+                    error = false;
+                    lba = lba + off;
+                    count = n }
+                  d;
+                incr frames;
+                t.mcast_frames <- t.mcast_frames + 1;
+                t.mcast_bytes <- t.mcast_bytes + (n * 512)
+              end);
+            stream (off + n) (frag + 1)
+          end
+        in
+        stream 0 0;
+        if traced then
+          Trace.complete tr ~cat:"server"
+            ~args:
+              [ ("pass", Trace.Int pass);
+                ("frames", Trace.Int !frames);
+                ("lba", Trace.Int lba);
+                ("count", Trace.Int count) ]
+            "mcast.tx" ~ts;
+        Sim.sleep gap
+      done)
+
+let mcast_frames_sent t = t.mcast_frames
+let mcast_bytes_sent t = t.mcast_bytes
+
 let create sim ~fabric ~name ~disk ?(workers = 8)
     ?(per_request_cpu = Time.us 1500) ?(per_sector_cpu = 400)
     ?(ram_cache = false) () =
@@ -213,7 +282,9 @@ let create sim ~fabric ~name ~disk ?(workers = 8)
       up = true;
       epoch = 0;
       crashes = 0;
-      disk_error_retries = 0 }
+      disk_error_retries = 0;
+      mcast_frames = 0;
+      mcast_bytes = 0 }
   in
   let fabric_port = Fabric.attach fabric ~name (on_rx t) in
   t.fabric_port <- Some fabric_port;
@@ -238,6 +309,10 @@ let create sim ~fabric ~name ~disk ?(workers = 8)
       float_of_int (Fabric.port_bytes_out fabric_port));
   Metrics.derived m ~labels "vblade.uplink_busy_s" (fun () ->
       float_of_int (Fabric.port_busy_ns fabric_port) /. 1e9);
+  Metrics.derived m ~labels "vblade.mcast_frames" (fun () ->
+      float_of_int t.mcast_frames);
+  Metrics.derived m ~labels "vblade.mcast_bytes" (fun () ->
+      float_of_int t.mcast_bytes);
   for i = 1 to workers do
     Sim.spawn_at sim
       ~name:(Printf.sprintf "%s-worker%d" name i)

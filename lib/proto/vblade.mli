@@ -48,3 +48,32 @@ val disk_error_retries : t -> int
 
 val requests_served : t -> int
 val bytes_served : t -> int
+
+(** {2 Multicast carousel}
+
+    The deployment-time answer to N clients all reading the same boot
+    blocks: instead of N unicast streams, the server multicasts the hot
+    range to a fabric group as unsolicited read responses (tag
+    {!Aoe.mcast_tag}), looping for a bounded number of passes so
+    late-joining clients catch blocks they missed; anything still
+    missing afterwards arrives via the normal copy-on-read path.
+    Fragment payloads are GC-owned (never scratch-pooled): the fabric's
+    fan-out shares one payload array across all member deliveries. *)
+
+val multicast :
+  t ->
+  group:int ->
+  lba:int ->
+  count:int ->
+  ?passes:int ->
+  ?gap:Bmcast_engine.Time.span ->
+  unit ->
+  unit
+(** Start the carousel process over [\[lba, lba+count)] (defaults:
+    4 passes, 50 ms between passes). Serves from page cache
+    ({!Bmcast_storage.Disk.peek_into}); goes silent while the server is
+    crashed and resumes on restart. Raises [Invalid_argument] for an
+    out-of-bounds range. *)
+
+val mcast_frames_sent : t -> int
+val mcast_bytes_sent : t -> int

@@ -193,6 +193,9 @@ let poke t ~lba ~count data =
 
 let sector t lba = (peek t ~lba ~count:1).(0)
 
+let mapped_sectors_in t ~lba ~count =
+  Extent_map.covered_range t.extents ~lba ~count
+
 let fill_with_image t =
   Extent_map.set t.extents ~lba:0 ~count:t.profile.capacity_sectors (Img 0)
 

@@ -81,6 +81,12 @@ val poke : t -> lba:int -> count:int -> Content.t array -> unit
 val peek_into : t -> lba:int -> count:int -> Content.t array -> unit
 val sector : t -> int -> Content.t
 
+val mapped_sectors_in : t -> lba:int -> count:int -> int
+(** Sectors of [\[lba, lba+count)] with stored (written) content —
+    instant extent accounting. A result of [count] means the disk fully
+    holds the range; the peer-serve path uses this as its "do I really
+    have these bytes" guard alongside the fill bitmap. *)
+
 val fill_with_image : t -> unit
 (** Instantly set every sector to its image content (a pre-deployed
     disk, or the storage server's copy). *)

@@ -78,3 +78,7 @@ let fold_range t ~lba ~count ~init ~f =
 
 let extent_count t = M.cardinal t.m
 let covered t = M.fold (fun _ (n, _) acc -> acc + n) t.m 0
+
+let covered_range t ~lba ~count =
+  fold_range t ~lba ~count ~init:0 ~f:(fun acc ~lba:_ ~count v ->
+      match v with Some _ -> acc + count | None -> acc)

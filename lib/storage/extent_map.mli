@@ -32,3 +32,8 @@ val extent_count : 'a t -> int
 
 val covered : 'a t -> int
 (** Total number of mapped LBAs. *)
+
+val covered_range : 'a t -> lba:int -> count:int -> int
+(** Mapped LBAs within [\[lba, lba+count)] — [count] means the whole
+    range is mapped. The extent-accounting query behind the peer-serve
+    guard: a peer only serves ranges its local disk fully holds. *)

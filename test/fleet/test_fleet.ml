@@ -471,6 +471,191 @@ let test_fleet_watchdog_detects_crash () =
     check_bool "latency positive" true (lat > 0);
     check_bool "latency bounded by sampling interval" true (lat <= interval)
 
+(* --- distribution modes: P2P swarm + multicast carousel --- *)
+
+let small_fleet ?(seed = 7) ?(machines = 12) ?(replicas = 2) ?uplink_mbps
+    ?peer_crashes ?chaos ?crashes ?restarts ?trace ~distribution () =
+  Scaleout.deploy_fleet ~seed ~image_mb:4
+    ~boot_profile:Bmcast_guest.Os.cloud_minimal ~digest_images:true
+    ?uplink_mbps ?peer_crashes ?chaos ?crashes ?restarts ?trace ~distribution
+    ~machines ~replicas ()
+
+let test_p2p_offloads_and_converges () =
+  let r = small_fleet ~distribution:`P2p ~uplink_mbps:50. () in
+  check_bool "gossip announcements folded" true
+    (r.Scaleout.gossip_announces > 0);
+  check_bool "commands peer-routed" true (r.Scaleout.p2p_routed > 0);
+  check_bool "bytes served peer-to-peer" true
+    (r.Scaleout.p2p_served_bytes > 0);
+  check_bool "every image converged" true (r.Scaleout.images_ok = Some true)
+
+let test_mcast_fills_and_converges () =
+  let r = small_fleet ~distribution:`Mcast () in
+  check_bool "carousel transmitted" true (r.Scaleout.mcast_tx_bytes > 0);
+  check_bool "clients filled from the carousel" true
+    (r.Scaleout.mcast_fill_bytes > 0);
+  check_bool "every image converged" true (r.Scaleout.images_ok = Some true)
+
+(* The equivalence contract: whatever path delivered each sector —
+   replica unicast, a peer's page cache, or the multicast carousel —
+   every client disk must equal the golden image, so the three modes
+   produce the same fleet-wide digest. *)
+let test_cross_mode_image_equivalence () =
+  let go d =
+    let r = small_fleet ~distribution:d () in
+    check_bool
+      (Scaleout.distribution_to_string d ^ " converged")
+      true
+      (r.Scaleout.images_ok = Some true);
+    r.Scaleout.image_digest
+  in
+  let u = go `Unicast and p = go `P2p and m = go `Mcast in
+  check_bool "digest present" true (u <> None);
+  check_bool "p2p image identical to unicast" true (p = u);
+  check_bool "mcast image identical to unicast" true (m = u)
+
+(* A peer dies mid-serve: its in-flight and queued requests vanish, the
+   requesters' AoE timeouts fire, and the router fails the commands over
+   to the replica set — the deployment still converges byte-for-byte. *)
+let test_peer_crash_mid_serve_converges () =
+  (* t=14 s lands mid second wave: wave-1 peers are actively serving
+     wave-2 copy-on-read when every peer dies at once. *)
+  let r =
+    small_fleet ~distribution:`P2p ~uplink_mbps:25. ~machines:16
+      ~peer_crashes:(List.init 16 (fun i -> (Time.s 14, i)))
+      ()
+  in
+  check_bool "peer-routed commands" true (r.Scaleout.p2p_routed > 0);
+  check_bool "failovers recorded" true (r.Scaleout.p2p_failovers > 0);
+  check_bool "every image converged" true (r.Scaleout.images_ok = Some true)
+
+(* --- QCheck: equivalence + determinism under random fault plans --- *)
+
+(* A fault plan derived deterministically from a QCheck-drawn seed:
+   uniform or Gilbert frame loss, a replica crash/restart pair, vblade
+   link flaps, and peer crashes (harmless outside P2P mode). Every
+   distribution mode faces the same plan. *)
+type fault_plan = {
+  fp_seed : int;
+  loss : Fabric.loss_model;
+  vblade_crash : (Time.span * int) list;
+  vblade_restart : (Time.span * int) list;
+  flaps : (Time.span * Time.span * int) list;  (* down at, up after, idx *)
+  fp_peer_crashes : (Time.span * int) list;
+}
+
+let fault_plan_of_seed fp_seed =
+  let st = Random.State.make [| fp_seed |] in
+  let rnd lo hi = lo + Random.State.int st (hi - lo + 1) in
+  let loss =
+    if Random.State.bool st then
+      Fabric.Uniform (float_of_int (rnd 0 30) /. 1000.)
+    else
+      Fabric.Gilbert
+        { p_enter_bad = 0.01;
+          p_exit_bad = 0.2;
+          loss_good = 0.002;
+          loss_bad = float_of_int (rnd 5 20) /. 100. }
+  in
+  let crash_at = Time.ms (rnd 500 4000) in
+  let vblade_crash, vblade_restart =
+    if Random.State.bool st then
+      ([ (crash_at, 1) ], [ (Time.add crash_at (Time.ms (rnd 500 3000)), 1) ])
+    else ([], [])
+  in
+  let flaps =
+    List.init (rnd 0 2) (fun _ ->
+        (Time.ms (rnd 200 5000), Time.ms (rnd 50 800), 0))
+  in
+  let fp_peer_crashes =
+    List.init (rnd 0 3) (fun i -> (Time.ms (rnd 1000 6000), i))
+  in
+  { fp_seed; loss; vblade_crash; vblade_restart; flaps; fp_peer_crashes }
+
+let chaos_of_plan plan sim fabric vblades =
+  Fabric.set_loss_model fabric plan.loss;
+  List.iter
+    (fun (down_at, dur, i) ->
+      let p = Vblade.port (List.nth vblades i) in
+      let at span f = Sim.schedule sim (Time.add (Sim.now sim) span) f in
+      at down_at (fun () -> Fabric.set_link_up p false);
+      at (Time.add down_at dur) (fun () -> Fabric.set_link_up p true))
+    plan.flaps
+
+let faulted_fleet ?trace plan distribution =
+  small_fleet ~seed:(plan.fp_seed land 0xFFFF) ~machines:8 ~distribution
+    ~crashes:plan.vblade_crash ~restarts:plan.vblade_restart
+    ~peer_crashes:plan.fp_peer_crashes
+    ~chaos:(chaos_of_plan plan)
+    ?trace ()
+
+(* Under any fault plan, all three distribution modes converge to
+   byte-identical per-client images (equal fleet digests), and each mode
+   is individually deterministic: the same seed and plan reproduce the
+   byte-identical JSONL trace and result summaries. *)
+let prop_equivalence_under_faults =
+  QCheck.Test.make ~name:"fault-plan equivalence across distribution modes"
+    ~count:3
+    QCheck.(map fault_plan_of_seed small_nat)
+    (fun plan ->
+      let u = faulted_fleet plan `Unicast in
+      let p = faulted_fleet plan `P2p in
+      let m = faulted_fleet plan `Mcast in
+      List.for_all
+        (fun r -> r.Scaleout.images_ok = Some true)
+        [ u; p; m ]
+      && p.Scaleout.image_digest = u.Scaleout.image_digest
+      && m.Scaleout.image_digest = u.Scaleout.image_digest)
+
+let prop_deterministic_under_faults =
+  QCheck.Test.make
+    ~name:"fault-plan runs are trace-deterministic per mode" ~count:2
+    QCheck.(map fault_plan_of_seed small_nat)
+    (fun plan ->
+      List.for_all
+        (fun d ->
+          let export () =
+            let tr = Trace.create ~capacity:(1 lsl 18) ~sample_every:16 () in
+            let r = faulted_fleet ~trace:tr plan d in
+            (Trace.to_jsonl tr, r)
+          in
+          let ja, ra = export () in
+          let jb, rb = export () in
+          String.equal ja jb
+          && ra.Scaleout.image_digest = rb.Scaleout.image_digest
+          && ra.Scaleout.ttdv = rb.Scaleout.ttdv
+          && ra.Scaleout.p2p_routed = rb.Scaleout.p2p_routed
+          && ra.Scaleout.mcast_fill_bytes = rb.Scaleout.mcast_fill_bytes)
+        [ `Unicast; `P2p; `Mcast ])
+
+(* The multicast analogue of the 1,000-client contract: a 250-client
+   cloud burst with the carousel running is bit-for-bit reproducible —
+   the carousel's unsolicited frames, the write-if-empty races and the
+   dedup accounting all replay identically under the same seed. *)
+let test_fleet_mcast_scale_deterministic_trace () =
+  let export () =
+    let tr = Trace.create ~capacity:(1 lsl 20) ~sample_every:64 () in
+    let r =
+      Scaleout.deploy_fleet ~seed:11 ~image_mb:4
+        ~boot_profile:Bmcast_guest.Os.cloud_minimal ~distribution:`Mcast
+        ~machines:250 ~replicas:4 ~trace:tr ()
+    in
+    (Trace.to_jsonl tr, r)
+  in
+  let jsonl_a, ra = export () in
+  let jsonl_b, rb = export () in
+  check_bool "sampled trace non-trivial" true (String.length jsonl_a > 1000);
+  check_bool "jsonl export byte-identical" true (jsonl_a = jsonl_b);
+  check_int "event counts identical" ra.Scaleout.sim_events
+    rb.Scaleout.sim_events;
+  check_bool "carousel filled bytes" true (ra.Scaleout.mcast_fill_bytes > 0);
+  check_int "fill accounting identical" ra.Scaleout.mcast_fill_bytes
+    rb.Scaleout.mcast_fill_bytes;
+  check_int "dedup accounting identical" ra.Scaleout.mcast_dups
+    rb.Scaleout.mcast_dups;
+  check_bool "summaries identical" true
+    (ra.Scaleout.ttdv = rb.Scaleout.ttdv && ra.Scaleout.ttfb = rb.Scaleout.ttfb)
+
 let test_fleet_replicas_beat_single () =
   (* The tentpole claim at test scale: 8 machines on 1 replica vs 2. *)
   let one =
@@ -513,4 +698,16 @@ let () =
             test_fleet_timeseries_deterministic;
           tc "watchdog detects injected crash" `Slow
             test_fleet_watchdog_detects_crash;
-          tc "replicas beat single" `Slow test_fleet_replicas_beat_single ] ) ]
+          tc "replicas beat single" `Slow test_fleet_replicas_beat_single ] );
+      ( "distribution",
+        [ tc "p2p offloads and converges" `Slow test_p2p_offloads_and_converges;
+          tc "mcast fills and converges" `Slow test_mcast_fills_and_converges;
+          tc "cross-mode image equivalence" `Slow
+            test_cross_mode_image_equivalence;
+          tc "peer crash mid-serve converges" `Slow
+            test_peer_crash_mid_serve_converges;
+          tc "250-client mcast deterministic trace" `Slow
+            test_fleet_mcast_scale_deterministic_trace;
+          QCheck_alcotest.to_alcotest ~long:true prop_equivalence_under_faults;
+          QCheck_alcotest.to_alcotest ~long:true
+            prop_deterministic_under_faults ] ) ]

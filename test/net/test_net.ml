@@ -518,6 +518,116 @@ let test_fabric_pooling_off_allocates_fresh () =
       check_bool "retained frame intact" true (p.Packet.payload = Packet.Raw "keep"))
     !got
 
+(* --- Fabric: multicast groups --- *)
+
+(* [n] ports joined to a fresh group; returns (fab, group, ports,
+   per-port delivery counts, last payload seen per port). *)
+let mcast_rig ?(seed = 42) ?loss n =
+  let sim = Sim.create ~seed () in
+  let fab = Fabric.create sim ?loss_rate:loss () in
+  let counts = Array.make n 0 in
+  let last = Array.make n None in
+  let ports =
+    Array.init n (fun i ->
+        Fabric.attach fab
+          ~name:(Printf.sprintf "m%d" i)
+          (fun p ->
+            counts.(i) <- counts.(i) + 1;
+            last.(i) <- Some p.Packet.payload))
+  in
+  let g = Fabric.mcast_group fab in
+  Array.iter (fun p -> Fabric.mcast_join p ~group:g) ports;
+  (sim, fab, g, ports, counts, last)
+
+let test_mcast_fanout_excludes_sender () =
+  let sim, fab, g, ports, counts, last = mcast_rig 4 in
+  Sim.spawn_at sim Time.zero (fun () ->
+      Fabric.send ports.(0) ~dst:g ~size_bytes:1000 (Packet.Raw "carousel"));
+  Sim.run sim;
+  check_int "sender excluded" 0 counts.(0);
+  for i = 1 to 3 do
+    check_int (Printf.sprintf "member %d got one copy" i) 1 counts.(i)
+  done;
+  check_int "one mcast send" 1 (Fabric.mcast_sent fab);
+  check_int "three deliveries" 3 (Fabric.mcast_deliveries fab);
+  (* Fan-out copies the frame record but shares the payload: every
+     member sees the same physical payload value. *)
+  (match (last.(1), last.(2)) with
+  | Some a, Some b -> check_bool "payload shared" true (a == b)
+  | _ -> Alcotest.fail "missing deliveries")
+
+let test_mcast_non_member_not_delivered () =
+  let sim, fab, g, ports, counts, _ = mcast_rig 3 in
+  let quiet = ref 0 in
+  let _outsider = Fabric.attach fab ~name:"outsider" (fun _ -> incr quiet) in
+  Sim.spawn_at sim Time.zero (fun () ->
+      Fabric.send ports.(0) ~dst:g ~size_bytes:500 (Packet.Raw "x"));
+  Sim.run sim;
+  check_int "outsider silent" 0 !quiet;
+  check_int "members heard" 2 (counts.(1) + counts.(2))
+
+let test_mcast_join_idempotent_leave_removes () =
+  let sim, fab, g, ports, counts, _ = mcast_rig 3 in
+  (* Double-join must not double-deliver. *)
+  Fabric.mcast_join ports.(1) ~group:g;
+  check_int "membership stable" 3 (Fabric.mcast_members fab ~group:g);
+  Fabric.mcast_leave ports.(2) ~group:g;
+  check_int "leave removes" 2 (Fabric.mcast_members fab ~group:g);
+  Fabric.mcast_leave ports.(2) ~group:g;
+  check_int "leave idempotent" 2 (Fabric.mcast_members fab ~group:g);
+  Sim.spawn_at sim Time.zero (fun () ->
+      Fabric.send ports.(0) ~dst:g ~size_bytes:500 (Packet.Raw "x"));
+  Sim.run sim;
+  check_int "joined member: one copy" 1 counts.(1);
+  check_int "left member: nothing" 0 counts.(2)
+
+let test_mcast_link_down_member_skipped () =
+  let sim, fab, g, ports, counts, _ = mcast_rig 4 in
+  Fabric.set_link_up ports.(2) false;
+  Sim.spawn_at sim Time.zero (fun () ->
+      Fabric.send ports.(0) ~dst:g ~size_bytes:500 (Packet.Raw "x"));
+  Sim.run sim;
+  check_int "up members delivered" 1 counts.(1);
+  check_int "down member skipped" 0 counts.(2);
+  check_int "down member counted as link drop" 1 (Fabric.link_drops fab);
+  check_int "deliveries exclude the drop" 2 (Fabric.mcast_deliveries fab)
+
+let test_mcast_loss_rolled_per_member () =
+  (* With certain loss every copy drops independently; the send still
+     counts, the deliveries do not. *)
+  let sim, fab, g, ports, counts, _ = mcast_rig ~loss:1.0 4 in
+  Sim.spawn_at sim Time.zero (fun () ->
+      Fabric.send ports.(0) ~dst:g ~size_bytes:500 (Packet.Raw "x"));
+  Sim.run sim;
+  Array.iter (fun c -> check_int "all lost" 0 c) counts;
+  check_int "send counted" 1 (Fabric.mcast_sent fab);
+  check_int "no deliveries" 0 (Fabric.mcast_deliveries fab);
+  check_int "three member drops" 3 (Fabric.frames_dropped fab)
+
+let test_mcast_original_frame_recycled () =
+  (* The fan-out source frame goes back to the pool once copies are cut;
+     receivers release their own copies on return. *)
+  let sim, fab, g, ports, _, _ = mcast_rig 3 in
+  Sim.spawn_at sim Time.zero (fun () ->
+      Fabric.send ports.(0) ~dst:g ~size_bytes:500 (Packet.Raw "x"));
+  Sim.run sim;
+  (* original + 2 copies, all returned *)
+  check_int "pool holds all frames" 3 (Fabric.pool_free_count fab);
+  ignore ports
+
+let test_mcast_bad_group_rejected () =
+  let sim = Sim.create () in
+  let fab = Fabric.create sim () in
+  let p = Fabric.attach fab ~name:"p" (fun _ -> ()) in
+  check_bool "unallocated group raises" true
+    (try
+       Fabric.mcast_join p ~group:(-99);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "positive id is not a group" true (not (Fabric.is_mcast 3));
+  check_bool "allocated id is a group" true
+    (Fabric.is_mcast (Fabric.mcast_group fab))
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "net"
@@ -543,6 +653,18 @@ let () =
             test_fabric_unkept_frame_is_recycled;
           tc "pooling off allocates fresh" `Quick
             test_fabric_pooling_off_allocates_fresh ] );
+      ( "fabric-mcast",
+        [ tc "fan-out excludes sender" `Quick test_mcast_fanout_excludes_sender;
+          tc "non-member not delivered" `Quick
+            test_mcast_non_member_not_delivered;
+          tc "join idempotent, leave removes" `Quick
+            test_mcast_join_idempotent_leave_removes;
+          tc "link-down member skipped" `Quick
+            test_mcast_link_down_member_skipped;
+          tc "loss rolled per member" `Quick test_mcast_loss_rolled_per_member;
+          tc "original frame recycled" `Quick
+            test_mcast_original_frame_recycled;
+          tc "bad group rejected" `Quick test_mcast_bad_group_rejected ] );
       ( "nic",
         [ tc "tx" `Quick test_nic_tx;
           tc "rx ring" `Quick test_nic_rx_ring;

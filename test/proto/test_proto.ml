@@ -361,6 +361,225 @@ let test_iscsi_rate_reasonable () =
   check_bool (Printf.sprintf "rate %.1f MB/s in [70,125]" rate) true
     (rate > 70.0 && rate < 125.0)
 
+(* --- gossip codec --- *)
+
+module Gossip = Bmcast_proto.Gossip
+
+let summary_of (chunks, held) =
+  let s = Gossip.create ~chunks in
+  List.iter (fun c -> Gossip.set s (c mod chunks)) held;
+  s
+
+let arb_summary_spec =
+  QCheck.(
+    pair (int_range 1 200) (small_list (int_bound 199))
+    |> set_print (fun (chunks, held) ->
+           Printf.sprintf "chunks=%d held=[%s]" chunks
+             (String.concat ";" (List.map string_of_int held))))
+
+let prop_gossip_wire_roundtrip =
+  QCheck.Test.make ~name:"gossip encode/decode round-trips" ~count:200
+    QCheck.(triple arb_summary_spec (int_bound 0xFFFF) (int_bound 1000))
+    (fun (spec, origin, epoch) ->
+      let m = { Gossip.origin; epoch; summary = summary_of spec } in
+      let b = Gossip.encode m in
+      Bytes.length b = Gossip.wire_size m
+      &&
+      let m' = Gossip.decode b in
+      m'.Gossip.origin = origin
+      && m'.Gossip.epoch = epoch
+      && Gossip.equal m'.Gossip.summary m.Gossip.summary)
+
+let prop_gossip_runs_canonical =
+  QCheck.Test.make ~name:"gossip runs are canonical and invert" ~count:200
+    arb_summary_spec (fun spec ->
+      let s = summary_of spec in
+      let rs = Gossip.runs s in
+      (* maximal coalescing: non-empty, ascending, separated by gaps *)
+      let rec canonical prev_end = function
+        | [] -> true
+        | (start, len) :: rest ->
+          len >= 1 && start > prev_end && canonical (start + len) rest
+      in
+      canonical (-1) rs
+      && List.fold_left (fun a (_, l) -> a + l) 0 rs = Gossip.cardinal s
+      && Gossip.equal (Gossip.of_runs ~chunks:(Gossip.chunks s) rs) s)
+
+let prop_gossip_merge_commutative =
+  QCheck.Test.make ~name:"gossip merge commutes" ~count:200
+    QCheck.(pair arb_summary_spec (small_list (int_bound 199)))
+    (fun ((chunks, held_a), held_b) ->
+      let a = summary_of (chunks, held_a)
+      and b = summary_of (chunks, held_b) in
+      Gossip.equal (Gossip.merge a b) (Gossip.merge b a))
+
+let prop_gossip_merge_idempotent_associative =
+  QCheck.Test.make ~name:"gossip merge idempotent + associative" ~count:200
+    QCheck.(
+      triple arb_summary_spec (small_list (int_bound 199))
+        (small_list (int_bound 199)))
+    (fun ((chunks, ha), hb, hc) ->
+      let a = summary_of (chunks, ha)
+      and b = summary_of (chunks, hb)
+      and c = summary_of (chunks, hc) in
+      Gossip.equal (Gossip.merge a a) a
+      && Gossip.equal
+           (Gossip.merge (Gossip.merge a b) c)
+           (Gossip.merge a (Gossip.merge b c))
+      && Gossip.cardinal (Gossip.merge a b) >= Gossip.cardinal a)
+
+(* Hand-built wire images for the rejection paths. *)
+let raw_gossip ~chunks rs =
+  let put32 b off v =
+    Bytes.set_uint8 b off ((v lsr 24) land 0xFF);
+    Bytes.set_uint8 b (off + 1) ((v lsr 16) land 0xFF);
+    Bytes.set_uint8 b (off + 2) ((v lsr 8) land 0xFF);
+    Bytes.set_uint8 b (off + 3) (v land 0xFF)
+  in
+  let n = List.length rs in
+  let b = Bytes.make (16 + (8 * n)) '\000' in
+  Bytes.set_uint8 b 0 0xB7;
+  Bytes.set_uint8 b 1 1;
+  put32 b 10 chunks;
+  Bytes.set_uint8 b 14 ((n lsr 8) land 0xFF);
+  Bytes.set_uint8 b 15 (n land 0xFF);
+  List.iteri
+    (fun i (start, len) ->
+      put32 b (16 + (8 * i)) start;
+      put32 b (16 + (8 * i) + 4) len)
+    rs;
+  b
+
+let test_gossip_decode_rejects () =
+  let rejects label b =
+    check_bool label true
+      (try
+         ignore (Gossip.decode b : Gossip.msg);
+         false
+       with Invalid_argument _ -> true)
+  in
+  (* the canonical image decodes *)
+  ignore (Gossip.decode (raw_gossip ~chunks:10 [ (0, 2); (4, 3) ]) : Gossip.msg);
+  rejects "short buffer" (Bytes.make 8 '\000');
+  rejects "bad magic"
+    (let b = raw_gossip ~chunks:10 [ (0, 2) ] in
+     Bytes.set_uint8 b 0 0x7B;
+     b);
+  rejects "bad version"
+    (let b = raw_gossip ~chunks:10 [ (0, 2) ] in
+     Bytes.set_uint8 b 1 9;
+     b);
+  rejects "empty run" (raw_gossip ~chunks:10 [ (0, 0) ]);
+  rejects "adjacent runs not coalesced" (raw_gossip ~chunks:10 [ (0, 2); (2, 3) ]);
+  rejects "overlapping runs" (raw_gossip ~chunks:10 [ (0, 4); (2, 3) ]);
+  rejects "descending runs" (raw_gossip ~chunks:10 [ (5, 2); (0, 2) ]);
+  rejects "run past end" (raw_gossip ~chunks:10 [ (8, 4) ]);
+  rejects "truncated payload"
+    (let b = raw_gossip ~chunks:10 [ (0, 2) ] in
+     Bytes.sub b 0 (Bytes.length b - 4))
+
+(* --- multicast carousel + client subscription --- *)
+
+type mrig = {
+  msim : Sim.t;
+  mfab : Fabric.t;
+  mvblade : Vblade.t;
+  mclient : Aoe_client.t;
+  mport : Fabric.port;
+  mgroup : int;
+}
+
+let make_mcast_rig ?(mtu = 9000) () =
+  let sim = Sim.create () in
+  let fab = Fabric.create sim ~mtu () in
+  let disk = Disk.create sim small in
+  Disk.fill_with_image disk;
+  let vblade = Vblade.create sim ~fabric:fab ~name:"vblade" ~disk () in
+  let client_ref = ref None in
+  let port =
+    Fabric.attach fab ~name:"client" (fun pkt ->
+        match pkt.Bmcast_net.Packet.payload with
+        | Aoe.Frame f -> Option.iter (fun c -> Aoe_client.on_frame c f) !client_ref
+        | _ -> ())
+  in
+  let send hdr data = Aoe.send port ~dst:(Vblade.port_id vblade) hdr data in
+  let client = Aoe_client.create sim ~send ~mtu () in
+  client_ref := Some client;
+  let group = Fabric.mcast_group fab in
+  Fabric.mcast_join port ~group;
+  { msim = sim; mfab = fab; mvblade = vblade; mclient = client;
+    mport = port; mgroup = group }
+
+let test_mcast_carousel_reaches_subscriber () =
+  let r = make_mcast_rig () in
+  let count = 256 in
+  let seen = Array.make count 0 in
+  let wrong = ref 0 in
+  Aoe_client.subscribe_mcast r.mclient (fun ~lba ~count:n data ->
+      for i = 0 to n - 1 do
+        if lba + i < count then begin
+          seen.(lba + i) <- seen.(lba + i) + 1;
+          if not (Content.equal data.(i) (Content.image (lba + i))) then
+            incr wrong
+        end
+      done);
+  Vblade.multicast r.mvblade ~group:r.mgroup ~lba:0 ~count ~passes:2 ();
+  Sim.run r.msim;
+  check_bool "frames observed" true (Aoe_client.mcast_frames r.mclient > 0);
+  Array.iteri
+    (fun lba n -> check_int (Printf.sprintf "sector %d seen twice" lba) 2 n)
+    seen;
+  check_int "payload matches the image" 0 !wrong;
+  check_int "tx accounting" (2 * count * 512)
+    (Vblade.mcast_bytes_sent r.mvblade)
+
+let test_mcast_tag_reserved_for_carousel () =
+  (* Unsolicited tag-0 frames must not disturb the pending table: a
+     normal read issued while the carousel streams still completes and
+     returns the right data. *)
+  let r = make_mcast_rig () in
+  Aoe_client.subscribe_mcast r.mclient (fun ~lba:_ ~count:_ _ -> ());
+  Vblade.multicast r.mvblade ~group:r.mgroup ~lba:0 ~count:512 ~passes:1 ();
+  let out = ref None in
+  Sim.spawn_at r.msim (Sim.now r.msim) (fun () ->
+      Sim.sleep (Time.ms 1);
+      out := Some (Aoe_client.read r.mclient ~lba:9000 ~count:16));
+  Sim.run r.msim;
+  (match !out with
+  | None -> Alcotest.fail "read never completed"
+  | Some data ->
+    Alcotest.(check (array content_testable))
+      "read correct under carousel" (Content.image_sectors ~lba:9000 ~count:16)
+      data);
+  check_bool "carousel frames flowed" true (Aoe_client.mcast_frames r.mclient > 0)
+
+let test_mcast_unsubscribed_client_ignores () =
+  let r = make_mcast_rig () in
+  (* No subscription: the frames arrive at the port and are dropped
+     without touching the client. *)
+  Vblade.multicast r.mvblade ~group:r.mgroup ~lba:0 ~count:64 ~passes:1 ();
+  Sim.run r.msim;
+  check_int "nothing counted" 0 (Aoe_client.mcast_frames r.mclient);
+  check_bool "carousel still transmitted" true
+    (Vblade.mcast_frames_sent r.mvblade > 0)
+
+let test_mcast_crash_suppresses_pass () =
+  (* The epoch guard: a crash mid-pass silences the carousel; after
+     restart the next pass streams in full. *)
+  let r = make_mcast_rig () in
+  let got = ref 0 in
+  Aoe_client.subscribe_mcast r.mclient (fun ~lba:_ ~count:n _ -> got := !got + n);
+  let count = 4096 in
+  Vblade.multicast r.mvblade ~group:r.mgroup ~lba:0 ~count ~passes:2
+    ~gap:(Time.ms 10) ();
+  (* per_sector_cpu puts a full pass well past 1 ms: crash mid-stream. *)
+  Sim.schedule r.msim (Time.ms 1) (fun () -> Vblade.crash r.mvblade);
+  Sim.schedule r.msim (Time.ms 50) (fun () -> Vblade.restart r.mvblade);
+  Sim.run r.msim;
+  let full = 2 * count in
+  check_bool "first pass truncated" true (!got < full);
+  check_bool "second pass streamed" true (!got >= count)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "proto"
@@ -384,6 +603,20 @@ let () =
           tc "jumbo vs standard" `Quick test_jumbo_vs_standard_frames ] );
       ( "vblade",
         [ tc "thread pool throughput" `Quick test_vblade_thread_pool_throughput ] );
+      ( "gossip",
+        [ QCheck_alcotest.to_alcotest prop_gossip_wire_roundtrip;
+          QCheck_alcotest.to_alcotest prop_gossip_runs_canonical;
+          QCheck_alcotest.to_alcotest prop_gossip_merge_commutative;
+          QCheck_alcotest.to_alcotest prop_gossip_merge_idempotent_associative;
+          tc "decode rejects malformed" `Quick test_gossip_decode_rejects ] );
+      ( "mcast",
+        [ tc "carousel reaches subscriber" `Quick
+            test_mcast_carousel_reaches_subscriber;
+          tc "tag 0 reserved for carousel" `Quick
+            test_mcast_tag_reserved_for_carousel;
+          tc "unsubscribed client ignores" `Quick
+            test_mcast_unsubscribed_client_ignores;
+          tc "crash suppresses pass" `Quick test_mcast_crash_suppresses_pass ] );
       ( "remote-block",
         [ tc "iscsi read write" `Quick test_iscsi_read_write;
           tc "nfs readahead reduces ops" `Quick test_nfs_readahead_reduces_ops;

@@ -148,6 +148,43 @@ let prop_extent_clear_matches_reference =
       in
       !ok && Extent_map.covered m = covered_ref)
 
+let prop_extent_covered_range_matches_reference =
+  (* covered_range over arbitrary windows agrees with per-sector gets,
+     whatever mix of set/clear built the map — the peer-serving guard
+     ("does the local disk fully hold this chunk?") relies on it. *)
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 1 40)
+           (triple bool (int_range 0 90) (int_range 1 10)))
+        (pair (int_range 0 99) (int_range 1 100)))
+  in
+  QCheck.Test.make ~name:"extent map covered_range agrees with reference"
+    ~count:200 (QCheck.make gen)
+    (fun (ops, (qlba, qcount)) ->
+      let m = Extent_map.create () in
+      let reference = Array.make 200 None in
+      List.iteri
+        (fun k (is_set, lba, count) ->
+          if is_set then begin
+            Extent_map.set m ~lba ~count k;
+            for i = lba to lba + count - 1 do
+              reference.(i) <- Some k
+            done
+          end
+          else begin
+            Extent_map.clear_range m ~lba ~count;
+            for i = lba to lba + count - 1 do
+              reference.(i) <- None
+            done
+          end)
+        ops;
+      let expect = ref 0 in
+      for i = qlba to min 199 (qlba + qcount - 1) do
+        if reference.(i) <> None then incr expect
+      done;
+      Extent_map.covered_range m ~lba:qlba ~count:qcount = !expect)
+
 let prop_extent_matches_reference =
   (* Random sequence of set operations agrees with a naive array model. *)
   let gen =
@@ -743,6 +780,7 @@ let () =
           tc "fold range" `Quick test_extent_fold_range;
           QCheck_alcotest.to_alcotest prop_extent_matches_reference;
           QCheck_alcotest.to_alcotest prop_extent_clear_matches_reference;
+          QCheck_alcotest.to_alcotest prop_extent_covered_range_matches_reference;
           QCheck_alcotest.to_alcotest prop_extent_insert_query_roundtrip;
           QCheck_alcotest.to_alcotest prop_extent_coalesced;
           QCheck_alcotest.to_alcotest prop_extent_fold_tiles_exactly ] );
